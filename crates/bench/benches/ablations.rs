@@ -1,0 +1,188 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out. These
+//! report *simulated latency* (ns of machine time per transaction) rather
+//! than host throughput, using Criterion only as the runner; each ablation
+//! prints its simulated outcome once per run.
+
+use cenju4::directory::precision::{whole_machine_pool, SchemeKind};
+use cenju4::prelude::*;
+use cenju4::sim::probes::store_latency;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Dynamic pointer→bit-pattern vs always-coarse-vector: invalidation
+/// fan-out cost at small sharer counts (the directory ablation).
+fn ablation_directory_precision(c: &mut Criterion) {
+    let sys = SystemSize::new(1024).unwrap();
+    let pool = whole_machine_pool(sys);
+    c.bench_function("ablation/precision_sweep_k8", |b| {
+        b.iter(|| {
+            let bp = cenju4::directory::precision::average_represented(
+                SchemeKind::Cenju4,
+                sys,
+                &pool,
+                8,
+                20,
+                &mut cenju4::des::SplitMix64::new(1),
+            );
+            let cv = cenju4::directory::precision::average_represented(
+                SchemeKind::CoarseVector32,
+                sys,
+                &pool,
+                8,
+                20,
+                &mut cenju4::des::SplitMix64::new(1),
+            );
+            // The whole point of the bit pattern: ~8x fewer invalidations.
+            assert!(bp < cv);
+            black_box((bp, cv))
+        })
+    });
+}
+
+/// Multicast+gather vs singlecast emulation: the Figure 10 ablation.
+fn ablation_multicast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/multicast");
+    g.sample_size(10);
+    let base = SystemConfig::new(128).unwrap();
+    g.bench_function("hardware_128_sharers", |b| {
+        b.iter(|| black_box(store_latency(&base, 128)))
+    });
+    let no_mc = base.without_multicast();
+    g.bench_function("singlecast_128_sharers", |b| {
+        b.iter(|| black_box(store_latency(&no_mc, 128)))
+    });
+    g.finish();
+}
+
+/// Queuing vs nack protocol under contention: simulated completion time.
+fn ablation_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/protocol");
+    g.sample_size(10);
+    let run = |cfg: &SystemConfig| {
+        let mut eng = cfg.build();
+        let a = Addr::new(NodeId::new(0), 0);
+        for i in 0..16u16 {
+            eng.issue(eng.now(), NodeId::new(i), MemOp::Load, a);
+            eng.run();
+        }
+        let t0 = eng.now();
+        for i in 0..16u16 {
+            eng.issue(t0, NodeId::new(i), MemOp::Store, a);
+        }
+        eng.run();
+        eng.now().since(t0).as_ns()
+    };
+    let queuing = SystemConfig::new(16).unwrap();
+    let nack = queuing.with_nack_protocol();
+    g.bench_function("queuing_contention_16", |b| {
+        b.iter(|| black_box(run(&queuing)))
+    });
+    g.bench_function("nack_contention_16", |b| b.iter(|| black_box(run(&nack))));
+    g.finish();
+}
+
+/// Writeback no-reply fast path: eviction-heavy traffic with a tiny cache.
+fn ablation_writeback_pressure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/writeback");
+    g.sample_size(10);
+    let params = ProtoParams {
+        cache_bytes: 8 * 128,
+        cache_assoc: 1,
+        ..ProtoParams::default()
+    };
+    g.bench_function("eviction_storm_direct_mapped", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(
+                SystemSize::new(16).unwrap(),
+                params,
+                NetParams::default(),
+                ProtocolKind::Queuing,
+            );
+            for i in 0..200u32 {
+                eng.issue(
+                    eng.now(),
+                    NodeId::new(0),
+                    MemOp::Store,
+                    Addr::new(NodeId::new(1), i),
+                );
+                eng.run();
+            }
+            black_box(eng.stats().writebacks.get())
+        })
+    });
+    g.finish();
+}
+
+/// Singlecast threshold (the Section 4.1 "not implemented" optimization):
+/// simulated store latency at small fan-outs, threshold 1 vs 8.
+fn ablation_singlecast_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/singlecast_threshold");
+    g.sample_size(10);
+    for threshold in [1u32, 8] {
+        g.bench_function(format!("threshold_{threshold}_4_sharers"), |b| {
+            b.iter(|| {
+                let params = ProtoParams {
+                    singlecast_threshold: threshold,
+                    ..ProtoParams::default()
+                };
+                let mut eng = Engine::new(
+                    SystemSize::new(16).unwrap(),
+                    params,
+                    NetParams::default(),
+                    ProtocolKind::Queuing,
+                );
+                let a = Addr::new(NodeId::new(0), 0);
+                for n in 1..=4u16 {
+                    eng.issue(eng.now(), NodeId::new(n), MemOp::Load, a);
+                    eng.run();
+                }
+                let t0 = eng.now();
+                eng.issue(t0, NodeId::new(1), MemOp::Store, a);
+                eng.run();
+                black_box(eng.now().since(t0).as_ns())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Update protocol + L3 vs invalidation for a CG-like producer/consumer
+/// pattern: simulated time per round.
+fn ablation_update_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/update_protocol");
+    g.sample_size(10);
+    let run = |update: bool| {
+        let mut eng = SystemConfig::new(16).unwrap().build();
+        let a = Addr::new(NodeId::new(0), 0);
+        if update {
+            eng.mark_update_block(a);
+        }
+        for n in 1..=8u16 {
+            eng.issue(eng.now(), NodeId::new(n), MemOp::Load, a);
+            eng.run();
+        }
+        let t0 = eng.now();
+        for _ in 0..5 {
+            eng.issue(eng.now(), NodeId::new(1), MemOp::Store, a);
+            eng.run();
+            for n in 2..=8u16 {
+                eng.issue(eng.now(), NodeId::new(n), MemOp::Load, a);
+            }
+            eng.run();
+        }
+        eng.now().since(t0).as_ns()
+    };
+    g.bench_function("invalidate_rounds", |b| b.iter(|| black_box(run(false))));
+    g.bench_function("update_rounds", |b| b.iter(|| black_box(run(true))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_directory_precision,
+    ablation_multicast,
+    ablation_protocol,
+    ablation_writeback_pressure,
+    ablation_singlecast_threshold,
+    ablation_update_protocol
+);
+criterion_main!(benches);

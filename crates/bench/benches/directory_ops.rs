@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the directory hot paths: node-map
+//! insertion, membership, destination-spec matching, and 64-bit packing.
+
+use cenju4::directory::nodemap::DestSpec;
+use cenju4::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_nodemap(c: &mut Criterion) {
+    let sys = SystemSize::new(1024).unwrap();
+    let mut g = c.benchmark_group("nodemap");
+
+    g.bench_function("add_4_pointers", |b| {
+        b.iter(|| {
+            let mut m = Cenju4NodeMap::new(sys);
+            for n in [3u16, 700, 45, 901] {
+                m.add(NodeId::new(black_box(n)));
+            }
+            black_box(m.count())
+        })
+    });
+
+    g.bench_function("add_32_switch_to_pattern", |b| {
+        b.iter(|| {
+            let mut m = Cenju4NodeMap::new(sys);
+            for n in 0..32u16 {
+                m.add(NodeId::new(black_box(n * 31 % 1024)));
+            }
+            black_box(m.count())
+        })
+    });
+
+    let mut shared = Cenju4NodeMap::new(sys);
+    for n in 0..64u16 {
+        shared.add(NodeId::new(n * 17 % 1024));
+    }
+    g.bench_function("contains_pattern", |b| {
+        b.iter(|| black_box(shared.contains(NodeId::new(black_box(513)))))
+    });
+
+    g.bench_function("represented_pattern", |b| {
+        b.iter(|| black_box(shared.represented().len()))
+    });
+    g.finish();
+}
+
+fn bench_entry_packing(c: &mut Criterion) {
+    let sys = SystemSize::new(1024).unwrap();
+    let mut e = DirectoryEntry::new(sys);
+    e.set_state(MemState::PendingExclusive);
+    for n in 0..12u16 {
+        e.map_mut().add(NodeId::new(n * 89 % 1024));
+    }
+    c.bench_function("entry_pack_unpack_64bit", |b| {
+        b.iter(|| {
+            let bits = black_box(&e).to_bits();
+            black_box(DirectoryEntry::from_bits(black_box(bits), sys))
+        })
+    });
+}
+
+fn bench_dest_spec(c: &mut Criterion) {
+    let sys = SystemSize::new(1024).unwrap();
+    let mut m = Cenju4NodeMap::new(sys);
+    for n in 0..48u16 {
+        m.add(NodeId::new(n * 53 % 1024));
+    }
+    let spec = m.to_dest_spec();
+    // The switch-side predicate evaluated at every multicast branch point.
+    c.bench_function("dest_spec_intersects_masked_existing", |b| {
+        b.iter(|| {
+            black_box(spec.intersects_masked_existing(
+                black_box(0xFC0),
+                black_box(0x340),
+                sys,
+            ))
+        })
+    });
+    let single = DestSpec::single(NodeId::new(77));
+    c.bench_function("dest_spec_singleton_match", |b| {
+        b.iter(|| black_box(single.intersects_masked_existing(0x3FF, 77, sys)))
+    });
+}
+
+criterion_group!(benches, bench_nodemap, bench_entry_packing, bench_dest_spec);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of end-to-end coherence transactions: how fast the
+//! simulator executes the appendix's sequences (simulator throughput, not
+//! simulated latency).
+
+use cenju4::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn engine(nodes: u16) -> Engine {
+    Engine::new(
+        SystemSize::new(nodes).unwrap(),
+        ProtoParams::default(),
+        NetParams::default(),
+        ProtocolKind::Queuing,
+    )
+}
+
+fn bench_sequences(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txn");
+
+    g.bench_function("remote_clean_load", |b| {
+        let mut eng = engine(16);
+        let mut block = 0u32;
+        b.iter(|| {
+            block += 1;
+            eng.issue(
+                eng.now(),
+                NodeId::new(0),
+                MemOp::Load,
+                Addr::new(NodeId::new(1), block % 4096),
+            );
+            black_box(eng.run().len())
+        })
+    });
+
+    g.bench_function("ownership_upgrade_8_sharers", |b| {
+        let mut eng = engine(16);
+        let mut block = 0u32;
+        b.iter(|| {
+            block += 1;
+            let a = Addr::new(NodeId::new(0), block % 4096);
+            for n in 1..=8u16 {
+                eng.issue(eng.now(), NodeId::new(n), MemOp::Load, a);
+                eng.run();
+            }
+            eng.issue(eng.now(), NodeId::new(1), MemOp::Store, a);
+            black_box(eng.run().len())
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_contention_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contention");
+    g.sample_size(20);
+    for nodes in [16u16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let mut eng = engine(n);
+                let a = Addr::new(NodeId::new(0), 0);
+                for i in 0..n {
+                    eng.issue(eng.now(), NodeId::new(i), MemOp::Load, a);
+                    eng.run();
+                }
+                let t0 = eng.now();
+                for i in 0..n {
+                    eng.issue(t0, NodeId::new(i), MemOp::Store, a);
+                }
+                black_box(eng.run().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sequences, bench_contention_throughput);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Regenerates **Figure 10**: store-access latency versus the number of
+//! nodes sharing the block, on 16/128/1024-node machines (2/4/6 stages),
+//! with and without the network's multicast and gathering functions.
+//!
+//! Run with: `cargo run --release -p cenju4-bench --bin fig10_store_latency`
+
+use cenju4::sim::probes::store_latency;
+use cenju4::sim::SystemConfig;
+use cenju4_bench::paper::{FIG10_MULTICAST_1024, FIG10_SINGLECAST_1024};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for nodes in [16u16, 128, 1024] {
+        let with_mc = SystemConfig::new(nodes)?;
+        let without = with_mc.without_multicast();
+        println!(
+            "store latency on {nodes} nodes ({} stages):",
+            with_mc.sys.stages()
+        );
+        println!(
+            "{:>8}  {:>16}  {:>16}  {:>6}",
+            "sharers", "multicast (us)", "singlecast (us)", "ratio"
+        );
+        let mut ks: Vec<u16> = vec![2, 4, 8, 16];
+        if nodes >= 128 {
+            ks.extend([32, 64, 128]);
+        }
+        if nodes == 1024 {
+            ks.extend([256, 512, 1024]);
+        }
+        for k in ks {
+            let a = store_latency(&with_mc, k);
+            let b = store_latency(&without, k);
+            println!(
+                "{:>8}  {:>16.2}  {:>16.2}  {:>5.1}x",
+                k,
+                a.as_us_f64(),
+                b.as_us_f64(),
+                b.as_ns() as f64 / a.as_ns() as f64
+            );
+        }
+        println!();
+    }
+
+    let big = SystemConfig::new(1024)?;
+    let a = store_latency(&big, 1024).as_ns() as f64;
+    let b = store_latency(&big.without_multicast(), 1024).as_ns() as f64;
+    println!("paper's 1024-sharer estimates:");
+    println!(
+        "  multicast+gather : {} us",
+        cenju4_bench::vs(a / 1000.0, FIG10_MULTICAST_1024 as f64 / 1000.0)
+    );
+    println!(
+        "  singlecast storm : {} us",
+        cenju4_bench::vs(b / 1000.0, FIG10_SINGLECAST_1024 as f64 / 1000.0)
+    );
+    println!("\nExpected shape: with the hardware functions the latency grows with");
+    println!("the number of *network stages*, not with the sharer count; without");
+    println!("them it grows linearly with the sharers (NIC serialization).");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Regenerates **Figure 11**: (a) program rewriting ratios — the paper's
+//! own human-effort data — and (b) parallel efficiency of mpi / dsm(1) /
+//! dsm(2) with and without data mappings, measured on the synthetic
+//! kernels at the paper's node counts (BT/SP: 64, CG/FT: 128).
+//!
+//! Run with:
+//! `cargo run --release -p cenju4-bench --bin fig11_dsm_vs_mpi [scale]`
+//! (scale defaults to 1.0; smaller is faster, larger is closer asymptotic)
+
+use cenju4::workloads::rewrite::paper_rewriting_ratios;
+use cenju4::workloads::{runner, AppKind, Variant};
+use cenju4_bench::paper::{FIG11B_DSM1_EFFICIENCY, FIG11B_DSM2_EFFICIENCY};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = cenju4_bench::scale_arg(2.0);
+
+    println!("Figure 11(a): program rewriting ratios (paper's measurements;");
+    println!("a human-effort metric on the Fortran sources — see DESIGN.md)\n");
+    println!(
+        "{:>4} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "app", "mpi", "dsm1-nm", "dsm1", "dsm2-nm", "dsm2"
+    );
+    for r in paper_rewriting_ratios() {
+        println!(
+            "{:>4} {:>7.0}% {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
+            r.app.name(),
+            r.mpi * 100.0,
+            r.dsm1_nomap * 100.0,
+            r.dsm1 * 100.0,
+            r.dsm2_nomap * 100.0,
+            r.dsm2 * 100.0
+        );
+    }
+
+    println!("\nFigure 11(b): parallel efficiency, measured (scale {scale})\n");
+    println!(
+        "{:>4} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}  {:>14} {:>14}",
+        "app", "nodes", "mpi", "dsm1-nm", "dsm1", "dsm2-nm", "dsm2", "paper dsm1", "paper dsm2"
+    );
+    for app in AppKind::ALL {
+        let n = app.paper_nodes();
+        let mpi = runner::efficiency(app, Variant::Mpi, true, n, scale)?;
+        let d1n = runner::efficiency(app, Variant::Dsm1, false, n, scale)?;
+        let d1 = runner::efficiency(app, Variant::Dsm1, true, n, scale)?;
+        let d2n = runner::efficiency(app, Variant::Dsm2, false, n, scale)?;
+        let d2 = runner::efficiency(app, Variant::Dsm2, true, n, scale)?;
+        let p1 = FIG11B_DSM1_EFFICIENCY
+            .iter()
+            .find(|(a, _)| *a == app.name())
+            .map(|(_, e)| *e)
+            .unwrap_or(0.0);
+        let p2 = FIG11B_DSM2_EFFICIENCY
+            .iter()
+            .find(|(a, _, _)| *a == app.name())
+            .map(|(_, _, e)| *e)
+            .unwrap_or(0.0);
+        println!(
+            "{:>4} {:>6} {:>7.0}% {:>7.0}% {:>7.0}% {:>7.0}% {:>7.0}%  {:>13.0}% {:>13.0}%",
+            app.name(),
+            n,
+            mpi * 100.0,
+            d1n * 100.0,
+            d1 * 100.0,
+            d2n * 100.0,
+            d2 * 100.0,
+            p1 * 100.0,
+            p2 * 100.0
+        );
+    }
+    println!("\nExpected shape: dsm(2)+mapping approaches mpi on BT/FT; dsm(1)");
+    println!("stays low; CG is low for every shared-memory variant.");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table 2**: load-access latencies per sharing class at
+//! 2, 4 and 6 network stages, measured end-to-end through the protocol and
+//! network simulators, with the paper's numbers alongside.
+//!
+//! Run with: `cargo run --release -p cenju4-bench --bin table2_load_latency`
+
+use cenju4::sim::probes::load_latencies;
+use cenju4::sim::SystemConfig;
+use cenju4_bench::paper::TABLE2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Table 2: load access latencies (ns), measured vs paper\n");
+    println!(
+        "{:<26} {:>22} {:>22} {:>22}",
+        "", "2 stages (16)", "4 stages (128)", "6 stages (1024)"
+    );
+    let rows = [
+        "a) private",
+        "b) shared local (clean)",
+        "c) shared remote (clean)",
+        "d) shared local (dirty)",
+        "e) shared remote (dirty)",
+    ];
+    let mut measured = Vec::new();
+    for (nodes, _) in TABLE2 {
+        let cfg = SystemConfig::new(nodes)?;
+        let r = load_latencies(&cfg);
+        measured.push([
+            r.private.as_ns(),
+            r.shared_local_clean.as_ns(),
+            r.shared_remote_clean.as_ns(),
+            r.shared_local_dirty.as_ns(),
+            r.shared_remote_dirty.as_ns(),
+        ]);
+    }
+    for (i, name) in rows.iter().enumerate() {
+        print!("{name:<26}");
+        for (col, (_, paper)) in TABLE2.iter().enumerate() {
+            print!(" {:>22}", cenju4_bench::vs(measured[col][i] as f64, paper[i] as f64));
+        }
+        println!();
+    }
+    println!("\nEvery row is produced by the protocol's actual message sequence;");
+    println!("only the per-component service times are calibrated (DESIGN.md).");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Table 4**: per-application characteristics at the small
+//! (16-node) and large (64/128-node) configurations — execution time,
+//! synchronization fraction, access-class breakdown, miss ratio, and the
+//! miss-class breakdown whose remote growth explains the scalability
+//! limits (especially CG's).
+//!
+//! Run with:
+//! `cargo run --release -p cenju4-bench --bin table4_app_characteristics [scale]`
+
+use cenju4::sim::AccessClass;
+use cenju4::sim::SystemConfig;
+use cenju4::workloads::{runner, AppKind, KernelProgram, Variant};
+use cenju4_bench::paper::TABLE4;
+use cenju4_directory::NodeId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = cenju4_bench::scale_arg(2.0);
+    println!("Table 4: characteristics of dsm(2)+mapping runs (scale {scale})");
+    println!("measured | paper where the paper reports the column\n");
+    println!(
+        "{:>4} {:>6} {:>12} {:>12} {:>15} {:>24} {:>15} {:>17}",
+        "app", "nodes", "time (ms)", "Minstr/node", "sync %", "accesses P/L/R %", "miss ratio %", "remote miss %"
+    );
+    for app in AppKind::ALL {
+        for nodes in [16u16, app.paper_nodes()] {
+            let cfg = SystemConfig::new(nodes)?;
+            let prog = KernelProgram::build(app, Variant::Dsm2, true, &cfg, scale);
+            let instr = prog.node_instructions(NodeId::new(0)) as f64 / 1e6;
+            let r = runner::run_workload(app, Variant::Dsm2, true, nodes, scale)?;
+            let paper = TABLE4
+                .iter()
+                .find(|(a, n, ..)| *a == app.name() && *n == nodes);
+            let (psync, pmiss, premote) = match paper {
+                Some((_, _, s, m, rm)) => (*s, *m, *rm),
+                None => (f64::NAN, f64::NAN, f64::NAN),
+            };
+            let total: u64 = AccessClass::ALL.iter().map(|&c| r.accesses(c)).sum();
+            let frac = |c| 100.0 * r.accesses(c) as f64 / total.max(1) as f64;
+            println!(
+                "{:>4} {:>6} {:>12.2} {:>12.2} {:>6.1} | {:>5.1} {:>7.0}/{:>4.0}/{:>4.0} {:>7} {:>5.2} | {:>5.2} {:>7.1} | {:>6.1}",
+                app.name(),
+                nodes,
+                r.total_time().as_ns() as f64 / 1e6,
+                instr,
+                r.sync_fraction() * 100.0,
+                psync,
+                frac(AccessClass::Private),
+                frac(AccessClass::SharedLocal),
+                frac(AccessClass::SharedRemote),
+                "",
+                r.miss_ratio() * 100.0,
+                pmiss,
+                r.miss_fraction(AccessClass::SharedRemote) * 100.0,
+                premote,
+            );
+        }
+        println!();
+    }
+    println!("Expected shape: sync fraction grows with nodes; access breakdowns");
+    println!("barely move, but the REMOTE share of misses jumps — mildly for");
+    println!("BT/FT, dramatically for CG (9% -> 81% in the paper), which is what");
+    println!("saturates CG's speedup.");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! and prints the paper's own numbers next to the measured ones, so the
+//! comparison (EXPERIMENTS.md) can be refreshed with a single run.
+
+pub mod paper;
+
+/// Formats a measured-vs-paper pair with the relative error.
+///
+/// # Examples
+///
+/// ```
+/// let s = cenju4_bench::vs(1710.0, 1690.0);
+/// assert!(s.contains("+1.2%"));
+/// ```
+pub fn vs(measured: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return format!("{measured:.1} (paper: n/a)");
+    }
+    let err = (measured - paper) / paper * 100.0;
+    format!("{measured:.1} (paper {paper:.1}, {err:+.1}%)")
+}
+
+/// Reads a problem-scale multiplier from the first CLI argument
+/// (default `default`).
+///
+/// # Panics
+///
+/// Panics with a usage message if the argument is not a positive number.
+pub fn scale_arg(default: f64) -> f64 {
+    match std::env::args().nth(1) {
+        None => default,
+        Some(s) => {
+            let v: f64 = s
+                .parse()
+                .unwrap_or_else(|_| panic!("usage: <binary> [scale]; got {s:?}"));
+            assert!(v > 0.0, "scale must be positive");
+            v
+        }
+    }
+}
+
+/// Prints a rule line of the given width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vs_formats_error() {
+        assert!(vs(110.0, 100.0).contains("+10.0%"));
+        assert!(vs(90.0, 100.0).contains("-10.0%"));
+        assert!(vs(5.0, 0.0).contains("n/a"));
+    }
+}

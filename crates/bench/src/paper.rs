@@ -1,0 +1,123 @@
+//! The paper's published numbers, transcribed for side-by-side reports.
+
+/// Table 2: load-miss latencies in ns, rows (private, shared local clean,
+/// shared remote clean, shared local dirty, shared remote dirty) for
+/// 2/4/6 network stages.
+pub const TABLE2: [(u16, [u64; 5]); 3] = [
+    (16, [470, 610, 1690, 1900, 3120]),
+    (128, [470, 610, 2210, 2480, 4170]),
+    (1024, [470, 610, 2730, 3060, 5220]),
+];
+
+/// Figure 10 headline estimates at 1024 sharers on the full machine, ns.
+pub const FIG10_MULTICAST_1024: u64 = 6_300;
+/// Without the multicast/gather hardware.
+pub const FIG10_SINGLECAST_1024: u64 = 184_000;
+
+/// Figure 11(b): parallel efficiency of the dsm(2)-with-mapping programs
+/// at the paper's node counts (BT/SP at 64 nodes, CG/FT at 128).
+pub const FIG11B_DSM2_EFFICIENCY: [(&str, u16, f64); 4] = [
+    ("BT", 64, 0.97),
+    ("CG", 128, 0.20), // saturated; Fig. 12 shows ~26x at 128 nodes
+    ("FT", 128, 0.81),
+    ("SP", 64, 0.71),
+];
+
+/// Figure 11(b): rough efficiency of the naive dsm(1) programs — "only
+/// about 20% on BT, CG and SP, and 40% on FT".
+pub const FIG11B_DSM1_EFFICIENCY: [(&str, f64); 4] =
+    [("BT", 0.20), ("CG", 0.20), ("FT", 0.40), ("SP", 0.20)];
+
+/// Table 3 (per app at its node count): L2 miss ratio and the
+/// private/local/remote breakdown of misses for dsm(1)/dsm(2), with (m)
+/// and without (n) data mappings. Values in percent.
+#[derive(Clone, Copy, Debug)]
+pub struct Table3Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Variant name (`dsm(1)` or `dsm(2)`).
+    pub variant: &'static str,
+    /// With data mappings?
+    pub mapped: bool,
+    /// Secondary-cache miss ratio, percent.
+    pub miss_ratio: f64,
+    /// Private share of misses, percent.
+    pub private: f64,
+    /// Shared-local share, percent.
+    pub local: f64,
+    /// Shared-remote share, percent.
+    pub remote: f64,
+}
+
+/// The sixteen rows of Table 3.
+pub const TABLE3: [Table3Row; 16] = [
+    Table3Row { app: "BT", variant: "dsm(1)", mapped: false, miss_ratio: 1.49, private: 2.4, local: 1.7, remote: 95.9 },
+    Table3Row { app: "BT", variant: "dsm(1)", mapped: true, miss_ratio: 1.47, private: 2.2, local: 63.7, remote: 34.1 },
+    Table3Row { app: "BT", variant: "dsm(2)", mapped: false, miss_ratio: 0.84, private: 76.3, local: 0.6, remote: 23.0 },
+    Table3Row { app: "BT", variant: "dsm(2)", mapped: true, miss_ratio: 0.85, private: 76.1, local: 12.7, remote: 11.2 },
+    Table3Row { app: "CG", variant: "dsm(1)", mapped: false, miss_ratio: 1.48, private: 27.8, local: 0.6, remote: 71.6 },
+    Table3Row { app: "CG", variant: "dsm(1)", mapped: true, miss_ratio: 1.48, private: 26.7, local: 0.7, remote: 72.6 },
+    Table3Row { app: "CG", variant: "dsm(2)", mapped: false, miss_ratio: 1.48, private: 28.2, local: 0.6, remote: 71.1 },
+    Table3Row { app: "CG", variant: "dsm(2)", mapped: true, miss_ratio: 1.44, private: 25.9, local: 0.7, remote: 73.4 },
+    Table3Row { app: "FT", variant: "dsm(1)", mapped: false, miss_ratio: 0.84, private: 30.2, local: 0.6, remote: 69.2 },
+    Table3Row { app: "FT", variant: "dsm(1)", mapped: true, miss_ratio: 0.81, private: 30.8, local: 50.9, remote: 18.3 },
+    Table3Row { app: "FT", variant: "dsm(2)", mapped: false, miss_ratio: 0.69, private: 57.2, local: 0.4, remote: 42.4 },
+    Table3Row { app: "FT", variant: "dsm(2)", mapped: true, miss_ratio: 0.77, private: 59.2, local: 23.0, remote: 17.9 },
+    Table3Row { app: "SP", variant: "dsm(1)", mapped: false, miss_ratio: 1.77, private: 4.5, local: 1.5, remote: 93.9 },
+    Table3Row { app: "SP", variant: "dsm(1)", mapped: true, miss_ratio: 1.84, private: 4.3, local: 36.0, remote: 59.7 },
+    Table3Row { app: "SP", variant: "dsm(2)", mapped: false, miss_ratio: 1.04, private: 24.7, local: 1.9, remote: 73.3 },
+    Table3Row { app: "SP", variant: "dsm(2)", mapped: true, miss_ratio: 1.02, private: 24.5, local: 36.9, remote: 38.6 },
+];
+
+/// Table 4: per-app characteristics at the small and large node counts:
+/// (app, nodes, sync %, miss ratio %, remote-miss % of misses).
+pub const TABLE4: [(&str, u16, f64, f64, f64); 8] = [
+    ("BT", 16, 3.84, 0.86, 5.59),
+    ("BT", 64, 7.72, 0.82, 11.9),
+    ("CG", 16, 7.04, 2.73, 9.31),
+    ("CG", 128, 25.1, 2.39, 80.9),
+    ("FT", 16, 1.67, 0.77, 15.4),
+    ("FT", 128, 8.92, 0.79, 19.3),
+    ("SP", 16, 5.42, 1.24, 19.4),
+    ("SP", 64, 12.8, 1.03, 46.4),
+];
+
+/// Figure 12: speedups of the dsm(2)+mapping programs (digitized):
+/// (app, nodes, speedup).
+pub const FIG12: [(&str, u16, f64); 8] = [
+    ("BT", 16, 15.2),
+    ("BT", 64, 62.0),
+    ("CG", 16, 10.0),
+    ("CG", 128, 26.0),
+    ("FT", 16, 14.0),
+    ("FT", 128, 104.0),
+    ("SP", 16, 13.5),
+    ("SP", 64, 45.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_breakdowns_sum_to_100() {
+        for r in TABLE3 {
+            let sum = r.private + r.local + r.remote;
+            assert!(
+                (sum - 100.0).abs() < 1.0,
+                "{} {} mapped={} sums to {sum}",
+                r.app,
+                r.variant,
+                r.mapped
+            );
+        }
+    }
+
+    #[test]
+    fn table2_has_three_stage_columns() {
+        assert_eq!(TABLE2.len(), 3);
+        for (_, row) in TABLE2 {
+            assert!(row.windows(2).all(|w| w[0] <= w[1]), "rows are increasing");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # cenju4 — a reproduction of the Cenju-4 DSM architecture
+//!
+//! This is the facade crate of a full reproduction of *"A DSM Architecture
+//! for a Parallel Computer Cenju-4"* (Hosomi, Kanoh, Nakamura, Hirose;
+//! HPCA 2000): a cache-coherent NUMA multiprocessor scalable to 1024
+//! nodes, built here as a deterministic discrete-event simulator.
+//!
+//! The system decomposes into the crates re-exported below:
+//!
+//! | crate | paper section | contents |
+//! |---|---|---|
+//! | [`des`] | — | event queue, clock, RNG, statistics |
+//! | [`directory`] | §3.1 | pointer + bit-pattern node maps, 64-bit directory entries, baseline schemes, Figure-4 precision analytics |
+//! | [`network`] | §3.2 | 4×4-crossbar multistage network with in-switch multicast and reply gathering |
+//! | [`protocol`] | §2, §3.3–3.4 + appendix | MESI caches, the starvation-free queuing protocol, deadlock-prevention buffers and the Figure-9 graph analysis, nack baseline, user-level message passing, the §4.2.3 update-protocol extension, event tracing |
+//! | [`sim`] | §4.1 | latency probes (Table 2, Figure 10), processor driver, barriers, reports |
+//! | [`workloads`] | §4.2 | synthetic BT/CG/FT/SP in seq/mpi/dsm(1)/dsm(2) variants |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cenju4::prelude::*;
+//!
+//! // Build a 16-node machine and measure the Table 2 load latencies.
+//! let cfg = SystemConfig::new(16)?;
+//! let row = cenju4::sim::probes::load_latencies(&cfg);
+//! assert_eq!(row.shared_local_clean.as_ns(), 610);
+//!
+//! // Store latency to a block shared by 8 nodes (Figure 10's x=8 point).
+//! let lat = cenju4::sim::probes::store_latency(&cfg, 8);
+//! assert!(lat.as_ns() > row.shared_local_clean.as_ns());
+//! # Ok::<(), cenju4::directory::SystemSizeError>(())
+//! ```
+
+pub use cenju4_des as des;
+pub use cenju4_directory as directory;
+pub use cenju4_network as network;
+pub use cenju4_protocol as protocol;
+pub use cenju4_sim as sim;
+pub use cenju4_workloads as workloads;
+
+/// The most commonly used types, for `use cenju4::prelude::*`.
+pub mod prelude {
+    pub use cenju4_des::{Duration, SimTime};
+    pub use cenju4_directory::{
+        BitPattern, Cenju4NodeMap, DirectoryEntry, MemState, NodeId, NodeMap, SystemSize,
+    };
+    pub use cenju4_network::{Fabric, MulticastMode, NetParams};
+    pub use cenju4_protocol::{
+        Addr, CacheState, Engine, MemOp, ProtoParams, ProtocolKind,
+    };
+    pub use cenju4_sim::{AccessClass, Driver, Program, RunReport, Step, SystemConfig, Target};
+    pub use cenju4_workloads::{AppKind, Variant};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let sys = SystemSize::new(16).unwrap();
+        assert_eq!(sys.stages(), 2);
+        let _ = SystemConfig::new(16).unwrap();
+    }
+}

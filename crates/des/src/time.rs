@@ -1,0 +1,252 @@
+//! Simulation time: a nanosecond-resolution monotone clock.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant on the simulated clock, in nanoseconds since the
+/// start of the simulation.
+///
+/// `SimTime` is a newtype over `u64`; it saturates neither on addition nor
+/// subtraction — overflow panics in debug builds like any integer type.
+/// A simulated nanosecond clock in `u64` lasts ~584 simulated years, far
+/// beyond any experiment in this repository.
+///
+/// # Examples
+///
+/// ```
+/// use cenju4_des::{Duration, SimTime};
+///
+/// let t = SimTime::ZERO + Duration::from_ns(470);
+/// assert_eq!(t.as_ns(), 470);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_ns(470));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `ns` nanoseconds after the start of the simulation.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant `us` microseconds after the start of the simulation.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Returns the instant as nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (fractional) microseconds since simulation start.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the later of two instants.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the elapsed duration since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        Duration(self.0 - earlier.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use cenju4_des::Duration;
+///
+/// let d = Duration::from_ns(130) * 6;
+/// assert_eq!(d.as_ns(), 780);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration of `ns` nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Creates a duration of `us` microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Returns the duration in nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        debug_assert!(rhs.0 <= self.0, "negative duration");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl core::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_roundtrip() {
+        assert_eq!(SimTime::from_ns(42).as_ns(), 42);
+        assert_eq!(SimTime::from_us(3).as_ns(), 3_000);
+    }
+
+    #[test]
+    fn add_duration() {
+        let t = SimTime::from_ns(100) + Duration::from_ns(30);
+        assert_eq!(t, SimTime::from_ns(130));
+    }
+
+    #[test]
+    fn subtract_instants() {
+        let d = SimTime::from_ns(200) - SimTime::from_ns(80);
+        assert_eq!(d, Duration::from_ns(120));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::from_ns(100) + Duration::from_ns(50) - Duration::from_ns(30);
+        assert_eq!(d.as_ns(), 120);
+        assert_eq!((d * 2).as_ns(), 240);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::from_ns(n)).sum();
+        assert_eq!(total.as_ns(), 6);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        let a = SimTime::from_ns(5);
+        let b = SimTime::from_ns(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn microsecond_conversion() {
+        assert!((Duration::from_ns(6_300).as_us_f64() - 6.3).abs() < 1e-9);
+        assert!((SimTime::from_ns(1_500).as_us_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_ns(7).to_string(), "7ns");
+        assert_eq!(Duration::from_ns(7).to_string(), "7ns");
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn negative_since_panics() {
+        let _ = SimTime::from_ns(1).since(SimTime::from_ns(2));
+    }
+}

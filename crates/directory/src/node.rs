@@ -1,0 +1,256 @@
+//! Node identifiers and system geometry.
+
+use core::fmt;
+
+/// The largest machine Cenju-4 supports: 1024 nodes, i.e. 10-bit node numbers.
+pub const MAX_NODES: u16 = 1024;
+
+/// Width of a node number in bits on the largest configuration.
+pub const NODE_BITS: u32 = 10;
+
+/// Identifies one node (processor + memory + controller) in the machine.
+///
+/// Node numbers are at most 10 bits (0..1024). The bit-pattern directory
+/// structure and the network multicast hardware both slice this number into
+/// 2-bit digits, so `NodeId` exposes digit accessors.
+///
+/// # Examples
+///
+/// ```
+/// use cenju4_directory::NodeId;
+///
+/// let n = NodeId::new(164); // 0b00_10_1_00100
+/// assert_eq!(n.index(), 164);
+/// assert_eq!(n.bits(9, 8), 0b00);
+/// assert_eq!(n.bits(7, 6), 0b10);
+/// assert_eq!(n.bits(5, 5), 0b1);
+/// assert_eq!(n.bits(4, 0), 0b00100);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 1024`, the architectural maximum.
+    #[inline]
+    pub const fn new(n: u16) -> Self {
+        assert!(n < MAX_NODES, "node number out of range");
+        NodeId(n)
+    }
+
+    /// The numeric node number.
+    #[inline]
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// The node number as a usize, for indexing.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Extracts bits `hi..=lo` (inclusive, `hi >= lo`) of the node number.
+    #[inline]
+    pub const fn bits(self, hi: u32, lo: u32) -> u16 {
+        (self.0 >> lo) & ((1 << (hi - lo + 1)) - 1)
+    }
+
+    /// The 2-bit digit at position `d`, counting from the least significant
+    /// digit (digit 0 = bits 1..0).
+    #[inline]
+    pub const fn digit(self, d: u32) -> u8 {
+        ((self.0 >> (2 * d)) & 0b11) as u8
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for u16 {
+    fn from(n: NodeId) -> u16 {
+        n.0
+    }
+}
+
+/// The error returned when constructing a [`SystemSize`] from an invalid
+/// node count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemSizeError {
+    nodes: u32,
+}
+
+impl fmt::Display for SystemSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid system size {} (must be 2..=1024 nodes)",
+            self.nodes
+        )
+    }
+}
+
+impl std::error::Error for SystemSizeError {}
+
+/// The machine configuration: how many nodes exist.
+///
+/// Cenju-4 scales from 2 to 1024 nodes. The multistage network uses an even
+/// number of 4×4-crossbar stages: 2 stages up to 16 nodes, 4 stages up to
+/// 256 (the paper's 128-node machine), 6 stages up to 1024 — matching the
+/// stage counts in Table 2 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use cenju4_directory::SystemSize;
+///
+/// assert_eq!(SystemSize::new(16)?.stages(), 2);
+/// assert_eq!(SystemSize::new(128)?.stages(), 4);
+/// assert_eq!(SystemSize::new(1024)?.stages(), 6);
+/// # Ok::<(), cenju4_directory::SystemSizeError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SystemSize {
+    nodes: u16,
+}
+
+impl SystemSize {
+    /// Creates a system size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemSizeError`] unless `2 <= nodes <= 1024`.
+    pub fn new(nodes: u16) -> Result<Self, SystemSizeError> {
+        if (2..=MAX_NODES).contains(&nodes) {
+            Ok(SystemSize { nodes })
+        } else {
+            Err(SystemSizeError {
+                nodes: nodes as u32,
+            })
+        }
+    }
+
+    /// The number of nodes in the machine.
+    #[inline]
+    pub const fn nodes(self) -> u16 {
+        self.nodes
+    }
+
+    /// The number of network stages: the smallest **even** `s` with
+    /// `4^s >= nodes` (the Cenju-4 network is built from pairs of stages).
+    pub const fn stages(self) -> u32 {
+        let mut s = 2;
+        while (1u32 << (2 * s)) < self.nodes as u32 {
+            s += 2;
+        }
+        s
+    }
+
+    /// The number of network endpoint ports: `4^stages` (≥ `nodes`;
+    /// surplus ports are unconnected).
+    #[inline]
+    pub const fn ports(self) -> u32 {
+        1 << (2 * self.stages())
+    }
+
+    /// Width of a port address in bits (`2 * stages`).
+    #[inline]
+    pub const fn addr_bits(self) -> u32 {
+        2 * self.stages()
+    }
+
+    /// Iterates over all node ids in the machine.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes).map(NodeId::new)
+    }
+
+    /// Returns `true` if `node` exists in this configuration.
+    #[inline]
+    pub const fn contains(self, node: NodeId) -> bool {
+        node.index() < self.nodes
+    }
+}
+
+impl fmt::Display for SystemSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} nodes / {} stages", self.nodes, self.stages())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_bits_match_paper_example() {
+        // Node 164 = 00 10 1 00100 in the paper's Figure 3.
+        let n = NodeId::new(164);
+        assert_eq!(n.bits(9, 8), 0b00);
+        assert_eq!(n.bits(7, 6), 0b10);
+        assert_eq!(n.bits(5, 5), 0b1);
+        assert_eq!(n.bits(4, 0), 0b00100);
+    }
+
+    #[test]
+    fn digits_compose_to_node_number() {
+        for raw in [0u16, 1, 5, 164, 1023] {
+            let n = NodeId::new(raw);
+            let recomposed = (0..5).fold(0u16, |acc, d| {
+                acc | ((n.digit(d) as u16) << (2 * d))
+            });
+            assert_eq!(recomposed, raw);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn node_id_out_of_range_panics() {
+        let _ = NodeId::new(1024);
+    }
+
+    #[test]
+    fn stage_counts_match_table2_header() {
+        // Paper Table 2: 2 stages (~16 nodes), 4 stages (~128), 6 (~1024).
+        assert_eq!(SystemSize::new(4).unwrap().stages(), 2);
+        assert_eq!(SystemSize::new(16).unwrap().stages(), 2);
+        assert_eq!(SystemSize::new(17).unwrap().stages(), 4);
+        assert_eq!(SystemSize::new(64).unwrap().stages(), 4);
+        assert_eq!(SystemSize::new(128).unwrap().stages(), 4);
+        assert_eq!(SystemSize::new(256).unwrap().stages(), 4);
+        assert_eq!(SystemSize::new(257).unwrap().stages(), 6);
+        assert_eq!(SystemSize::new(1024).unwrap().stages(), 6);
+    }
+
+    #[test]
+    fn ports_cover_nodes() {
+        for n in [2u16, 3, 16, 100, 128, 1000, 1024] {
+            let s = SystemSize::new(n).unwrap();
+            assert!(s.ports() >= n as u32, "{n} nodes need {} ports", s.ports());
+            assert_eq!(s.addr_bits(), 2 * s.stages());
+        }
+    }
+
+    #[test]
+    fn invalid_sizes_rejected() {
+        assert!(SystemSize::new(0).is_err());
+        assert!(SystemSize::new(1).is_err());
+        assert!(SystemSize::new(1025).is_err());
+        let e = SystemSize::new(0).unwrap_err();
+        assert!(e.to_string().contains("invalid system size"));
+    }
+
+    #[test]
+    fn iter_yields_every_node() {
+        let s = SystemSize::new(5).unwrap();
+        let all: Vec<u16> = s.iter().map(|n| n.index()).collect();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        assert!(s.contains(NodeId::new(4)));
+        assert!(!s.contains(NodeId::new(5)));
+    }
+}

@@ -1,0 +1,220 @@
+//! The pointer structure: up to four precise node pointers.
+
+use crate::node::NodeId;
+use core::fmt;
+
+/// How many pointers the Cenju-4 directory entry holds before switching to
+/// the bit-pattern structure.
+pub const POINTER_CAPACITY: usize = 4;
+
+/// A precise record of up to four sharers, stored as 10-bit node numbers.
+///
+/// This is the common-case representation: the paper notes that most blocks
+/// are shared by few nodes, so four pointers keep the directory precise for
+/// the bulk of memory while costing a constant 64-bit entry.
+///
+/// # Examples
+///
+/// ```
+/// use cenju4_directory::{NodeId, PointerSet};
+///
+/// let mut p = PointerSet::new();
+/// assert!(p.insert(NodeId::new(7)));
+/// assert!(p.insert(NodeId::new(7))); // duplicate: still fits, no-op
+/// assert_eq!(p.len(), 1);
+/// assert!(p.contains(NodeId::new(7)));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct PointerSet {
+    slots: [u16; POINTER_CAPACITY],
+    len: u8,
+}
+
+impl PointerSet {
+    /// Creates an empty pointer set.
+    #[inline]
+    pub const fn new() -> Self {
+        PointerSet {
+            slots: [0; POINTER_CAPACITY],
+            len: 0,
+        }
+    }
+
+    /// Creates a set holding exactly one node.
+    #[inline]
+    pub fn of(node: NodeId) -> Self {
+        let mut p = PointerSet::new();
+        p.insert(node);
+        p
+    }
+
+    /// Attempts to insert `node`. Returns `false` if the set is full and
+    /// the node is not already present — the caller must then switch to the
+    /// bit-pattern structure.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        if self.contains(node) {
+            return true;
+        }
+        if (self.len as usize) == POINTER_CAPACITY {
+            return false;
+        }
+        self.slots[self.len as usize] = node.index();
+        self.len += 1;
+        true
+    }
+
+    /// Removes `node` if present; returns whether it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let n = node.index();
+        for i in 0..self.len as usize {
+            if self.slots[i] == n {
+                self.slots[i] = self.slots[self.len as usize - 1];
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if `node` is recorded.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.slots[..self.len as usize].contains(&node.index())
+    }
+
+    /// The number of recorded nodes (0..=4).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if no nodes are recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Clears the set.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Iterates over the recorded nodes in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots[..self.len as usize]
+            .iter()
+            .map(|&n| NodeId::new(n))
+    }
+
+    /// Packs the set into bits: a 3-bit count in bits 42..40 and four
+    /// 10-bit pointers in bits 39..0 (slot 0 in the low bits).
+    pub fn to_bits(&self) -> u64 {
+        let mut bits = (self.len as u64) << 40;
+        for (i, &slot) in self.slots.iter().enumerate() {
+            bits |= (slot as u64) << (10 * i);
+        }
+        bits
+    }
+
+    /// Unpacks a set from the encoding produced by
+    /// [`PointerSet::to_bits`]. Bits above 42 are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded count exceeds four or a pointer is out of
+    /// range — such an encoding is not produced by `to_bits`.
+    pub fn from_bits(bits: u64) -> Self {
+        let len = ((bits >> 40) & 0x7) as u8;
+        assert!(len as usize <= POINTER_CAPACITY, "corrupt pointer count");
+        let mut slots = [0u16; POINTER_CAPACITY];
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = ((bits >> (10 * i)) & 0x3FF) as u16;
+        }
+        PointerSet { slots, len }
+    }
+}
+
+impl fmt::Debug for PointerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.slots[..self.len as usize].iter())
+            .finish()
+    }
+}
+
+impl fmt::Display for PointerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pointers{:?}", &self.slots[..self.len as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_up_to_capacity() {
+        let mut p = PointerSet::new();
+        for n in 0..4u16 {
+            assert!(p.insert(NodeId::new(n)));
+        }
+        assert_eq!(p.len(), 4);
+        assert!(!p.insert(NodeId::new(4)), "fifth distinct node must fail");
+        // But re-inserting an existing node still succeeds.
+        assert!(p.insert(NodeId::new(2)));
+    }
+
+    #[test]
+    fn contains_and_remove() {
+        let mut p = PointerSet::new();
+        p.insert(NodeId::new(10));
+        p.insert(NodeId::new(20));
+        assert!(p.contains(NodeId::new(10)));
+        assert!(p.remove(NodeId::new(10)));
+        assert!(!p.contains(NodeId::new(10)));
+        assert!(!p.remove(NodeId::new(10)));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut p = PointerSet::of(NodeId::new(3));
+        assert!(!p.is_empty());
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_yields_inserted() {
+        let mut p = PointerSet::new();
+        for n in [5u16, 900, 1023] {
+            p.insert(NodeId::new(n));
+        }
+        let got: Vec<u16> = p.iter().map(|n| n.index()).collect();
+        assert_eq!(got, vec![5, 900, 1023]);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut p = PointerSet::new();
+        for n in [0u16, 511, 1023] {
+            p.insert(NodeId::new(n));
+        }
+        let q = PointerSet::from_bits(p.to_bits());
+        assert_eq!(q.len(), 3);
+        for n in [0u16, 511, 1023] {
+            assert!(q.contains(NodeId::new(n)));
+        }
+    }
+
+    #[test]
+    fn bits_fit_in_43() {
+        let mut p = PointerSet::new();
+        for n in 1020..1024u16 {
+            p.insert(NodeId::new(n));
+        }
+        assert!(p.to_bits() < (1u64 << 43));
+    }
+}

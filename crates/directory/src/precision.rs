@@ -1,0 +1,262 @@
+//! Precision analytics behind Figure 4 of the paper.
+//!
+//! Figure 4 plots, for each imprecise directory scheme, the **average number
+//! of nodes represented** by the node map as a function of the **actual
+//! number of sharers**, with sharers drawn uniformly (a) from all 1024
+//! nodes, and (b) from one 128-node group — the multi-user scenario where a
+//! large machine is space-shared among programs.
+
+use crate::node::{NodeId, SystemSize};
+use crate::nodemap::{Cenju4NodeMap, NodeMap};
+use crate::schemes::{CoarseVector, FullMap, HierarchicalBitMap, LimitedPointerBroadcast};
+use cenju4_des::SplitMix64;
+
+/// Selects one of the node-map schemes for a sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Precise full bit vector (ground truth).
+    FullMap,
+    /// The Cenju-4 dynamic pointer + bit-pattern map.
+    Cenju4,
+    /// 32-bit coarse vector.
+    CoarseVector32,
+    /// One 4-bit field per network tree level.
+    HierarchicalBitMap,
+    /// Four pointers, broadcast on overflow.
+    LimitedPointerBroadcast,
+}
+
+impl SchemeKind {
+    /// Every scheme, in the order Figure 4 discusses them.
+    pub const ALL: [SchemeKind; 5] = [
+        SchemeKind::FullMap,
+        SchemeKind::Cenju4,
+        SchemeKind::CoarseVector32,
+        SchemeKind::HierarchicalBitMap,
+        SchemeKind::LimitedPointerBroadcast,
+    ];
+
+    /// Instantiates an empty node map of this scheme.
+    pub fn make(self, sys: SystemSize) -> Box<dyn NodeMap> {
+        match self {
+            SchemeKind::FullMap => Box::new(FullMap::new(sys)),
+            SchemeKind::Cenju4 => Box::new(Cenju4NodeMap::new(sys)),
+            SchemeKind::CoarseVector32 => Box::new(CoarseVector::new(sys, 32)),
+            SchemeKind::HierarchicalBitMap => Box::new(HierarchicalBitMap::new(sys)),
+            SchemeKind::LimitedPointerBroadcast => Box::new(LimitedPointerBroadcast::new(sys)),
+        }
+    }
+
+    /// The scheme's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::FullMap => "full-map",
+            SchemeKind::Cenju4 => "pointer+bit-pattern",
+            SchemeKind::CoarseVector32 => "coarse-vector-32",
+            SchemeKind::HierarchicalBitMap => "hierarchical-bitmap",
+            SchemeKind::LimitedPointerBroadcast => "limited-pointer-broadcast",
+        }
+    }
+}
+
+/// One point on a Figure-4 curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrecisionPoint {
+    /// The actual number of sharers inserted.
+    pub sharers: u32,
+    /// The mean number of nodes the map represented, over all trials.
+    pub avg_represented: f64,
+    /// The mean *overcount factor* (`avg_represented / sharers`).
+    pub overcount: f64,
+}
+
+/// Measures the average represented count when `k` sharers are drawn
+/// uniformly without replacement from `pool`.
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the pool size or `trials == 0`.
+pub fn average_represented(
+    kind: SchemeKind,
+    sys: SystemSize,
+    pool: &[NodeId],
+    k: u32,
+    trials: u32,
+    rng: &mut SplitMix64,
+) -> f64 {
+    assert!(k as usize <= pool.len(), "more sharers than pool members");
+    assert!(trials > 0);
+    let mut map = kind.make(sys);
+    let mut total = 0u64;
+    for _ in 0..trials {
+        map.clear();
+        for idx in rng.sample_distinct(pool.len() as u64, k as usize) {
+            map.add(pool[idx as usize]);
+        }
+        total += map.count() as u64;
+    }
+    total as f64 / trials as f64
+}
+
+/// Sweeps sharer counts `ks` and returns one [`PrecisionPoint`] per entry.
+pub fn precision_curve(
+    kind: SchemeKind,
+    sys: SystemSize,
+    pool: &[NodeId],
+    ks: &[u32],
+    trials: u32,
+    seed: u64,
+) -> Vec<PrecisionPoint> {
+    let mut rng = SplitMix64::new(seed);
+    ks.iter()
+        .map(|&k| {
+            let avg = average_represented(kind, sys, pool, k, trials, &mut rng);
+            PrecisionPoint {
+                sharers: k,
+                avg_represented: avg,
+                overcount: if k == 0 { 1.0 } else { avg / k as f64 },
+            }
+        })
+        .collect()
+}
+
+/// The pool for Figure 4(a): every node of the machine.
+pub fn whole_machine_pool(sys: SystemSize) -> Vec<NodeId> {
+    sys.iter().collect()
+}
+
+/// The pool for Figure 4(b): one contiguous group of `group` nodes
+/// starting at `start`.
+///
+/// # Panics
+///
+/// Panics if the group does not fit in the machine.
+pub fn group_pool(sys: SystemSize, start: u16, group: u16) -> Vec<NodeId> {
+    assert!(
+        start as u32 + group as u32 <= sys.nodes() as u32,
+        "group exceeds machine"
+    );
+    (start..start + group).map(NodeId::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> SystemSize {
+        SystemSize::new(1024).unwrap()
+    }
+
+    #[test]
+    fn full_map_is_exact_everywhere() {
+        let pool = whole_machine_pool(sys());
+        let pts = precision_curve(
+            SchemeKind::FullMap,
+            sys(),
+            &pool,
+            &[1, 4, 32, 256, 1024],
+            10,
+            1,
+        );
+        for p in pts {
+            assert!(
+                (p.avg_represented - p.sharers as f64).abs() < 1e-9,
+                "full map must be exact at k={}",
+                p.sharers
+            );
+        }
+    }
+
+    #[test]
+    fn cenju4_exact_up_to_four_sharers() {
+        let pool = whole_machine_pool(sys());
+        let pts = precision_curve(SchemeKind::Cenju4, sys(), &pool, &[1, 2, 3, 4], 50, 2);
+        for p in pts {
+            assert!((p.avg_represented - p.sharers as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coarse_vector_overcounts_small_sets() {
+        // One random sharer from 1024 nodes costs a whole 32-node group.
+        let pool = whole_machine_pool(sys());
+        let pts = precision_curve(SchemeKind::CoarseVector32, sys(), &pool, &[1], 50, 3);
+        assert!((pts[0].avg_represented - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bit_pattern_beats_coarse_vector_at_small_k_figure_4a() {
+        // The headline of Figure 4(a): for small sharer counts the
+        // bit-pattern structure represents far fewer nodes.
+        let pool = whole_machine_pool(sys());
+        for k in [2u32, 4, 8, 16] {
+            let bp = precision_curve(SchemeKind::Cenju4, sys(), &pool, &[k], 100, 4)[0];
+            let cv = precision_curve(SchemeKind::CoarseVector32, sys(), &pool, &[k], 100, 4)[0];
+            assert!(
+                bp.avg_represented < cv.avg_represented,
+                "k={k}: bit-pattern {} !< coarse {}",
+                bp.avg_represented,
+                cv.avg_represented
+            );
+        }
+    }
+
+    #[test]
+    fn all_schemes_converge_at_full_sharing() {
+        let pool = whole_machine_pool(sys());
+        for kind in SchemeKind::ALL {
+            let p = precision_curve(kind, sys(), &pool, &[1024], 3, 5)[0];
+            assert!(
+                (p.avg_represented - 1024.0).abs() < 1e-9,
+                "{:?} at k=1024 gave {}",
+                kind,
+                p.avg_represented
+            );
+        }
+    }
+
+    #[test]
+    fn bit_pattern_shines_within_one_group_figure_4b() {
+        // Figure 4(b): sharers confined to a 128-node group. The bit
+        // pattern exploits the shared high bits; the coarse vector and the
+        // hierarchical bitmap cannot.
+        let pool = group_pool(sys(), 128, 128);
+        for k in [8u32, 32, 64] {
+            let bp = precision_curve(SchemeKind::Cenju4, sys(), &pool, &[k], 60, 6)[0];
+            let cv = precision_curve(SchemeKind::CoarseVector32, sys(), &pool, &[k], 60, 6)[0];
+            let hb =
+                precision_curve(SchemeKind::HierarchicalBitMap, sys(), &pool, &[k], 60, 6)[0];
+            assert!(bp.avg_represented <= cv.avg_represented + 1e-9);
+            assert!(
+                bp.avg_represented < hb.avg_represented,
+                "k={k}: bit-pattern {} !< hierarchical {}",
+                bp.avg_represented,
+                hb.avg_represented
+            );
+            // Crucially the bit pattern never represents nodes outside the
+            // 128-node group (its high-bit fields pin the group).
+            assert!(bp.avg_represented <= 128.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn group_pool_bounds_checked() {
+        let pool = group_pool(sys(), 896, 128);
+        assert_eq!(pool.len(), 128);
+        assert_eq!(pool[0].index(), 896);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_group_panics() {
+        let _ = group_pool(sys(), 1000, 128);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pool = whole_machine_pool(sys());
+        let a = precision_curve(SchemeKind::Cenju4, sys(), &pool, &[10, 20], 20, 42);
+        let b = precision_curve(SchemeKind::Cenju4, sys(), &pool, &[10, 20], 20, 42);
+        assert_eq!(a, b);
+    }
+}

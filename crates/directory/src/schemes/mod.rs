@@ -1,0 +1,23 @@
+//! Baseline directory schemes the paper compares against.
+//!
+//! * [`FullMap`] — one presence bit per node (Censier & Feautrier);
+//!   precise, but storage grows with machine size.
+//! * [`CoarseVector`] — a 32-bit vector whose bits each stand for a group
+//!   of `N/32` nodes (Gupta et al.; used by SGI Origin above 32 sharers).
+//! * [`HierarchicalBitMap`] — one 4-bit field per level of the 4-ary network
+//!   tree (the JUMP-1 scheme); its precision depends on the network shape.
+//! * [`LimitedPointerBroadcast`] — `K` precise pointers falling back to
+//!   broadcast on overflow (Dir_K B / LimitLESS-style hardware base case).
+//!
+//! All of them implement [`NodeMap`](crate::NodeMap), so the precision
+//! harness in [`crate::precision`] can sweep them uniformly for Figure 4.
+
+mod coarse;
+mod fullmap;
+mod hier;
+mod limited;
+
+pub use coarse::CoarseVector;
+pub use fullmap::FullMap;
+pub use hier::HierarchicalBitMap;
+pub use limited::LimitedPointerBroadcast;

@@ -1,0 +1,959 @@
+//! The network fabric: injection, routing, multicast replication, and
+//! in-switch reply gathering, with per-port time reservations.
+
+use crate::params::{MulticastMode, NetParams};
+use crate::stats::NetStats;
+use crate::topology::Topology;
+use cenju4_des::{Duration, SimTime};
+use cenju4_directory::nodemap::DestSpec;
+use cenju4_directory::{NodeId, SystemSize};
+use std::collections::HashMap;
+
+/// A message payload that can be folded together by the gathering hardware.
+///
+/// When the network combines the replies of a multicast, the payloads of
+/// the merged messages are folded pairwise with [`Payload::combine`]. For
+/// invalidation acknowledgements this is typically a logical OR of status
+/// flags; for unit payloads it is a no-op.
+pub trait Payload: Clone + std::fmt::Debug {
+    /// Folds `other` into `self`. Must be commutative and associative —
+    /// the switches merge replies in arrival order, which depends on
+    /// network timing.
+    fn combine(&mut self, other: Self);
+}
+
+impl Payload for () {
+    fn combine(&mut self, _other: Self) {}
+}
+
+impl Payload for u32 {
+    /// Summing combiner, convenient for counting replies in tests.
+    fn combine(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+/// Identifies one open gather transaction.
+pub type GatherId = u64;
+
+/// A message handed to a destination node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery<P> {
+    /// When the destination NIC hands the message to the node.
+    pub at: SimTime,
+    /// The receiving node.
+    pub node: NodeId,
+    /// The sending node (for a combined gather message: the slave whose
+    /// reply completed the gather).
+    pub src: NodeId,
+    /// The payload (combined across replies for a gather delivery).
+    pub payload: P,
+    /// Whether the message carried a cache line.
+    pub data: bool,
+    /// For multicast deliveries: the gather transaction the recipient
+    /// must reply to, if any.
+    pub gather: Option<GatherId>,
+}
+
+/// Per-gather, per-switch table entry: the wait pattern and partial merge.
+#[derive(Clone, Debug)]
+struct SwitchGather<P> {
+    /// Bitmask of input ports still awaited.
+    waiting: u8,
+    /// Payload merged so far at this switch.
+    merged: Option<P>,
+    /// Latest merge completion time.
+    latest: SimTime,
+}
+
+/// State of one open gather transaction.
+#[derive(Clone, Debug)]
+struct GatherState<P> {
+    home: NodeId,
+    spec: DestSpec,
+    /// Number of repliers (existing destinations of the multicast).
+    expected: u32,
+    /// Replies injected so far.
+    received: u32,
+    /// Hardware mode: per-switch wait patterns, keyed by (stage, label).
+    switches: HashMap<(u32, u32), SwitchGather<P>>,
+    /// Emulation mode: payload accumulated at the home NIC.
+    merged: Option<P>,
+}
+
+/// The multistage network fabric.
+///
+/// See the crate docs for the modeling approach. All methods take the
+/// current simulation time `now`; calls must be made in nondecreasing
+/// `now` order (the discrete-event loop guarantees this).
+#[derive(Debug)]
+pub struct Fabric<P: Payload> {
+    topo: Topology,
+    params: NetParams,
+    /// `next_free` reservation per (stage, switch label, output port).
+    port_free: HashMap<(u32, u32, u8), SimTime>,
+    /// Per-node injection-side NIC reservation.
+    inject_free: Vec<SimTime>,
+    /// Per-node ejection-side NIC reservation.
+    eject_free: Vec<SimTime>,
+    gathers: HashMap<GatherId, GatherState<P>>,
+    next_gather: GatherId,
+    stats: NetStats,
+}
+
+impl<P: Payload> Fabric<P> {
+    /// Creates a fabric for a machine of the given size.
+    pub fn new(sys: SystemSize, params: NetParams) -> Self {
+        let n = sys.nodes() as usize;
+        Fabric {
+            topo: Topology::new(sys),
+            params,
+            port_free: HashMap::new(),
+            inject_free: vec![SimTime::ZERO; n],
+            eject_free: vec![SimTime::ZERO; n],
+            gathers: HashMap::new(),
+            next_gather: 0,
+            stats: NetStats::new(),
+        }
+    }
+
+    /// The network geometry.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The timing parameters in force.
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Number of gathers currently open.
+    pub fn open_gathers(&self) -> usize {
+        self.gathers.len()
+    }
+
+    // ----- internal timing helpers -------------------------------------
+
+    fn occupancy(&self, data: bool) -> Duration {
+        if data {
+            self.params.port_occupancy + self.params.data_port_extra
+        } else {
+            self.params.port_occupancy
+        }
+    }
+
+    fn hop(&self, data: bool) -> Duration {
+        if data {
+            self.params.hop_latency + self.params.data_hop_extra
+        } else {
+            self.params.hop_latency
+        }
+    }
+
+    /// Reserves the injection NIC of `src` and returns the time the
+    /// message reaches the first switch stage.
+    fn inject(&mut self, now: SimTime, src: NodeId) -> SimTime {
+        let free = &mut self.inject_free[src.as_usize()];
+        let depart = now.max(*free);
+        self.stats
+            .endpoint_wait
+            .push_duration(depart.since(now));
+        *free = depart + self.params.inject_occupancy;
+        depart + self.params.inject_latency
+    }
+
+    /// Reserves the ejection NIC of `dst` and returns the delivery time.
+    fn eject(&mut self, arrival: SimTime, dst: NodeId) -> SimTime {
+        let free = &mut self.eject_free[dst.as_usize()];
+        let depart = arrival.max(*free);
+        self.stats
+            .endpoint_wait
+            .push_duration(depart.since(arrival));
+        *free = depart + self.params.eject_occupancy;
+        depart + self.params.eject_latency
+    }
+
+    /// Reserves output port `p` of the switch (stage, label) for a message
+    /// available at `t`; returns the arrival time at the next stage.
+    fn cross(&mut self, stage: u32, label: u32, p: u8, t: SimTime, data: bool) -> SimTime {
+        let occ = self.occupancy(data);
+        let hop = self.hop(data);
+        let free = self.port_free.entry((stage, label, p)).or_insert(SimTime::ZERO);
+        let depart = t.max(*free);
+        self.stats.port_wait.push_duration(depart.since(t));
+        *free = depart + occ;
+        depart + hop
+    }
+
+    // ----- unicast ------------------------------------------------------
+
+    /// Sends a point-to-point message. Returns its delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`: node-local traffic does not use the network
+    /// (the paper's "shared local" accesses never touch the fabric).
+    pub fn send_unicast(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        data: bool,
+        payload: P,
+    ) -> Delivery<P> {
+        assert_ne!(src, dst, "local traffic must not use the network");
+        self.stats.unicasts.incr();
+        let mut t = self.inject(now, src);
+        let (s, d) = (src.index() as u32, dst.index() as u32);
+        for j in 0..self.topo.stages() {
+            let sw = self.topo.switch_on_path(s, d, j);
+            let p = self.topo.output_port(d, j);
+            t = self.cross(j, sw.label, p, t, data);
+        }
+        let at = self.eject(t, dst);
+        self.stats.delivered.incr();
+        Delivery {
+            at,
+            node: dst,
+            src,
+            payload,
+            data,
+            gather: None,
+        }
+    }
+
+    /// Sends a bulk (multi-packet) point-to-point transfer of `bytes`
+    /// bytes: the injection NIC is occupied for the full serialization
+    /// time (`bytes / bulk_bytes_per_us`), and delivery completes when the
+    /// last byte has crossed (header latency + serialization tail).
+    /// This models the user-level message-passing hardware, which shares
+    /// the network with DSM traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    pub fn send_bulk(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        payload: P,
+    ) -> Delivery<P> {
+        assert_ne!(src, dst, "local traffic must not use the network");
+        self.stats.unicasts.incr();
+        let serialization =
+            Duration::from_ns(bytes.saturating_mul(1_000) / self.params.bulk_bytes_per_us.max(1));
+        // Head of the transfer: a normal injection, but the NIC stays
+        // busy for the whole serialization time.
+        let free = &mut self.inject_free[src.as_usize()];
+        let depart = now.max(*free);
+        self.stats.endpoint_wait.push_duration(depart.since(now));
+        *free = depart + self.params.inject_occupancy + serialization;
+        let mut t = depart + self.params.inject_latency;
+        let (s, d) = (src.index() as u32, dst.index() as u32);
+        for j in 0..self.topo.stages() {
+            let sw = self.topo.switch_on_path(s, d, j);
+            let p = self.topo.output_port(d, j);
+            t = self.cross(j, sw.label, p, t, true);
+        }
+        // The tail streams behind the head (virtual cut-through), and the
+        // receiving NIC is busy for the whole transfer too — concurrent
+        // bulk arrivals at one node serialize at its DMA engine.
+        let arrival = t + serialization;
+        let free = &mut self.eject_free[dst.as_usize()];
+        let depart = arrival.max(*free);
+        self.stats
+            .endpoint_wait
+            .push_duration(depart.since(arrival));
+        *free = depart + self.params.eject_occupancy + serialization;
+        let at = depart + self.params.eject_latency;
+        self.stats.delivered.incr();
+        Delivery {
+            at,
+            node: dst,
+            src,
+            payload,
+            data: true,
+            gather: None,
+        }
+    }
+
+    // ----- gather lifecycle ----------------------------------------------
+
+    /// Opens a gather transaction: the home declares that it is about to
+    /// multicast to `spec` and that the replies must be combined back to
+    /// it. Returns the identifier the multicast (and the replies) carry.
+    ///
+    /// The hardware uses 10-bit identifiers indexing 1024-entry tables in
+    /// every switch; this model allocates identifiers without bound but
+    /// records the concurrency high-water mark so experiments can verify
+    /// the 1024-entry budget holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` contains no existing destination — a gather with
+    /// no repliers would never complete.
+    pub fn open_gather(&mut self, home: NodeId, spec: DestSpec) -> GatherId {
+        let expected = spec.fanout(self.topo.system());
+        assert!(expected > 0, "gather with no repliers");
+        let id = self.next_gather;
+        self.next_gather += 1;
+        self.gathers.insert(
+            id,
+            GatherState {
+                home,
+                spec,
+                expected,
+                received: 0,
+                switches: HashMap::new(),
+                merged: None,
+            },
+        );
+        self.stats.gather_concurrency.add(1);
+        id
+    }
+
+    /// The number of repliers an open gather expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an open gather.
+    pub fn gather_expected(&self, id: GatherId) -> u32 {
+        self.gathers[&id].expected
+    }
+
+    // ----- multicast ------------------------------------------------------
+
+    /// Sends one message to every existing destination in `spec`.
+    ///
+    /// In [`MulticastMode::Hardware`] the message is replicated inside the
+    /// switches (one injection, in-switch copies); in
+    /// [`MulticastMode::SinglecastEmulation`] the source injects one
+    /// singlecast per destination, serialized at its NIC. Destinations
+    /// that equal `src` are still delivered (the requester can appear in a
+    /// bit-pattern destination spec and must acknowledge its own
+    /// invalidation).
+    ///
+    /// Returns all deliveries, in no particular order.
+    pub fn send_multicast(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        spec: DestSpec,
+        data: bool,
+        payload: P,
+        gather: Option<GatherId>,
+    ) -> Vec<Delivery<P>> {
+        self.stats.multicasts.incr();
+        let sys = self.topo.system();
+        match self.params.multicast {
+            MulticastMode::Hardware => {
+                let mut out = Vec::new();
+                let t0 = self.inject(now, src) + self.params.multicast_setup;
+                self.descend(0, 0, src.index() as u32, t0, &spec, data, &payload, gather, &mut out);
+                out
+            }
+            MulticastMode::SinglecastEmulation => {
+                let dests = spec.destinations(sys);
+                let mut out = Vec::with_capacity(dests.len());
+                for d in dests {
+                    self.stats.multicast_copies.incr();
+                    let mut del = if d == src {
+                        // Loopback: the local slave module is reached
+                        // inside the node, without NIC serialization.
+                        let at = now + self.params.inject_latency + self.params.eject_latency;
+                        self.stats.delivered.incr();
+                        Delivery {
+                            at,
+                            node: d,
+                            src,
+                            payload: payload.clone(),
+                            data,
+                            gather: None,
+                        }
+                    } else {
+                        self.send_unicast(now, src, d, data, payload.clone())
+                    };
+                    del.gather = gather;
+                    out.push(del);
+                }
+                out
+            }
+        }
+    }
+
+    /// Recursive in-switch replication: at stage `j`, with the routing
+    /// prefix accumulated so far, fan out to every output port whose
+    /// reachable subtree intersects the destination spec.
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &mut self,
+        j: u32,
+        prefix: u32,
+        src_addr: u32,
+        t: SimTime,
+        spec: &DestSpec,
+        data: bool,
+        payload: &P,
+        gather: Option<GatherId>,
+        out: &mut Vec<Delivery<P>>,
+    ) {
+        let stages = self.topo.stages();
+        if j == stages {
+            // `prefix` is now the complete endpoint address.
+            let node = NodeId::new(prefix as u16);
+            let at = self.eject(t, node);
+            self.stats.delivered.incr();
+            self.stats.multicast_copies.incr();
+            out.push(Delivery {
+                at,
+                node,
+                src: NodeId::new(src_addr as u16),
+                payload: payload.clone(),
+                data,
+                gather,
+            });
+            return;
+        }
+        let sys = self.topo.system();
+        let label = self.topo.label(prefix, self.topo.suffix(src_addr, j), j);
+        let mut copy = 0u64;
+        for p in 0..4u8 {
+            let (mask, value) = self.topo.dest_constraint(prefix, j, p);
+            if !spec.intersects_masked_existing(mask, value, sys) {
+                continue;
+            }
+            // Successive copies leave the replicating switch serially.
+            let avail = t + self.params.copy_serialization * copy;
+            copy += 1;
+            let t_next = self.cross(j, label, p, avail, data);
+            self.descend(
+                j + 1,
+                (prefix << 2) | p as u32,
+                src_addr,
+                t_next,
+                spec,
+                data,
+                payload,
+                gather,
+                out,
+            );
+        }
+    }
+
+    // ----- gather replies --------------------------------------------------
+
+    /// A slave's reply to a gathered multicast. Returns `Some(delivery)`
+    /// carrying the combined payload when this reply completes the gather,
+    /// `None` when it is absorbed by a switch (or, in emulation mode,
+    /// counted at the home while earlier replies are still outstanding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not open, if `slave` is not one of the gather's
+    /// expected repliers, or if the slave replies twice.
+    pub fn send_gather_reply(
+        &mut self,
+        now: SimTime,
+        slave: NodeId,
+        id: GatherId,
+        payload: P,
+    ) -> Option<Delivery<P>> {
+        self.stats.gather_replies.incr();
+        let sys = self.topo.system();
+        let (home, mode) = {
+            let st = self.gathers.get_mut(&id).expect("gather not open");
+            assert!(
+                st.spec.contains(slave) && sys.contains(slave),
+                "{slave} is not a replier of gather {id}"
+            );
+            st.received += 1;
+            assert!(st.received <= st.expected, "duplicate gather reply");
+            (st.home, self.params.multicast)
+        };
+        match mode {
+            MulticastMode::SinglecastEmulation => {
+                self.gather_reply_emulated(now, slave, id, home, payload)
+            }
+            MulticastMode::Hardware => self.gather_reply_hardware(now, slave, id, home, payload),
+        }
+    }
+
+    /// Emulation: the reply is an ordinary unicast; the home NIC counts.
+    fn gather_reply_emulated(
+        &mut self,
+        now: SimTime,
+        slave: NodeId,
+        id: GatherId,
+        home: NodeId,
+        payload: P,
+    ) -> Option<Delivery<P>> {
+        let delivery = if slave == home {
+            // Node-internal reply: no NIC serialization.
+            let at = now + self.params.inject_latency + self.params.eject_latency;
+            Delivery {
+                at,
+                node: home,
+                src: slave,
+                payload,
+                data: false,
+                gather: Some(id),
+            }
+        } else {
+            let mut d = self.send_unicast(now, slave, home, false, payload);
+            d.gather = Some(id);
+            d
+        };
+        let st = self.gathers.get_mut(&id).expect("gather not open");
+        match &mut st.merged {
+            Some(m) => m.combine(delivery.payload.clone()),
+            None => st.merged = Some(delivery.payload.clone()),
+        }
+        if st.received == st.expected {
+            let merged = st.merged.take().expect("merged payload present");
+            self.gathers.remove(&id);
+            self.stats.gather_concurrency.sub(1);
+            self.stats.gather_delivered.incr();
+            Some(Delivery {
+                payload: merged,
+                ..delivery
+            })
+        } else {
+            self.stats.gather_absorbed.incr();
+            None
+        }
+    }
+
+    /// Hardware gathering: walk toward the home, folding into per-switch
+    /// wait patterns; only the reply that completes a switch's pattern
+    /// proceeds to the next stage.
+    fn gather_reply_hardware(
+        &mut self,
+        now: SimTime,
+        slave: NodeId,
+        id: GatherId,
+        home: NodeId,
+        payload: P,
+    ) -> Option<Delivery<P>> {
+        let stages = self.topo.stages();
+        let sys = self.topo.system();
+        let (s, h) = (slave.index() as u32, home.index() as u32);
+        let mut t = self.inject(now, slave);
+        let mut carried = payload;
+        for j in 0..stages {
+            let suffix = self.topo.suffix(s, j);
+            let label = self.topo.label(self.topo.prefix(h, j), suffix, j);
+            let in_port = self.topo.input_port(s, j);
+
+            // First reply to touch this switch installs the wait pattern,
+            // computed from the multicast spec, the switch position, and
+            // the system size — exactly the inputs the paper lists.
+            let spec = self.gathers[&id].spec;
+            let topo = self.topo;
+            let entry = self
+                .gathers
+                .get_mut(&id)
+                .expect("gather not open")
+                .switches
+                .entry((j, label))
+                .or_insert_with(|| {
+                    let mut waiting = 0u8;
+                    for p in 0..4u8 {
+                        let (mask, value) = topo.source_constraint(suffix, j, p);
+                        if spec.intersects_masked_existing(mask, value, sys) {
+                            waiting |= 1 << p;
+                        }
+                    }
+                    SwitchGather {
+                        waiting,
+                        merged: None,
+                        latest: SimTime::ZERO,
+                    }
+                });
+            debug_assert!(
+                entry.waiting & (1 << in_port) != 0,
+                "duplicate arrival on port {in_port} of stage {j} switch {label}"
+            );
+            entry.waiting &= !(1 << in_port);
+            match &mut entry.merged {
+                Some(m) => m.combine(carried.clone()),
+                None => entry.merged = Some(carried.clone()),
+            }
+            entry.latest = entry.latest.max(t + self.params.gather_merge);
+            if entry.waiting != 0 {
+                // Absorbed: removed from the buffer, not forwarded.
+                self.stats.gather_absorbed.incr();
+                return None;
+            }
+            // Last awaited reply: the combined message proceeds.
+            t = entry.latest;
+            carried = entry.merged.take().expect("merged payload present");
+            let st = self.gathers.get_mut(&id).expect("gather not open");
+            st.switches.remove(&(j, label));
+            let p_out = self.topo.output_port(h, j);
+            t = self.cross(j, label, p_out, t, false);
+        }
+        // Every stage completed: deliver the single combined message.
+        let st = self.gathers.remove(&id).expect("gather not open");
+        debug_assert!(st.switches.is_empty(), "stale gather-table entries");
+        debug_assert_eq!(st.received, st.expected, "gather completed early");
+        self.stats.gather_concurrency.sub(1);
+        self.stats.gather_delivered.incr();
+        let at = self.eject(t, home);
+        self.stats.delivered.incr();
+        Some(Delivery {
+            at,
+            node: home,
+            src: slave,
+            payload: carried,
+            data: false,
+            gather: Some(id),
+        })
+    }
+
+    /// Abandons an open gather (used by protocol error paths and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not open.
+    pub fn cancel_gather(&mut self, id: GatherId) {
+        self.gathers.remove(&id).expect("gather not open");
+        self.stats.gather_concurrency.sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cenju4_directory::{BitPattern, Cenju4NodeMap, NodeMap, PointerSet};
+
+    fn sys(n: u16) -> SystemSize {
+        SystemSize::new(n).unwrap()
+    }
+
+    fn fabric(n: u16) -> Fabric<u32> {
+        Fabric::new(sys(n), NetParams::default())
+    }
+
+    fn spec_of(nodes: &[u16]) -> DestSpec {
+        if nodes.len() <= 4 {
+            let mut p = PointerSet::new();
+            for &n in nodes {
+                p.insert(NodeId::new(n));
+            }
+            DestSpec::Pointers(p)
+        } else {
+            let p: BitPattern = nodes.iter().map(|&n| NodeId::new(n)).collect();
+            DestSpec::Pattern(p)
+        }
+    }
+
+    #[test]
+    fn unicast_uncontended_latency() {
+        for (n, stages) in [(16u16, 2u64), (128, 4), (1024, 6)] {
+            let mut f = fabric(n);
+            let d = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(n - 1), false, 1);
+            assert_eq!(d.at.as_ns(), 280 + 130 * stages, "{n} nodes");
+        }
+    }
+
+    #[test]
+    fn data_messages_slower() {
+        let mut f = fabric(128);
+        let a = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(5), false, 1);
+        let mut f = fabric(128);
+        let b = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(5), true, 1);
+        assert!(b.at > a.at);
+        assert_eq!(b.at.as_ns(), 280 + 140 * 4);
+    }
+
+    #[test]
+    fn injection_serializes_back_to_back_sends() {
+        let mut f = fabric(16);
+        let a = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(1), false, 1);
+        let b = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(2), false, 1);
+        // Second message waits out the injection occupancy (175ns).
+        assert_eq!(b.at.as_ns() - a.at.as_ns(), 175);
+    }
+
+    #[test]
+    fn in_order_delivery_same_pair() {
+        let mut f = fabric(1024);
+        let mut last = SimTime::ZERO;
+        for i in 0..20 {
+            let d = f.send_unicast(
+                SimTime::from_ns(i * 10),
+                NodeId::new(7),
+                NodeId::new(700),
+                i % 2 == 0,
+                i as u32,
+            );
+            assert!(d.at > last, "message {i} out of order");
+            last = d.at;
+        }
+    }
+
+    #[test]
+    fn unicast_to_self_panics() {
+        let mut f = fabric(16);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f.send_unicast(SimTime::ZERO, NodeId::new(3), NodeId::new(3), false, 0)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn multicast_reaches_exactly_the_spec() {
+        let mut f = fabric(128);
+        let spec = spec_of(&[1, 2, 3]);
+        let dels = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 9, None);
+        let mut nodes: Vec<u16> = dels.iter().map(|d| d.node.index()).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 2, 3]);
+        assert!(dels.iter().all(|d| d.payload == 9));
+    }
+
+    #[test]
+    fn multicast_pattern_overcount_is_clipped_to_machine() {
+        // 256-node machine: bit pattern for {0,255,1,2,3} represents more
+        // than 5 nodes, but never any node >= 256.
+        let s = sys(256);
+        let mut m = Cenju4NodeMap::new(s);
+        for n in [0u16, 255, 1, 2, 3] {
+            m.add(NodeId::new(n));
+        }
+        let spec = m.to_dest_spec();
+        let expected = spec.destinations(s);
+        let mut f: Fabric<u32> = Fabric::new(s, NetParams::default());
+        let dels = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 0, None);
+        let mut got: Vec<u16> = dels.iter().map(|d| d.node.index()).collect();
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            expected.iter().map(|n| n.index()).collect::<Vec<_>>()
+        );
+        assert!(got.iter().all(|&n| n < 256));
+    }
+
+    #[test]
+    fn full_machine_multicast_latency_is_log_not_linear() {
+        let mut f = fabric(1024);
+        let all: BitPattern = (0..1024).map(NodeId::new).collect();
+        let dels = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            DestSpec::Pattern(all),
+            false,
+            0,
+            None,
+        );
+        assert_eq!(dels.len(), 1024);
+        let worst = dels.iter().map(|d| d.at).max().unwrap();
+        // Base one-way is 1060ns at 6 stages; replication serialization
+        // adds ~3 copies × 100ns at each of 5 replicating stages ≈ 1.5µs.
+        // Far below the ~179µs a singlecast storm costs.
+        assert!(worst.as_ns() < 10_000, "multicast took {worst}");
+    }
+
+    #[test]
+    fn singlecast_emulation_is_linear() {
+        let mut f: Fabric<u32> = Fabric::new(sys(1024), NetParams::without_multicast());
+        let all: BitPattern = (0..1024).map(NodeId::new).collect();
+        let dels = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            DestSpec::Pattern(all),
+            false,
+            0,
+            None,
+        );
+        assert_eq!(dels.len(), 1024);
+        let worst = dels.iter().map(|d| d.at).max().unwrap();
+        // 1023 × 175ns injection serialization ≈ 179µs.
+        assert!(worst.as_ns() > 150_000, "emulation too fast: {worst}");
+    }
+
+    #[test]
+    fn gather_combines_all_replies_into_one_delivery() {
+        let mut f = fabric(128);
+        let members = [1u16, 2, 3, 64, 65, 66, 127];
+        let spec = spec_of(&members);
+        let home = NodeId::new(0);
+        let expected: Vec<u16> = spec
+            .destinations(sys(128))
+            .iter()
+            .map(|n| n.index())
+            .collect();
+        let id = f.open_gather(home, spec);
+        assert_eq!(f.gather_expected(id) as usize, expected.len());
+        let dels = f.send_multicast(SimTime::ZERO, home, spec, false, 0, Some(id));
+        assert_eq!(dels.len(), expected.len());
+
+        let mut combined = None;
+        let mut count = 0;
+        for d in &dels {
+            // Each recipient replies 1; the combined payload must sum to
+            // the replier count.
+            let r = f.send_gather_reply(d.at, d.node, id, 1);
+            if let Some(del) = r {
+                assert!(combined.is_none(), "more than one combined delivery");
+                combined = Some(del);
+            }
+            count += 1;
+        }
+        let combined = combined.expect("gather must complete");
+        assert_eq!(count, expected.len());
+        assert_eq!(combined.node, home);
+        assert_eq!(combined.payload as usize, expected.len());
+        assert_eq!(f.open_gathers(), 0);
+        assert_eq!(f.stats().gather_delivered.get(), 1);
+        assert_eq!(
+            f.stats().gather_absorbed.get() as usize,
+            expected.len() - 1
+        );
+    }
+
+    #[test]
+    fn gather_single_replier() {
+        let mut f = fabric(16);
+        let spec = DestSpec::single(NodeId::new(5));
+        let id = f.open_gather(NodeId::new(0), spec);
+        let dels = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 0, Some(id));
+        assert_eq!(dels.len(), 1);
+        let r = f.send_gather_reply(dels[0].at, NodeId::new(5), id, 1);
+        assert_eq!(r.expect("must complete").payload, 1);
+    }
+
+    #[test]
+    fn gather_emulation_counts_at_home() {
+        let mut f: Fabric<u32> = Fabric::new(sys(128), NetParams::without_multicast());
+        let spec = spec_of(&[1, 2, 3]);
+        let id = f.open_gather(NodeId::new(9), spec);
+        let dels = f.send_multicast(SimTime::ZERO, NodeId::new(9), spec, false, 0, Some(id));
+        let mut done = None;
+        for d in &dels {
+            if let Some(x) = f.send_gather_reply(d.at, d.node, id, 1) {
+                done = Some(x);
+            }
+        }
+        assert_eq!(done.expect("complete").payload, 3);
+        assert_eq!(f.open_gathers(), 0);
+    }
+
+    #[test]
+    fn gather_delivery_not_before_slowest_reply() {
+        let mut f = fabric(1024);
+        let members = [10u16, 500, 900];
+        let spec = spec_of(&members);
+        let id = f.open_gather(NodeId::new(0), spec);
+        let _ = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 0, Some(id));
+        let reply_times = [1_000u64, 50_000, 2_000];
+        let mut done = None;
+        for (&m, &t) in members.iter().zip(&reply_times) {
+            if let Some(x) = f.send_gather_reply(SimTime::from_ns(t), NodeId::new(m), id, 1) {
+                done = Some(x);
+            }
+        }
+        let done = done.unwrap();
+        assert!(done.at >= SimTime::from_ns(50_000));
+        assert_eq!(done.payload, 3);
+    }
+
+    #[test]
+    fn gather_concurrency_tracked() {
+        let mut f = fabric(128);
+        let ids: Vec<_> = (0..5)
+            .map(|i| f.open_gather(NodeId::new(i), DestSpec::single(NodeId::new(100))))
+            .collect();
+        assert_eq!(f.stats().gather_concurrency.peak(), 5);
+        for id in ids {
+            f.cancel_gather(id);
+        }
+        assert_eq!(f.open_gathers(), 0);
+        assert_eq!(f.stats().gather_concurrency.current(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_reply_from_non_member_panics() {
+        let mut f = fabric(16);
+        let id = f.open_gather(NodeId::new(0), DestSpec::single(NodeId::new(5)));
+        let _ = f.send_gather_reply(SimTime::ZERO, NodeId::new(6), id, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_gather_panics() {
+        let mut f = fabric(16);
+        let _ = f.open_gather(NodeId::new(0), DestSpec::Pointers(PointerSet::new()));
+    }
+
+    #[test]
+    fn multicast_including_source_delivers_to_source() {
+        // Bit patterns cannot exclude the requesting master; the fabric
+        // must deliver its copy like any other.
+        let mut f = fabric(128);
+        let members = [0u16, 1, 2, 3, 4, 5];
+        let spec = spec_of(&members);
+        let dels = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 0, None);
+        assert!(dels.iter().any(|d| d.node == NodeId::new(0)));
+    }
+
+    #[test]
+    fn bulk_transfer_is_bandwidth_limited() {
+        let mut f = fabric(128);
+        let small = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(5), true, 0);
+        let mut f = fabric(128);
+        let big = f.send_bulk(SimTime::ZERO, NodeId::new(0), NodeId::new(5), 1 << 20, 0);
+        // 1 MB at 169 B/us ~ 6.2 ms, far beyond a single-line message.
+        assert!(big.at.as_ns() > 6_000_000);
+        assert!(small.at.as_ns() < 2_000);
+    }
+
+    #[test]
+    fn bulk_transfer_occupies_the_sender_nic() {
+        let mut f = fabric(128);
+        let _ = f.send_bulk(SimTime::ZERO, NodeId::new(0), NodeId::new(5), 64 * 1024, 0);
+        // A header message right behind it waits out the serialization.
+        let d = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(9), false, 1);
+        assert!(
+            d.at.as_ns() > 300_000,
+            "64KB at 169B/us ~ 388us must block the NIC: {}",
+            d.at
+        );
+    }
+
+    #[test]
+    fn bulk_transfers_serialize_at_the_receiver() {
+        let mut f = fabric(128);
+        let a = f.send_bulk(SimTime::ZERO, NodeId::new(1), NodeId::new(0), 32 * 1024, 0);
+        let b = f.send_bulk(SimTime::ZERO, NodeId::new(2), NodeId::new(0), 32 * 1024, 1);
+        let gap = b.at.as_ns().saturating_sub(a.at.as_ns());
+        // The second transfer waits for the first to drain (~194us each).
+        assert!(gap > 150_000, "receiver DMA must serialize: gap {gap}");
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let mut f = fabric(16);
+        let _ = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(1), false, 0);
+        let _ = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            spec_of(&[2, 3]),
+            false,
+            0,
+            None,
+        );
+        assert_eq!(f.stats().unicasts.get(), 1);
+        assert_eq!(f.stats().multicasts.get(), 1);
+        assert_eq!(f.stats().multicast_copies.get(), 2);
+        assert_eq!(f.stats().delivered.get(), 3);
+    }
+}

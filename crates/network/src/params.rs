@@ -1,0 +1,136 @@
+//! Network timing parameters, calibrated against Table 2 of the paper.
+
+use cenju4_des::Duration;
+
+/// Whether the fabric's multicast/gather hardware is used.
+///
+/// The paper evaluates the machine both with the hardware functions and —
+/// using a logic-level simulator — without them (Figure 10's upper curves).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MulticastMode {
+    /// In-switch replication and in-switch reply gathering.
+    #[default]
+    Hardware,
+    /// The source sends one singlecast message per destination and every
+    /// reply travels all the way back: the configuration the paper
+    /// estimates at 184 µs for a 1024-sharer invalidation.
+    SinglecastEmulation,
+}
+
+/// Timing parameters of the fabric.
+///
+/// The defaults are fitted to Table 2 of the paper (see DESIGN.md):
+/// a one-way message costs `inject_latency + stages·hop_latency +
+/// eject_latency` when uncontended, which with the defaults is
+/// `280 + 130·stages` ns — exactly the increment Table 2 shows between the
+/// 2-, 4- and 6-stage columns for shared-remote-clean loads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetParams {
+    /// Source-side NIC latency added to every message (ns).
+    pub inject_latency: Duration,
+    /// Source-side NIC serialization: minimum spacing between consecutive
+    /// messages injected by one node (ns). Larger than `inject_latency`'s
+    /// pipelined contribution; this is what makes the singlecast
+    /// invalidation storm of Figure 10 linear in the sharer count.
+    pub inject_occupancy: Duration,
+    /// Destination-side NIC latency (ns).
+    pub eject_latency: Duration,
+    /// Destination-side NIC serialization between consecutive ejects (ns).
+    pub eject_occupancy: Duration,
+    /// Per-stage latency of a header-only message (switch + link), ns.
+    pub hop_latency: Duration,
+    /// Extra per-stage latency for a message carrying a 128-byte cache
+    /// line (virtual cut-through tail), ns.
+    pub data_hop_extra: Duration,
+    /// Output-port occupancy per message (serialization under contention), ns.
+    pub port_occupancy: Duration,
+    /// Extra output-port occupancy for a data-carrying message, ns.
+    pub data_port_extra: Duration,
+    /// Serialization between successive replicated copies of a multicast
+    /// inside one switch, ns.
+    pub copy_serialization: Duration,
+    /// Fixed setup cost of a hardware multicast+gather transaction
+    /// (building the destination-spec header, allocating the gather
+    /// identifier). This is why Figure 10 jumps once the sharer count
+    /// exceeds two, and why the paper suggests singlecasting small
+    /// fan-outs.
+    pub multicast_setup: Duration,
+    /// Time to fold one arriving gathered reply into the gather-table
+    /// entry, ns.
+    pub gather_merge: Duration,
+    /// Bulk (message-passing) bandwidth in bytes per microsecond. The
+    /// paper measured 169 MB/s = 169 B/µs end to end with the MPI
+    /// library on a 128-node machine.
+    pub bulk_bytes_per_us: u64,
+    /// Whether multicast/gather hardware is enabled.
+    pub multicast: MulticastMode,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            inject_latency: Duration::from_ns(140),
+            inject_occupancy: Duration::from_ns(175),
+            eject_latency: Duration::from_ns(140),
+            eject_occupancy: Duration::from_ns(175),
+            hop_latency: Duration::from_ns(130),
+            data_hop_extra: Duration::from_ns(10),
+            port_occupancy: Duration::from_ns(40),
+            data_port_extra: Duration::from_ns(40),
+            copy_serialization: Duration::from_ns(75),
+            gather_merge: Duration::from_ns(20),
+            multicast_setup: Duration::from_ns(400),
+            bulk_bytes_per_us: 169,
+            multicast: MulticastMode::Hardware,
+        }
+    }
+}
+
+impl NetParams {
+    /// The default parameters with multicast/gather hardware disabled.
+    pub fn without_multicast() -> Self {
+        NetParams {
+            multicast: MulticastMode::SinglecastEmulation,
+            ..NetParams::default()
+        }
+    }
+
+    /// The uncontended one-way latency of a message across `stages`
+    /// stages: `inject + stages·hop (+ stages·data extra) + eject`.
+    pub fn one_way(&self, stages: u32, data: bool) -> Duration {
+        let mut per_hop = self.hop_latency;
+        if data {
+            per_hop += self.data_hop_extra;
+        }
+        self.inject_latency + per_hop * stages as u64 + self.eject_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_one_way_matches_table2_fit() {
+        let p = NetParams::default();
+        // 280 + 130·s, the slope Table 2 exhibits for remote clean loads.
+        assert_eq!(p.one_way(2, false).as_ns(), 540);
+        assert_eq!(p.one_way(4, false).as_ns(), 800);
+        assert_eq!(p.one_way(6, false).as_ns(), 1060);
+    }
+
+    #[test]
+    fn data_messages_cost_more_per_stage() {
+        let p = NetParams::default();
+        assert_eq!(p.one_way(6, true).as_ns(), 280 + 6 * 140);
+        assert!(p.one_way(4, true) > p.one_way(4, false));
+    }
+
+    #[test]
+    fn without_multicast_flips_only_the_mode() {
+        let a = NetParams::default();
+        let b = NetParams::without_multicast();
+        assert_eq!(b.multicast, MulticastMode::SinglecastEmulation);
+        assert_eq!(a.hop_latency, b.hop_latency);
+    }
+}

@@ -1,0 +1,54 @@
+//! Network accounting: message counts, hot-spot backlogs, gather usage.
+
+use cenju4_des::stats::{Counter, HighWaterMark, OnlineStats};
+
+/// Counters and gauges maintained by the fabric.
+///
+/// These feed the hardware-fidelity checks: the gather-table concurrency
+/// high-water mark must stay within the 1024 entries each switch provides,
+/// and port backlogs show where hot spots form when the multicast/gather
+/// hardware is disabled.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Unicast messages injected.
+    pub unicasts: Counter,
+    /// Multicast transactions injected (not copies).
+    pub multicasts: Counter,
+    /// Physical copies created by in-switch replication (or emulation
+    /// singlecasts).
+    pub multicast_copies: Counter,
+    /// Gather replies injected by slaves.
+    pub gather_replies: Counter,
+    /// Gather replies absorbed inside switches (never reached the home).
+    pub gather_absorbed: Counter,
+    /// Combined gather messages actually delivered to their destination.
+    pub gather_delivered: Counter,
+    /// Messages delivered to endpoints, total.
+    pub delivered: Counter,
+    /// Simultaneously open gathers (hardware bound: 1024 table entries).
+    pub gather_concurrency: HighWaterMark,
+    /// Queueing delay observed at switch output ports (ns).
+    pub port_wait: OnlineStats,
+    /// Queueing delay observed at endpoint NICs (ns).
+    pub endpoint_wait: OnlineStats,
+}
+
+impl NetStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let s = NetStats::new();
+        assert_eq!(s.unicasts.get(), 0);
+        assert_eq!(s.gather_concurrency.peak(), 0);
+        assert_eq!(s.port_wait.count(), 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Geometry of the radix-4 butterfly: switch labels, paths, and the
+//! (mask, value) constraints switches evaluate for multicast and gathering.
+//!
+//! Ports are addressed by `2·stages`-bit strings read as base-4 digits,
+//! most significant digit first. A message from `src` to `dst` corrects one
+//! digit per stage: after stage `j` the top `j+1` digits equal `dst`'s.
+//! The switch crossed at stage `j` is therefore identified by `dst`'s top
+//! `j` digits (the *prefix*) and `src`'s bottom `stages-1-j` digits (the
+//! *suffix*); the input port is `src`'s digit `j` and the output port is
+//! `dst`'s digit `j`. Both the unique path and the in-order guarantee
+//! follow directly.
+
+use cenju4_directory::SystemSize;
+
+/// A switch location: its stage and its label (the `stages-1` digits that
+/// identify it within the stage).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SwitchId {
+    /// Stage index, 0 at the injection side.
+    pub stage: u32,
+    /// Packed label: `prefix · 4^(stages-1-stage) + suffix`.
+    pub label: u32,
+}
+
+/// The network geometry for one machine size.
+///
+/// # Examples
+///
+/// ```
+/// use cenju4_directory::SystemSize;
+/// use cenju4_network::Topology;
+///
+/// let topo = Topology::new(SystemSize::new(1024)?);
+/// assert_eq!(topo.stages(), 6);
+/// assert_eq!(topo.ports(), 4096);
+/// assert_eq!(topo.switches_per_stage(), 1024);
+/// # Ok::<(), cenju4_directory::SystemSizeError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    sys: SystemSize,
+    stages: u32,
+}
+
+impl Topology {
+    /// Builds the geometry for a machine.
+    pub fn new(sys: SystemSize) -> Self {
+        Topology {
+            sys,
+            stages: sys.stages(),
+        }
+    }
+
+    /// The machine this topology serves.
+    #[inline]
+    pub fn system(&self) -> SystemSize {
+        self.sys
+    }
+
+    /// Number of switch stages.
+    #[inline]
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Number of endpoint ports (`4^stages`).
+    #[inline]
+    pub fn ports(&self) -> u32 {
+        1 << (2 * self.stages)
+    }
+
+    /// Number of switches in each stage (`ports / 4`).
+    #[inline]
+    pub fn switches_per_stage(&self) -> u32 {
+        self.ports() / 4
+    }
+
+    /// The 2-bit digit of `addr` at position `j`, most significant first.
+    #[inline]
+    pub fn digit(&self, addr: u32, j: u32) -> u8 {
+        debug_assert!(j < self.stages);
+        ((addr >> (2 * (self.stages - 1 - j))) & 0b11) as u8
+    }
+
+    /// The switch crossed at stage `j` on the unique path `src → dst`.
+    pub fn switch_on_path(&self, src: u32, dst: u32, j: u32) -> SwitchId {
+        SwitchId {
+            stage: j,
+            label: self.label(self.prefix(dst, j), self.suffix(src, j), j),
+        }
+    }
+
+    /// `dst`'s top `j` digits (the part of the label fixed by routing).
+    #[inline]
+    pub fn prefix(&self, dst: u32, j: u32) -> u32 {
+        dst >> (2 * (self.stages - j))
+    }
+
+    /// `src`'s bottom `stages-1-j` digits.
+    #[inline]
+    pub fn suffix(&self, src: u32, j: u32) -> u32 {
+        src & ((1 << (2 * (self.stages - 1 - j))) - 1)
+    }
+
+    /// Packs a (prefix, suffix) pair into a label at stage `j`.
+    #[inline]
+    pub fn label(&self, prefix: u32, suffix: u32, j: u32) -> u32 {
+        (prefix << (2 * (self.stages - 1 - j))) | suffix
+    }
+
+    /// The input port a message from `src` uses at stage `j`.
+    #[inline]
+    pub fn input_port(&self, src: u32, j: u32) -> u8 {
+        self.digit(src, j)
+    }
+
+    /// The output port toward `dst` at stage `j`.
+    #[inline]
+    pub fn output_port(&self, dst: u32, j: u32) -> u8 {
+        self.digit(dst, j)
+    }
+
+    /// The (mask, value) constraint over **destination** node numbers for
+    /// output port `p` of the stage-`j` switch whose routing prefix is
+    /// `prefix`: destinations reachable through that port are exactly the
+    /// addresses whose top `j+1` digits are `prefix·4 + p`.
+    pub fn dest_constraint(&self, prefix: u32, j: u32, p: u8) -> (u32, u32) {
+        let shift = 2 * (self.stages - 1 - j);
+        let mask = (((1u64 << (2 * (j + 1))) - 1) as u32) << shift;
+        let value = (((prefix << 2) | p as u32) << shift) & mask;
+        (mask, value)
+    }
+
+    /// The (mask, value) constraint over **source** node numbers for input
+    /// port `p` of the stage-`j` switch with source suffix `suffix`:
+    /// replies entering that port come from sources whose digit `j` is `p`
+    /// and whose bottom digits equal `suffix`.
+    pub fn source_constraint(&self, suffix: u32, j: u32, p: u8) -> (u32, u32) {
+        let shift = 2 * (self.stages - 1 - j);
+        let mask = ((1u64 << (2 * (self.stages - j))) - 1) as u32;
+        let value = ((p as u32) << shift) | suffix;
+        (mask, value)
+    }
+
+    /// The endpoint address reached by leaving the final stage through
+    /// output port `p` of the switch with prefix `prefix`.
+    #[inline]
+    pub fn endpoint(&self, prefix: u32, p: u8) -> u32 {
+        (prefix << 2) | p as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(nodes: u16) -> Topology {
+        Topology::new(SystemSize::new(nodes).unwrap())
+    }
+
+    #[test]
+    fn digits_msb_first() {
+        let t = topo(1024); // 6 stages, 12-bit addresses
+        let addr = 0b00_10_01_11_00_10u32;
+        assert_eq!(t.digit(addr, 0), 0b00);
+        assert_eq!(t.digit(addr, 1), 0b10);
+        assert_eq!(t.digit(addr, 2), 0b01);
+        assert_eq!(t.digit(addr, 3), 0b11);
+        assert_eq!(t.digit(addr, 4), 0b00);
+        assert_eq!(t.digit(addr, 5), 0b10);
+    }
+
+    #[test]
+    fn path_is_consistent_chain() {
+        // Walking the path must form a connected chain: the output of the
+        // stage-j switch must be the input of the stage-j+1 switch.
+        let t = topo(256); // 4 stages
+        for (src, dst) in [(0u32, 255u32), (17, 200), (255, 0), (5, 5), (123, 64)] {
+            // Simulate position correction digit by digit.
+            let mut pos = src;
+            for j in 0..t.stages() {
+                let sw = t.switch_on_path(src, dst, j);
+                // The switch must contain the current position: a switch at
+                // stage j groups the 4 addresses differing only in digit j.
+                let shift = 2 * (t.stages() - 1 - j);
+                // Label = the position with digit j removed.
+                let expect_label = ((pos >> (shift + 2)) << shift) | (pos & ((1 << shift) - 1));
+                assert_eq!(sw.label, expect_label, "stage {j} src {src} dst {dst}");
+                // Correct digit j.
+                let d = t.digit(dst, j) as u32;
+                pos = (pos & !(0b11 << shift)) | (d << shift);
+            }
+            assert_eq!(pos, dst, "path must terminate at the destination");
+        }
+    }
+
+    #[test]
+    fn unique_path_in_order_guarantee() {
+        // Two messages src->dst cross exactly the same switches.
+        let t = topo(1024);
+        for j in 0..t.stages() {
+            assert_eq!(
+                t.switch_on_path(999, 3, j),
+                t.switch_on_path(999, 3, j),
+            );
+        }
+    }
+
+    #[test]
+    fn dest_constraint_describes_reachable_set() {
+        let t = topo(256);
+        let (src, dst) = (100u32, 201u32);
+        for j in 0..t.stages() {
+            let prefix = t.prefix(dst, j);
+            let p = t.output_port(dst, j);
+            let (mask, value) = t.dest_constraint(prefix, j, p);
+            // dst itself must satisfy its own constraint.
+            assert_eq!(dst & mask, value, "stage {j}");
+            // A destination differing in the first digit must not.
+            let other = dst ^ (0b11 << (2 * (t.stages() - 1)));
+            if j == 0 {
+                assert_ne!(other & mask, value);
+            }
+            let _ = src;
+        }
+    }
+
+    #[test]
+    fn source_constraint_describes_entering_replies() {
+        let t = topo(256);
+        let (slave, home) = (77u32, 130u32);
+        for j in 0..t.stages() {
+            let suffix = t.suffix(slave, j);
+            let p = t.input_port(slave, j);
+            let (mask, value) = t.source_constraint(suffix, j, p);
+            assert_eq!(slave & mask, value & mask, "stage {j}");
+            let _ = home;
+        }
+    }
+
+    #[test]
+    fn paths_to_same_dest_merge() {
+        // Replies from sources sharing low digits converge on the same
+        // switches: at the final stage every reply to `home` crosses the
+        // switch whose prefix is home's top digits.
+        let t = topo(256);
+        let home = 9u32;
+        let last = t.stages() - 1;
+        let sw_a = t.switch_on_path(100, home, last);
+        let sw_b = t.switch_on_path(201, home, last);
+        assert_eq!(sw_a, sw_b, "final-stage switch is determined by dest");
+    }
+
+    #[test]
+    fn endpoint_inverse_of_final_output() {
+        let t = topo(1024);
+        for dst in [0u32, 5, 1023] {
+            let j = t.stages() - 1;
+            let prefix = t.prefix(dst, j);
+            let p = t.output_port(dst, j);
+            assert_eq!(t.endpoint(prefix, p), dst);
+        }
+    }
+
+    #[test]
+    fn small_machine_two_stages() {
+        let t = topo(16);
+        assert_eq!(t.stages(), 2);
+        assert_eq!(t.ports(), 16);
+        assert_eq!(t.switches_per_stage(), 4);
+        // Full path check on the small machine: enumerate all pairs.
+        for src in 0..16u32 {
+            for dst in 0..16u32 {
+                let mut pos = src;
+                for j in 0..2 {
+                    let shift = 2 * (1 - j);
+                    let d = t.digit(dst, j) as u32;
+                    pos = (pos & !(0b11 << shift)) | (d << shift);
+                }
+                assert_eq!(pos, dst);
+            }
+        }
+    }
+}

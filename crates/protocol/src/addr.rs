@@ -1,0 +1,99 @@
+//! Shared-memory addresses.
+
+use cenju4_directory::NodeId;
+use core::fmt;
+
+/// Size of a coherence block (cache line) in bytes.
+pub const BLOCK_BYTES: u32 = 128;
+
+/// A block-aligned distributed-shared-memory address.
+///
+/// Cenju-4 identifies a shared location by a 10-bit home-node number and a
+/// 29-bit offset into that node's memory (Section 2 of the paper). This
+/// type works in units of 128-byte blocks: `offset` is a block index.
+///
+/// # Examples
+///
+/// ```
+/// use cenju4_directory::NodeId;
+/// use cenju4_protocol::Addr;
+///
+/// let a = Addr::new(NodeId::new(3), 42);
+/// assert_eq!(a.home(), NodeId::new(3));
+/// assert_eq!(a.block(), 42);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr {
+    home: NodeId,
+    block: u32,
+}
+
+impl Addr {
+    /// The number of blocks addressable per node (29-bit byte offsets).
+    pub const BLOCKS_PER_NODE: u32 = 1 << (29 - 7);
+
+    /// Creates a block address in `home`'s memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` exceeds the 29-bit offset space (in blocks).
+    pub fn new(home: NodeId, block: u32) -> Self {
+        assert!(block < Self::BLOCKS_PER_NODE, "block offset out of range");
+        Addr { home, block }
+    }
+
+    /// The node holding the memory and directory entry for this block.
+    #[inline]
+    pub fn home(self) -> NodeId {
+        self.home
+    }
+
+    /// The block index within the home's memory.
+    #[inline]
+    pub fn block(self) -> u32 {
+        self.block
+    }
+
+    /// A stable 64-bit key (used for cache indexing).
+    #[inline]
+    pub fn key(self) -> u64 {
+        ((self.home.index() as u64) << 32) | self.block as u64
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:#x}", self.home, self.block)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = Addr::new(NodeId::new(7), 100);
+        assert_eq!(a.home().index(), 7);
+        assert_eq!(a.block(), 100);
+    }
+
+    #[test]
+    fn keys_unique_across_homes() {
+        let a = Addr::new(NodeId::new(1), 5);
+        let b = Addr::new(NodeId::new(2), 5);
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_block_panics() {
+        let _ = Addr::new(NodeId::new(0), Addr::BLOCKS_PER_NODE);
+    }
+}

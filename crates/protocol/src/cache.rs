@@ -1,0 +1,359 @@
+//! The per-node secondary cache: MESI states over 128-byte lines.
+
+use crate::addr::Addr;
+use core::fmt;
+
+/// MESI state of a cache line, as in the paper's appendix
+/// (`M^c`, `E^c`, `S^c`, `I^c`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheState {
+    /// Modified: sole valid copy, memory stale.
+    Modified,
+    /// Exclusive: sole copy, memory valid.
+    Exclusive,
+    /// Shared: one of possibly many copies, memory valid.
+    Shared,
+    /// Invalid (not cached).
+    Invalid,
+}
+
+impl CacheState {
+    /// Whether a load can be satisfied from this state.
+    #[inline]
+    pub fn readable(self) -> bool {
+        !matches!(self, CacheState::Invalid)
+    }
+
+    /// Whether a store can be satisfied without any coherence action
+    /// (Modified) or with a silent upgrade (Exclusive).
+    #[inline]
+    pub fn writable(self) -> bool {
+        matches!(self, CacheState::Modified | CacheState::Exclusive)
+    }
+}
+
+impl fmt::Display for CacheState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CacheState::Modified => "M",
+            CacheState::Exclusive => "E",
+            CacheState::Shared => "S",
+            CacheState::Invalid => "I",
+        })
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Line {
+    key: u64,
+    state: CacheState,
+    stamp: u64,
+    value: u64,
+}
+
+/// An eviction produced by a cache fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Victim {
+    /// The evicted block.
+    pub addr: Addr,
+    /// Whether the block was Modified and must be written back. Clean
+    /// (Exclusive/Shared) victims are dropped silently — the paper's
+    /// protocol only defines a writeback for `M^c` blocks, so the
+    /// directory may keep stale sharers (harmless over-approximation).
+    pub dirty: bool,
+    /// The data the victim held (meaningful when `dirty`).
+    pub value: u64,
+}
+
+/// A set-associative cache of 128-byte lines with LRU replacement.
+///
+/// Cenju-4 pairs each R10000 with a 1 MB secondary cache; the default
+/// geometry is 1 MB / 128 B lines / 4-way (8192 lines, 2048 sets).
+///
+/// # Examples
+///
+/// ```
+/// use cenju4_directory::NodeId;
+/// use cenju4_protocol::{Addr, Cache, CacheState};
+///
+/// let mut c = Cache::new(1 << 20, 4);
+/// let a = Addr::new(NodeId::new(0), 1);
+/// assert_eq!(c.state(a), CacheState::Invalid);
+/// assert!(c.fill(a, CacheState::Shared).is_none());
+/// assert_eq!(c.state(a), CacheState::Shared);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    assoc: usize,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity_bytes` with `assoc`-way sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the geometry divides evenly into at least one set.
+    pub fn new(capacity_bytes: u32, assoc: usize) -> Self {
+        assert!(assoc > 0);
+        let lines = (capacity_bytes / crate::addr::BLOCK_BYTES) as usize;
+        assert!(lines >= assoc && lines.is_multiple_of(assoc), "bad cache geometry");
+        let nsets = lines / assoc;
+        Cache {
+            sets: vec![Vec::with_capacity(assoc); nsets],
+            assoc,
+            tick: 0,
+        }
+    }
+
+    /// Total capacity in lines.
+    pub fn lines(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    fn set_of(&self, addr: Addr) -> usize {
+        // Mix the home bits in so blocks of different homes spread out.
+        let k = addr.key();
+        let h = k ^ (k >> 21) ^ (k >> 43);
+        (h as usize) % self.sets.len()
+    }
+
+    /// The MESI state of `addr` (Invalid if absent). Does not touch LRU.
+    pub fn state(&self, addr: Addr) -> CacheState {
+        let set = &self.sets[self.set_of(addr)];
+        set.iter()
+            .find(|l| l.key == addr.key())
+            .map_or(CacheState::Invalid, |l| l.state)
+    }
+
+    /// Looks up `addr` for an access, updating LRU. Returns its state.
+    pub fn touch(&mut self, addr: Addr) -> CacheState {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_of(addr);
+        let set = &mut self.sets[set_idx];
+        match set.iter_mut().find(|l| l.key == addr.key()) {
+            Some(l) => {
+                l.stamp = tick;
+                l.state
+            }
+            None => CacheState::Invalid,
+        }
+    }
+
+    /// Installs `addr` with `state` holding `value`, evicting the LRU
+    /// line of a full set. Returns the victim if one had to be evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is `Invalid` or the line is already present
+    /// (use [`Cache::set_state`] for upgrades).
+    pub fn fill_value(&mut self, addr: Addr, state: CacheState, value: u64) -> Option<Victim> {
+        assert_ne!(state, CacheState::Invalid, "cannot fill Invalid");
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_of(addr);
+        let assoc = self.assoc;
+        let set = &mut self.sets[set_idx];
+        assert!(
+            set.iter().all(|l| l.key != addr.key()),
+            "line already present"
+        );
+        let victim = if set.len() == assoc {
+            let (i, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.stamp)
+                .expect("full set is nonempty");
+            let old = set.swap_remove(i);
+            Some(Victim {
+                addr: key_to_addr(old.key),
+                dirty: old.state == CacheState::Modified,
+                value: old.value,
+            })
+        } else {
+            None
+        };
+        set.push(Line {
+            key: addr.key(),
+            state,
+            stamp: tick,
+            value,
+        });
+        victim
+    }
+
+    /// Installs `addr` with `state` and a zero value (convenience).
+    ///
+    /// # Panics
+    ///
+    /// As [`Cache::fill_value`].
+    pub fn fill(&mut self, addr: Addr, state: CacheState) -> Option<Victim> {
+        self.fill_value(addr, state, 0)
+    }
+
+    /// The data held for `addr` (0 if absent).
+    pub fn value(&self, addr: Addr) -> u64 {
+        let set = &self.sets[self.set_of(addr)];
+        set.iter()
+            .find(|l| l.key == addr.key())
+            .map_or(0, |l| l.value)
+    }
+
+    /// Overwrites the data of a present line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is absent.
+    pub fn set_value(&mut self, addr: Addr, value: u64) {
+        let set_idx = self.set_of(addr);
+        self.sets[set_idx]
+            .iter_mut()
+            .find(|l| l.key == addr.key())
+            .expect("line absent")
+            .value = value;
+    }
+
+    /// Changes the state of a present line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is absent or `state` is `Invalid`
+    /// (use [`Cache::invalidate`] to drop a line).
+    pub fn set_state(&mut self, addr: Addr, state: CacheState) {
+        assert_ne!(state, CacheState::Invalid, "use invalidate()");
+        let set_idx = self.set_of(addr);
+        let line = self.sets[set_idx]
+            .iter_mut()
+            .find(|l| l.key == addr.key())
+            .expect("line absent");
+        line.state = state;
+    }
+
+    /// Drops `addr` from the cache if present. Returns the state it had.
+    pub fn invalidate(&mut self, addr: Addr) -> CacheState {
+        let set_idx = self.set_of(addr);
+        let set = &mut self.sets[set_idx];
+        match set.iter().position(|l| l.key == addr.key()) {
+            Some(i) => set.swap_remove(i).state,
+            None => CacheState::Invalid,
+        }
+    }
+
+    /// Number of resident (non-invalid) lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+fn key_to_addr(key: u64) -> Addr {
+    Addr::new(
+        cenju4_directory::NodeId::new((key >> 32) as u16),
+        key as u32,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cenju4_directory::NodeId;
+
+    fn addr(home: u16, block: u32) -> Addr {
+        Addr::new(NodeId::new(home), block)
+    }
+
+    fn tiny() -> Cache {
+        // 4 lines, 2-way: 2 sets.
+        Cache::new(4 * 128, 2)
+    }
+
+    #[test]
+    fn fill_and_state() {
+        let mut c = tiny();
+        let a = addr(0, 1);
+        assert!(c.fill(a, CacheState::Exclusive).is_none());
+        assert_eq!(c.state(a), CacheState::Exclusive);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn upgrade_states() {
+        let mut c = tiny();
+        let a = addr(0, 1);
+        c.fill(a, CacheState::Shared);
+        c.set_state(a, CacheState::Modified);
+        assert_eq!(c.state(a), CacheState::Modified);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        let a = addr(0, 1);
+        c.fill(a, CacheState::Modified);
+        assert_eq!(c.invalidate(a), CacheState::Modified);
+        assert_eq!(c.state(a), CacheState::Invalid);
+        assert_eq!(c.invalidate(a), CacheState::Invalid);
+    }
+
+    #[test]
+    fn lru_eviction_of_dirty_line_reports_writeback() {
+        let mut c = Cache::new(2 * 128, 2); // one set, 2 ways
+        let (a, b, d) = (addr(0, 0), addr(0, 1), addr(0, 2));
+        c.fill(a, CacheState::Modified);
+        c.fill(b, CacheState::Shared);
+        c.touch(b); // make `a` the LRU line
+        let v = c.fill(d, CacheState::Shared).expect("eviction");
+        assert_eq!(v.addr, a);
+        assert!(v.dirty);
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = Cache::new(2 * 128, 2);
+        c.fill(addr(0, 0), CacheState::Exclusive);
+        c.fill(addr(0, 1), CacheState::Shared);
+        c.touch(addr(0, 1));
+        let v = c.fill(addr(0, 2), CacheState::Shared).expect("eviction");
+        assert!(!v.dirty, "Exclusive (clean) victim needs no writeback");
+    }
+
+    #[test]
+    fn touch_updates_lru() {
+        let mut c = Cache::new(2 * 128, 2);
+        let (a, b) = (addr(0, 0), addr(0, 1));
+        c.fill(a, CacheState::Shared);
+        c.fill(b, CacheState::Shared);
+        c.touch(a); // b becomes LRU
+        let v = c.fill(addr(0, 2), CacheState::Shared).unwrap();
+        assert_eq!(v.addr, b);
+    }
+
+    #[test]
+    fn readable_writable_classification() {
+        assert!(CacheState::Shared.readable());
+        assert!(!CacheState::Invalid.readable());
+        assert!(CacheState::Modified.writable());
+        assert!(CacheState::Exclusive.writable());
+        assert!(!CacheState::Shared.writable());
+    }
+
+    #[test]
+    fn different_homes_do_not_collide_logically() {
+        let mut c = tiny();
+        let a = addr(1, 7);
+        let b = addr(2, 7);
+        c.fill(a, CacheState::Shared);
+        if c.state(b) == CacheState::Invalid {
+            // Regardless of set placement, the keys must be distinct lines.
+            let _ = c.fill(b, CacheState::Exclusive);
+        }
+        assert_eq!(c.state(a), CacheState::Shared);
+    }
+
+    #[test]
+    fn default_geometry_is_1mb_4way() {
+        let c = Cache::new(1 << 20, 4);
+        assert_eq!(c.lines(), 8192);
+    }
+}

@@ -1,0 +1,308 @@
+//! Protocol messages exchanged among master, home and slave modules.
+
+use crate::addr::Addr;
+use crate::cache::CacheState;
+use cenju4_directory::NodeId;
+use cenju4_network::Payload;
+use core::fmt;
+
+/// Identifies one memory-access transaction from issue to graduation.
+pub type TxnId = u64;
+
+/// The request kinds a master can issue (appendix of the paper); the
+/// writeback is a separate, reply-less message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReqKind {
+    /// Load to an invalid block.
+    ReadShared,
+    /// Store to an invalid block.
+    ReadExclusive,
+    /// Store to a Shared block: upgrade without data transfer.
+    Ownership,
+    /// Write-through store to an update-mode block (the Section 4.2.3
+    /// extension): the home writes memory and pushes the new data to
+    /// every subscriber instead of invalidating them.
+    Update,
+}
+
+impl fmt::Display for ReqKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReqKind::ReadShared => "read-shared",
+            ReqKind::ReadExclusive => "read-exclusive",
+            ReqKind::Ownership => "ownership",
+            ReqKind::Update => "update",
+        })
+    }
+}
+
+/// A coherence message. The `data` flag of the network layer (whether a
+/// 128-byte line rides along) is decided by the sender from the variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoMsg {
+    /// Master → home: a coherence request.
+    Request {
+        /// Which request.
+        kind: ReqKind,
+        /// Target block.
+        addr: Addr,
+        /// The requesting node.
+        master: NodeId,
+        /// The master's transaction.
+        txn: TxnId,
+        /// For [`ReqKind::Update`] write-throughs: the data written.
+        value: u64,
+    },
+    /// Master → home: writeback of a Modified victim (no reply).
+    WriteBack {
+        /// Target block.
+        addr: Addr,
+        /// The evicting node.
+        from: NodeId,
+        /// The modified data being returned to memory.
+        value: u64,
+    },
+    /// Home → slave: forwarded request (dirty block owned by the slave).
+    Forward {
+        /// The forwarded request kind (read-shared or read-exclusive).
+        kind: ReqKind,
+        /// Target block.
+        addr: Addr,
+        /// The original requester.
+        master: NodeId,
+        /// The master's transaction.
+        txn: TxnId,
+    },
+    /// Home → subscribers of an update-mode block: the fresh data
+    /// (multicast when fan-out > 1; acknowledged like an invalidation).
+    Update {
+        /// Target block.
+        addr: Addr,
+        /// The writing node, which needs no push.
+        master: NodeId,
+        /// The master's transaction.
+        txn: TxnId,
+        /// The fresh data being pushed.
+        value: u64,
+        /// `true` when sent as a plain unicast.
+        singlecast: bool,
+    },
+    /// Home → slaves: invalidation request (multicast when fan-out > 1).
+    Invalidate {
+        /// Target block.
+        addr: Addr,
+        /// The requester, which must *not* drop its copy for an
+        /// ownership upgrade.
+        master: NodeId,
+        /// The master's transaction.
+        txn: TxnId,
+        /// `true` when sent as a plain unicast (single target): the slave
+        /// then acks with a unicast [`ProtoMsg::InvAck`] instead of a
+        /// gathered reply.
+        singlecast: bool,
+    },
+    /// Slave → home: reply to a forwarded request.
+    SlaveReply {
+        /// Target block.
+        addr: Addr,
+        /// The master's transaction.
+        txn: TxnId,
+        /// Whether the slave supplied the (modified) line.
+        with_data: bool,
+        /// The supplied data (meaningful when `with_data`).
+        value: u64,
+    },
+    /// Slave → home: invalidation acknowledgement. Gathered in-network;
+    /// `acks` counts the merged acknowledgements.
+    InvAck {
+        /// Target block.
+        addr: Addr,
+        /// The master's transaction.
+        txn: TxnId,
+        /// Number of acknowledgements folded into this message.
+        acks: u32,
+    },
+    /// Home → master: data grant completing a read-shared/read-exclusive.
+    DataReply {
+        /// Target block.
+        addr: Addr,
+        /// The master's transaction.
+        txn: TxnId,
+        /// The MESI state granted (Exclusive, Shared or Modified).
+        grant: CacheState,
+        /// The data (the memory's or the previous owner's copy).
+        value: u64,
+    },
+    /// Home → master: data-less grant completing an ownership upgrade.
+    AckReply {
+        /// Target block.
+        addr: Addr,
+        /// The master's transaction.
+        txn: TxnId,
+    },
+    /// Node → node: a user-level message-passing payload (Section 2 of
+    /// the paper: the controller chip supports both DSM and message
+    /// passing over the same network).
+    UserMessage {
+        /// A block address used only for routing bookkeeping (the home
+        /// field is ignored; user messages are not coherence traffic).
+        addr: Addr,
+        /// Caller-chosen tag delivered with the message.
+        tag: u64,
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+    /// Home → master (nack baseline only): retry later.
+    Nack {
+        /// Target block.
+        addr: Addr,
+        /// The master's transaction.
+        txn: TxnId,
+        /// The nacked request kind, so the master can retry it.
+        kind: ReqKind,
+    },
+}
+
+impl ProtoMsg {
+    /// Whether this message carries a 128-byte line on the network.
+    pub fn carries_data(&self) -> bool {
+        match self {
+            ProtoMsg::WriteBack { .. } | ProtoMsg::DataReply { .. } | ProtoMsg::Update { .. } => {
+                true
+            }
+            ProtoMsg::Request { kind, .. } => *kind == ReqKind::Update,
+            ProtoMsg::SlaveReply { with_data, .. } => *with_data,
+            _ => false,
+        }
+    }
+
+    /// The block this message concerns.
+    pub fn addr(&self) -> Addr {
+        match self {
+            ProtoMsg::Request { addr, .. }
+            | ProtoMsg::WriteBack { addr, .. }
+            | ProtoMsg::Forward { addr, .. }
+            | ProtoMsg::Update { addr, .. }
+            | ProtoMsg::Invalidate { addr, .. }
+            | ProtoMsg::SlaveReply { addr, .. }
+            | ProtoMsg::InvAck { addr, .. }
+            | ProtoMsg::DataReply { addr, .. }
+            | ProtoMsg::AckReply { addr, .. }
+            | ProtoMsg::UserMessage { addr, .. }
+            | ProtoMsg::Nack { addr, .. } => *addr,
+        }
+    }
+}
+
+impl Payload for ProtoMsg {
+    /// Only invalidation acknowledgements are ever gathered; merging any
+    /// other pair is a protocol bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side is not an [`ProtoMsg::InvAck`].
+    fn combine(&mut self, other: Self) {
+        match (self, other) {
+            (
+                ProtoMsg::InvAck { acks, addr, txn },
+                ProtoMsg::InvAck {
+                    acks: o,
+                    addr: oa,
+                    txn: ot,
+                },
+            ) => {
+                debug_assert_eq!(*addr, oa, "gather merged across blocks");
+                debug_assert_eq!(*txn, ot, "gather merged across transactions");
+                *acks += o;
+            }
+            (a, b) => panic!("cannot gather-combine {a:?} with {b:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> Addr {
+        Addr::new(NodeId::new(1), 2)
+    }
+
+    #[test]
+    fn data_classification() {
+        assert!(ProtoMsg::WriteBack {
+            addr: addr(),
+            from: NodeId::new(0),
+            value: 0
+        }
+        .carries_data());
+        assert!(ProtoMsg::DataReply {
+            addr: addr(),
+            txn: 1,
+            grant: CacheState::Shared,
+            value: 0
+        }
+        .carries_data());
+        assert!(!ProtoMsg::AckReply { addr: addr(), txn: 1 }.carries_data());
+        assert!(ProtoMsg::SlaveReply {
+            addr: addr(),
+            txn: 1,
+            with_data: true,
+            value: 7
+        }
+        .carries_data());
+        assert!(!ProtoMsg::SlaveReply {
+            addr: addr(),
+            txn: 1,
+            with_data: false,
+            value: 0
+        }
+        .carries_data());
+    }
+
+    #[test]
+    fn inv_acks_combine() {
+        let mut a = ProtoMsg::InvAck {
+            addr: addr(),
+            txn: 9,
+            acks: 2,
+        };
+        a.combine(ProtoMsg::InvAck {
+            addr: addr(),
+            txn: 9,
+            acks: 3,
+        });
+        match a {
+            ProtoMsg::InvAck { acks, .. } => assert_eq!(acks, 5),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn combining_non_acks_panics() {
+        let mut a = ProtoMsg::AckReply { addr: addr(), txn: 1 };
+        a.combine(ProtoMsg::AckReply { addr: addr(), txn: 1 });
+    }
+
+    #[test]
+    fn addr_accessor_covers_all_variants() {
+        let msgs = [
+            ProtoMsg::Request {
+                kind: ReqKind::ReadShared,
+                addr: addr(),
+                master: NodeId::new(0),
+                txn: 0,
+                value: 0,
+            },
+            ProtoMsg::Nack {
+                addr: addr(),
+                txn: 0,
+                kind: ReqKind::Ownership,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.addr(), addr());
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Engine-level statistics.
+
+use cenju4_des::stats::Counter;
+
+/// Counters maintained by the coherence engine.
+///
+/// Latency distributions are the business of the caller (every completion
+/// notification carries its own latency); the engine counts events and
+/// tracks the buffer bounds the paper's deadlock/starvation argument
+/// depends on.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Accesses completed (loads + stores).
+    pub completed: Counter,
+    /// Accesses satisfied in the local cache.
+    pub hits: Counter,
+    /// Coherence transactions issued (read-shared / read-exclusive /
+    /// ownership).
+    pub requests: Counter,
+    /// Requests that found their block pending and were queued in main
+    /// memory (queuing protocol).
+    pub queued_requests: Counter,
+    /// Requests nacked (nack baseline).
+    pub nacks: Counter,
+    /// Retries issued by masters after a nack.
+    pub retries: Counter,
+    /// Writebacks of Modified victims.
+    pub writebacks: Counter,
+    /// Invalidation transactions (multicast or singlecast).
+    pub invalidations: Counter,
+    /// Individual invalidation deliveries.
+    pub invalidation_copies: Counter,
+    /// Requests forwarded from home to a dirty owner.
+    pub forwards: Counter,
+    /// Update-protocol write-throughs (Section 4.2.3 extension).
+    pub updates: Counter,
+    /// L2 misses satisfied from the local third-level cache.
+    pub l3_fills: Counter,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_by_default() {
+        let s = EngineStats::default();
+        assert_eq!(s.completed.get(), 0);
+        assert_eq!(s.retries.get(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Machine configuration.
+
+use cenju4_des::Duration;
+use cenju4_directory::{SystemSize, SystemSizeError};
+use cenju4_network::NetParams;
+use cenju4_protocol::{Engine, ProtoParams, ProtocolKind};
+
+/// A complete machine configuration: size, network and protocol
+/// parameters, and the protocol variant.
+///
+/// # Examples
+///
+/// ```
+/// use cenju4_sim::SystemConfig;
+///
+/// let cfg = SystemConfig::new(128)?.without_multicast();
+/// assert_eq!(cfg.sys.nodes(), 128);
+/// # Ok::<(), cenju4_directory::SystemSizeError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Machine size.
+    pub sys: SystemSize,
+    /// Network timing parameters (and the multicast ablation switch).
+    pub net: NetParams,
+    /// Protocol service times and geometry.
+    pub proto: ProtoParams,
+    /// Queuing protocol or the nack baseline.
+    pub kind: ProtocolKind,
+    /// Cost model for MPI-library operations (used for barriers and the
+    /// message-passing comparison): one-way latency. The paper reports
+    /// 9.1 µs latency and 169 MB/s bandwidth on 128 nodes.
+    pub mpi_latency: Duration,
+    /// MPI bandwidth in bytes per microsecond (169 MB/s = 169 B/µs).
+    pub mpi_bytes_per_us: u64,
+}
+
+impl SystemConfig {
+    /// A default-calibrated machine of `nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemSizeError`] for invalid node counts.
+    pub fn new(nodes: u16) -> Result<Self, SystemSizeError> {
+        Ok(SystemConfig {
+            sys: SystemSize::new(nodes)?,
+            net: NetParams::default(),
+            proto: ProtoParams::default(),
+            kind: ProtocolKind::Queuing,
+            mpi_latency: Duration::from_us(9) + Duration::from_ns(100),
+            mpi_bytes_per_us: 169,
+        })
+    }
+
+    /// The same machine with the multicast/gather hardware disabled.
+    pub fn without_multicast(mut self) -> Self {
+        self.net = NetParams {
+            multicast: cenju4_network::MulticastMode::SinglecastEmulation,
+            ..self.net
+        };
+        self
+    }
+
+    /// The same machine running the nack baseline protocol.
+    pub fn with_nack_protocol(mut self) -> Self {
+        self.kind = ProtocolKind::Nack;
+        self
+    }
+
+    /// Builds a fresh engine for this configuration.
+    pub fn build(&self) -> Engine {
+        Engine::new(self.sys, self.proto, self.net, self.kind)
+    }
+
+    /// The modeled time to ship `bytes` over MPI: latency + size/bandwidth.
+    pub fn mpi_transfer(&self, bytes: u64) -> Duration {
+        self.mpi_latency + Duration::from_ns(bytes * 1_000 / self.mpi_bytes_per_us)
+    }
+
+    /// The modeled cost of a barrier over `n` nodes: a tree of MPI
+    /// messages, `2·ceil(log2 n)` one-way latencies (up and down the tree).
+    pub fn barrier_cost(&self) -> Duration {
+        let n = self.sys.nodes().max(2) as u32;
+        let levels = 32 - (n - 1).leading_zeros();
+        self.mpi_latency * (2 * levels) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_queuing_with_multicast() {
+        let c = SystemConfig::new(16).unwrap();
+        assert_eq!(c.kind, ProtocolKind::Queuing);
+        assert_eq!(
+            c.net.multicast,
+            cenju4_network::MulticastMode::Hardware
+        );
+    }
+
+    #[test]
+    fn ablation_switches() {
+        let c = SystemConfig::new(16).unwrap().without_multicast().with_nack_protocol();
+        assert_eq!(c.kind, ProtocolKind::Nack);
+        assert_eq!(
+            c.net.multicast,
+            cenju4_network::MulticastMode::SinglecastEmulation
+        );
+    }
+
+    #[test]
+    fn barrier_grows_with_machine() {
+        let b16 = SystemConfig::new(16).unwrap().barrier_cost();
+        let b128 = SystemConfig::new(128).unwrap().barrier_cost();
+        assert!(b128 > b16);
+    }
+}

@@ -1,0 +1,41 @@
+//! System assembly for the Cenju-4 DSM reproduction.
+//!
+//! This crate sits on top of the coherence engine (`cenju4-protocol`) and
+//! provides what the paper's evaluation needed from the machine:
+//!
+//! * [`config`] — one [`config::SystemConfig`] bundling
+//!   machine size, network parameters, protocol parameters and protocol
+//!   variant, with the ablation switches the benches sweep;
+//! * [`probes`] — the microbenchmarks behind **Table 2** (load-miss
+//!   latencies per sharing class) and **Figure 10** (store latency vs
+//!   number of sharing nodes, with and without the multicast/gather
+//!   hardware);
+//! * [`driver`] — a closed-loop processor model: each node executes a
+//!   [`driver::Program`] of memory accesses, think time and
+//!   barrier synchronizations against the engine;
+//! * [`report`] — per-node and aggregate statistics in the shape of the
+//!   paper's Tables 3 and 4 (access and miss breakdowns into
+//!   private / shared-local / shared-remote, sync-time fractions).
+//!
+//! # Examples
+//!
+//! Reproduce one Table 2 cell:
+//!
+//! ```
+//! use cenju4_sim::config::SystemConfig;
+//! use cenju4_sim::probes;
+//!
+//! let cfg = SystemConfig::new(16)?;
+//! let row = probes::load_latencies(&cfg);
+//! assert_eq!(row.shared_local_clean.as_ns(), 610);
+//! # Ok::<(), cenju4_directory::SystemSizeError>(())
+//! ```
+
+pub mod config;
+pub mod driver;
+pub mod probes;
+pub mod report;
+
+pub use config::SystemConfig;
+pub use driver::{Driver, Program, Step, Target};
+pub use report::{AccessClass, NodeReport, RunReport};

@@ -1,0 +1,198 @@
+//! Application and variant identifiers plus per-app sizing parameters.
+
+use core::fmt;
+
+/// The four NPB kernels the paper evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Block-tridiagonal solver: structured-grid sweeps, compute-heavy.
+    Bt,
+    /// Conjugate gradient: sparse mat-vec with whole-vector gathers.
+    Cg,
+    /// 3-D FFT: private butterflies plus an all-to-all transpose.
+    Ft,
+    /// Scalar-pentadiagonal solver: like BT with less compute per point.
+    Sp,
+}
+
+impl AppKind {
+    /// All four apps in the paper's order.
+    pub const ALL: [AppKind; 4] = [AppKind::Bt, AppKind::Cg, AppKind::Ft, AppKind::Sp];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Bt => "BT",
+            AppKind::Cg => "CG",
+            AppKind::Ft => "FT",
+            AppKind::Sp => "SP",
+        }
+    }
+
+    /// The node count the paper measures this app at (Table 3 / Fig 11):
+    /// 64 for BT and SP, 128 for CG and FT.
+    pub fn paper_nodes(self) -> u16 {
+        match self {
+            AppKind::Bt | AppKind::Sp => 64,
+            AppKind::Cg | AppKind::Ft => 128,
+        }
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The four program variants of Section 4.2.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The given sequential program.
+    Seq,
+    /// The given MPI program (message passing, modeled by the paper's
+    /// measured latency/bandwidth).
+    Mpi,
+    /// Naive parallelization: only the outermost loop of each nest.
+    Dsm1,
+    /// Memory-access-optimized shared-memory program.
+    Dsm2,
+}
+
+impl Variant {
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Seq => "seq",
+            Variant::Mpi => "mpi",
+            Variant::Dsm1 => "dsm(1)",
+            Variant::Dsm2 => "dsm(2)",
+        }
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Sizing and intensity parameters for one app at one scale.
+///
+/// `scale` multiplies the block counts (problem size); the reuse and
+/// think-time parameters are scale-independent intensity knobs calibrated
+/// so the Table-3/Table-4 shapes come out (see DESIGN.md).
+#[derive(Clone, Copy, Debug)]
+pub struct AppParams {
+    /// Total shared-grid blocks (the main data structure).
+    pub blocks: u32,
+    /// Outer iterations.
+    pub iters: u32,
+    /// Accesses per block visit in the naive variant.
+    pub reuse: u32,
+    /// Non-memory compute time per block visit, ns.
+    pub think_ns: u64,
+    /// Grid sweeps per iteration (BT/SP) or phases (CG/FT).
+    pub sweeps: u32,
+    /// One boundary plane is `blocks / nodes / boundary_div` blocks.
+    pub boundary_div: u32,
+    /// CG: whole-machine reuse budget per vector block; per-node reuse is
+    /// `max(1, gather_reuse / nodes)` — the "time shared data is reused
+    /// decreases with the number of nodes" effect.
+    pub gather_reuse: u32,
+    /// CG: the sparse matrix is `matrix_factor` times larger than the
+    /// vector; it streams through private memory and dominates the miss
+    /// mix at small node counts (Table 4: 90% private misses at 16 nodes,
+    /// 18% at 128).
+    pub matrix_factor: u32,
+}
+
+impl AppParams {
+    /// Parameters for `app` at problem-size multiplier `scale`
+    /// (1.0 ≈ a few thousand blocks; tests use 0.25, benches 1–4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn for_app(app: AppKind, scale: f64) -> AppParams {
+        assert!(scale.is_finite() && scale > 0.0, "bad scale {scale}");
+        let sz = |base: u32| ((base as f64 * scale).round() as u32).max(16);
+        match app {
+            AppKind::Bt => AppParams {
+                blocks: sz(2048),
+                iters: 3,
+                reuse: 48,
+                think_ns: 3500,
+                sweeps: 3,
+                boundary_div: 12,
+                gather_reuse: 0,
+                matrix_factor: 0,
+            },
+            AppKind::Sp => AppParams {
+                blocks: sz(2048),
+                iters: 3,
+                reuse: 20,
+                think_ns: 2000,
+                sweeps: 3,
+                boundary_div: 4,
+                gather_reuse: 0,
+                matrix_factor: 0,
+            },
+            AppKind::Cg => AppParams {
+                blocks: sz(1024),
+                iters: 4,
+                reuse: 64,
+                think_ns: 250,
+                sweeps: 1,
+                boundary_div: 1,
+                gather_reuse: 1024,
+                matrix_factor: 32,
+            },
+            AppKind::Ft => AppParams {
+                blocks: sz(2048),
+                iters: 3,
+                reuse: 32,
+                think_ns: 3500,
+                sweeps: 2,
+                boundary_div: 1,
+                gather_reuse: 0,
+                matrix_factor: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(AppKind::Bt.name(), "BT");
+        assert_eq!(Variant::Dsm1.name(), "dsm(1)");
+        assert_eq!(AppKind::Bt.to_string(), "BT");
+        assert_eq!(Variant::Mpi.to_string(), "mpi");
+    }
+
+    #[test]
+    fn paper_node_counts() {
+        assert_eq!(AppKind::Bt.paper_nodes(), 64);
+        assert_eq!(AppKind::Cg.paper_nodes(), 128);
+        assert_eq!(AppKind::Ft.paper_nodes(), 128);
+        assert_eq!(AppKind::Sp.paper_nodes(), 64);
+    }
+
+    #[test]
+    fn scale_multiplies_blocks() {
+        let small = AppParams::for_app(AppKind::Bt, 0.5);
+        let big = AppParams::for_app(AppKind::Bt, 2.0);
+        assert_eq!(big.blocks, small.blocks * 4);
+        assert_eq!(small.reuse, big.reuse, "intensity is scale-free");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_rejected() {
+        let _ = AppParams::for_app(AppKind::Cg, 0.0);
+    }
+}

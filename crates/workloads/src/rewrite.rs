@@ -1,0 +1,91 @@
+//! Figure 11(a): program rewriting ratios.
+//!
+//! The rewriting ratio is (lines changed + lines added) / (lines of the
+//! sequential program) — a human-effort metric measured on Fortran sources
+//! we do not have. We therefore record the paper's own numbers (digitized
+//! from Figure 11(a); treat them as approximate to a few points) and
+//! verify the orderings the text states:
+//!
+//! * dsm(1) needs the least rewriting (loop bounds + synchronization);
+//! * dsm(2) needs more, but **less than half** of mpi;
+//! * specifying data mappings adds only a little.
+
+use crate::apps::AppKind;
+
+/// Rewriting ratios (fraction of sequential lines) for one application.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RewritingRatios {
+    /// Which application.
+    pub app: AppKind,
+    /// The given MPI program.
+    pub mpi: f64,
+    /// dsm(1) without data mappings.
+    pub dsm1_nomap: f64,
+    /// dsm(1) with data mappings.
+    pub dsm1: f64,
+    /// dsm(2) without data mappings.
+    pub dsm2_nomap: f64,
+    /// dsm(2) with data mappings.
+    pub dsm2: f64,
+}
+
+/// The Figure 11(a) data, digitized from the paper.
+pub fn paper_rewriting_ratios() -> [RewritingRatios; 4] {
+    [
+        RewritingRatios {
+            app: AppKind::Bt,
+            mpi: 0.50,
+            dsm1_nomap: 0.045,
+            dsm1: 0.06,
+            dsm2_nomap: 0.17,
+            dsm2: 0.19,
+        },
+        RewritingRatios {
+            app: AppKind::Cg,
+            mpi: 0.38,
+            dsm1_nomap: 0.05,
+            dsm1: 0.065,
+            dsm2_nomap: 0.12,
+            dsm2: 0.14,
+        },
+        RewritingRatios {
+            app: AppKind::Ft,
+            mpi: 0.45,
+            dsm1_nomap: 0.04,
+            dsm1: 0.055,
+            dsm2_nomap: 0.15,
+            dsm2: 0.17,
+        },
+        RewritingRatios {
+            app: AppKind::Sp,
+            mpi: 0.52,
+            dsm1_nomap: 0.05,
+            dsm1: 0.065,
+            dsm2_nomap: 0.18,
+            dsm2: 0.20,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_match_the_papers_text() {
+        for r in paper_rewriting_ratios() {
+            // dsm(1) cheapest; dsm(2) dearer but less than half of mpi.
+            assert!(r.dsm1 < r.dsm2, "{}", r.app);
+            assert!(r.dsm2 < r.mpi / 2.0, "{}: dsm2 must be < mpi/2", r.app);
+            // Mappings add little.
+            assert!(r.dsm1 - r.dsm1_nomap < 0.05, "{}", r.app);
+            assert!(r.dsm2 - r.dsm2_nomap < 0.05, "{}", r.app);
+        }
+    }
+
+    #[test]
+    fn covers_all_four_apps() {
+        let apps: Vec<AppKind> = paper_rewriting_ratios().iter().map(|r| r.app).collect();
+        assert_eq!(apps, AppKind::ALL.to_vec());
+    }
+}

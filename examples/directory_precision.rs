@@ -1,0 +1,49 @@
+//! Directory precision (the paper's Figure 4): how many nodes each
+//! imprecise node-map scheme *represents* as a function of how many
+//! actually share a block.
+//!
+//! Run with: `cargo run --release --example directory_precision`
+
+use cenju4::directory::precision::{
+    group_pool, precision_curve, whole_machine_pool, SchemeKind,
+};
+use cenju4::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = SystemSize::new(1024)?;
+    let ks = [1u32, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let schemes = [
+        SchemeKind::CoarseVector32,
+        SchemeKind::HierarchicalBitMap,
+        SchemeKind::Cenju4,
+    ];
+
+    for (title, pool) in [
+        ("(a) sharers drawn from all 1024 nodes", whole_machine_pool(sys)),
+        ("(b) sharers drawn from one 128-node group", group_pool(sys, 0, 128)),
+    ] {
+        println!("Figure 4{title}");
+        print!("{:>8}", "sharers");
+        for s in schemes {
+            print!("  {:>20}", s.name());
+        }
+        println!();
+        let ks: Vec<u32> = ks.iter().copied().filter(|&k| k as usize <= pool.len()).collect();
+        let curves: Vec<_> = schemes
+            .iter()
+            .map(|&s| precision_curve(s, sys, &pool, &ks, 200, 42))
+            .collect();
+        for (i, &k) in ks.iter().enumerate() {
+            print!("{k:>8}");
+            for c in &curves {
+                print!("  {:>20.1}", c[i].avg_represented);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("The bit-pattern scheme tracks small and clustered sharer sets far");
+    println!("more tightly than a coarse vector or a network-shaped hierarchical");
+    println!("bit map — the paper's argument for adopting it.");
+    Ok(())
+}

@@ -1,0 +1,3 @@
+//! Workspace root package: hosts the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). All functionality lives
+//! in the `cenju4-*` crates under `crates/`; see the `cenju4` facade.
