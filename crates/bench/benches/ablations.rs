@@ -1,16 +1,17 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out. These
 //! report *simulated latency* (ns of machine time per transaction) rather
-//! than host throughput, using Criterion only as the runner; each ablation
+//! than host throughput, using the harness only as the runner; each ablation
 //! prints its simulated outcome once per run.
 
 use cenju4::directory::precision::{whole_machine_pool, SchemeKind};
 use cenju4::prelude::*;
 use cenju4::sim::probes::store_latency;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cenju4_bench::micro::{black_box, Harness};
+use cenju4_bench::{bench_group, bench_main};
 
 /// Dynamic pointer→bit-pattern vs always-coarse-vector: invalidation
 /// fan-out cost at small sharer counts (the directory ablation).
-fn ablation_directory_precision(c: &mut Criterion) {
+fn ablation_directory_precision(c: &mut Harness) {
     let sys = SystemSize::new(1024).unwrap();
     let pool = whole_machine_pool(sys);
     c.bench_function("ablation/precision_sweep_k8", |b| {
@@ -39,7 +40,7 @@ fn ablation_directory_precision(c: &mut Criterion) {
 }
 
 /// Multicast+gather vs singlecast emulation: the Figure 10 ablation.
-fn ablation_multicast(c: &mut Criterion) {
+fn ablation_multicast(c: &mut Harness) {
     let mut g = c.benchmark_group("ablation/multicast");
     g.sample_size(10);
     let base = SystemConfig::new(128).unwrap();
@@ -54,7 +55,7 @@ fn ablation_multicast(c: &mut Criterion) {
 }
 
 /// Queuing vs nack protocol under contention: simulated completion time.
-fn ablation_protocol(c: &mut Criterion) {
+fn ablation_protocol(c: &mut Harness) {
     let mut g = c.benchmark_group("ablation/protocol");
     g.sample_size(10);
     let run = |cfg: &SystemConfig| {
@@ -81,7 +82,7 @@ fn ablation_protocol(c: &mut Criterion) {
 }
 
 /// Writeback no-reply fast path: eviction-heavy traffic with a tiny cache.
-fn ablation_writeback_pressure(c: &mut Criterion) {
+fn ablation_writeback_pressure(c: &mut Harness) {
     let mut g = c.benchmark_group("ablation/writeback");
     g.sample_size(10);
     let params = ProtoParams {
@@ -114,7 +115,7 @@ fn ablation_writeback_pressure(c: &mut Criterion) {
 
 /// Singlecast threshold (the Section 4.1 "not implemented" optimization):
 /// simulated store latency at small fan-outs, threshold 1 vs 8.
-fn ablation_singlecast_threshold(c: &mut Criterion) {
+fn ablation_singlecast_threshold(c: &mut Harness) {
     let mut g = c.benchmark_group("ablation/singlecast_threshold");
     g.sample_size(10);
     for threshold in [1u32, 8] {
@@ -147,7 +148,7 @@ fn ablation_singlecast_threshold(c: &mut Criterion) {
 
 /// Update protocol + L3 vs invalidation for a CG-like producer/consumer
 /// pattern: simulated time per round.
-fn ablation_update_protocol(c: &mut Criterion) {
+fn ablation_update_protocol(c: &mut Harness) {
     let mut g = c.benchmark_group("ablation/update_protocol");
     g.sample_size(10);
     let run = |update: bool| {
@@ -176,7 +177,7 @@ fn ablation_update_protocol(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     ablation_directory_precision,
     ablation_multicast,
@@ -185,4 +186,4 @@ criterion_group!(
     ablation_singlecast_threshold,
     ablation_update_protocol
 );
-criterion_main!(benches);
+bench_main!(benches);

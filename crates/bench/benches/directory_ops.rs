@@ -1,11 +1,12 @@
-//! Criterion microbenchmarks of the directory hot paths: node-map
+//! Microbenchmarks of the directory hot paths: node-map
 //! insertion, membership, destination-spec matching, and 64-bit packing.
 
 use cenju4::directory::nodemap::DestSpec;
 use cenju4::prelude::*;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cenju4_bench::micro::{black_box, Harness};
+use cenju4_bench::{bench_group, bench_main};
 
-fn bench_nodemap(c: &mut Criterion) {
+fn bench_nodemap(c: &mut Harness) {
     let sys = SystemSize::new(1024).unwrap();
     let mut g = c.benchmark_group("nodemap");
 
@@ -43,7 +44,7 @@ fn bench_nodemap(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_entry_packing(c: &mut Criterion) {
+fn bench_entry_packing(c: &mut Harness) {
     let sys = SystemSize::new(1024).unwrap();
     let mut e = DirectoryEntry::new(sys);
     e.set_state(MemState::PendingExclusive);
@@ -58,7 +59,7 @@ fn bench_entry_packing(c: &mut Criterion) {
     });
 }
 
-fn bench_dest_spec(c: &mut Criterion) {
+fn bench_dest_spec(c: &mut Harness) {
     let sys = SystemSize::new(1024).unwrap();
     let mut m = Cenju4NodeMap::new(sys);
     for n in 0..48u16 {
@@ -68,11 +69,7 @@ fn bench_dest_spec(c: &mut Criterion) {
     // The switch-side predicate evaluated at every multicast branch point.
     c.bench_function("dest_spec_intersects_masked_existing", |b| {
         b.iter(|| {
-            black_box(spec.intersects_masked_existing(
-                black_box(0xFC0),
-                black_box(0x340),
-                sys,
-            ))
+            black_box(spec.intersects_masked_existing(black_box(0xFC0), black_box(0x340), sys))
         })
     });
     let single = DestSpec::single(NodeId::new(77));
@@ -81,5 +78,5 @@ fn bench_dest_spec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_nodemap, bench_entry_packing, bench_dest_spec);
-criterion_main!(benches);
+bench_group!(benches, bench_nodemap, bench_entry_packing, bench_dest_spec);
+bench_main!(benches);

@@ -1,15 +1,16 @@
-//! Criterion microbenchmarks of the network fabric: unicast walks,
+//! Microbenchmarks of the network fabric: unicast walks,
 //! multicast replication, and gather processing at several fan-outs.
 
 use cenju4::directory::nodemap::DestSpec;
 use cenju4::prelude::*;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cenju4_bench::micro::{black_box, BenchId, Harness};
+use cenju4_bench::{bench_group, bench_main};
 
 fn spec_of(k: u16) -> DestSpec {
     DestSpec::Pattern((0..k).map(NodeId::new).collect())
 }
 
-fn bench_unicast(c: &mut Criterion) {
+fn bench_unicast(c: &mut Harness) {
     let sys = SystemSize::new(1024).unwrap();
     c.bench_function("fabric_unicast_6stage", |b| {
         let mut f: Fabric<u32> = Fabric::new(sys, NetParams::default());
@@ -27,11 +28,11 @@ fn bench_unicast(c: &mut Criterion) {
     });
 }
 
-fn bench_multicast(c: &mut Criterion) {
+fn bench_multicast(c: &mut Harness) {
     let sys = SystemSize::new(1024).unwrap();
     let mut g = c.benchmark_group("fabric_multicast");
     for k in [4u16, 32, 256, 1024] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+        g.bench_with_input(BenchId::from_parameter(k), &k, |b, &k| {
             let spec = spec_of(k);
             let mut f: Fabric<u32> = Fabric::new(sys, NetParams::default());
             let mut t = 0u64;
@@ -51,19 +52,25 @@ fn bench_multicast(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_gather_round(c: &mut Criterion) {
+fn bench_gather_round(c: &mut Harness) {
     let sys = SystemSize::new(1024).unwrap();
     let mut g = c.benchmark_group("fabric_gather_round");
     for k in [4u16, 64, 512] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+        g.bench_with_input(BenchId::from_parameter(k), &k, |b, &k| {
             let spec = spec_of(k);
             let mut f: Fabric<u32> = Fabric::new(sys, NetParams::default());
             let mut t = 0u64;
             b.iter(|| {
                 t += 1_000_000;
                 let id = f.open_gather(NodeId::new(0), spec);
-                let dels =
-                    f.send_multicast(SimTime::from_ns(t), NodeId::new(0), spec, false, 0, Some(id));
+                let dels = f.send_multicast(
+                    SimTime::from_ns(t),
+                    NodeId::new(0),
+                    spec,
+                    false,
+                    0,
+                    Some(id),
+                );
                 let mut out = None;
                 for d in &dels {
                     if let Some(x) = f.send_gather_reply(d.at, d.node, id, 1) {
@@ -77,5 +84,5 @@ fn bench_gather_round(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_unicast, bench_multicast, bench_gather_round);
-criterion_main!(benches);
+bench_group!(benches, bench_unicast, bench_multicast, bench_gather_round);
+bench_main!(benches);

@@ -1,9 +1,10 @@
-//! Criterion benchmarks of end-to-end coherence transactions: how fast the
+//! Benchmarks of end-to-end coherence transactions: how fast the
 //! simulator executes the appendix's sequences (simulator throughput, not
 //! simulated latency).
 
 use cenju4::prelude::*;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cenju4_bench::micro::{black_box, BenchId, Harness};
+use cenju4_bench::{bench_group, bench_main};
 
 fn engine(nodes: u16) -> Engine {
     Engine::new(
@@ -14,7 +15,7 @@ fn engine(nodes: u16) -> Engine {
     )
 }
 
-fn bench_sequences(c: &mut Criterion) {
+fn bench_sequences(c: &mut Harness) {
     let mut g = c.benchmark_group("txn");
 
     g.bench_function("remote_clean_load", |b| {
@@ -50,11 +51,11 @@ fn bench_sequences(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_contention_throughput(c: &mut Criterion) {
+fn bench_contention_throughput(c: &mut Harness) {
     let mut g = c.benchmark_group("contention");
     g.sample_size(20);
     for nodes in [16u16, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+        g.bench_with_input(BenchId::from_parameter(nodes), &nodes, |b, &n| {
             b.iter(|| {
                 let mut eng = engine(n);
                 let a = Addr::new(NodeId::new(0), 0);
@@ -73,5 +74,5 @@ fn bench_contention_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sequences, bench_contention_throughput);
-criterion_main!(benches);
+bench_group!(benches, bench_sequences, bench_contention_throughput);
+bench_main!(benches);

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release -p cenju4-bench --bin fig10_store_latency`
 
 use cenju4::sim::probes::store_latency;
-use cenju4::sim::SystemConfig;
+use cenju4::sim::{sweep, SystemConfig};
 use cenju4_bench::paper::{FIG10_MULTICAST_1024, FIG10_SINGLECAST_1024};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,9 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if nodes == 1024 {
             ks.extend([256, 512, 1024]);
         }
-        for k in ks {
-            let a = store_latency(&with_mc, k);
-            let b = store_latency(&without, k);
+        // Each sharer count is an independent simulation; sweep them in
+        // parallel and print in point order.
+        let pairs = sweep(&ks, |&k| {
+            (store_latency(&with_mc, k), store_latency(&without, k))
+        });
+        for (&k, &(a, b)) in ks.iter().zip(&pairs) {
             println!(
                 "{:>8}  {:>16.2}  {:>16.2}  {:>5.1}x",
                 k,

@@ -17,8 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             counts.push(128);
         }
         print!("{:>4}:", app.name());
-        for &n in &counts {
-            let s = runner::speedup(app, Variant::Dsm2, true, n, scale)?;
+        // One sweep worker per machine size; results come back in
+        // `counts` order regardless of the thread count.
+        let speedups = runner::speedups(app, Variant::Dsm2, true, &counts, scale)?;
+        for (&n, s) in counts.iter().zip(&speedups) {
             print!("  {n}n={s:.1}x");
         }
         // Paper's digitized endpoints for reference.

@@ -6,10 +6,9 @@
 //! Run with:
 //! `cargo run --release -p cenju4-bench --bin fig4_nodemap_precision [trials]`
 
-use cenju4::directory::precision::{
-    group_pool, precision_curve, whole_machine_pool, SchemeKind,
-};
+use cenju4::directory::precision::{group_pool, precision_curve, whole_machine_pool, SchemeKind};
 use cenju4::prelude::*;
+use cenju4::sim::sweep;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trials = cenju4_bench::scale_arg(200.0) as u32;
@@ -40,10 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
         cenju4_bench::rule(8 + 24 * schemes.len());
-        let curves: Vec<_> = schemes
-            .iter()
-            .map(|&s| precision_curve(s, sys, &pool, &ks, trials, 0xF16))
-            .collect();
+        // One sweep worker per scheme; curves come back in scheme order.
+        let curves = sweep(&schemes, |&s| {
+            precision_curve(s, sys, &pool, &ks, trials, 0xF16)
+        });
         for (i, &k) in ks.iter().enumerate() {
             print!("{k:>8}");
             for c in &curves {

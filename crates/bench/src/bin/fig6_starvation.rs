@@ -15,11 +15,15 @@ struct Outcome {
     latency: OnlineStats,
     nacks: u64,
     retries: u64,
+    worst_txn_retries: u32,
     max_queue: usize,
 }
 
 fn contend(cfg: &SystemConfig, rounds: u32) -> Outcome {
     let mut eng = cfg.build();
+    // The Fig-6 starvation metrics come from an observer attached to the
+    // engine, not from the engine's own counters.
+    eng.add_observer(Box::new(StarvationProbe::default()));
     let block = Addr::new(NodeId::new(0), 0);
     let n = cfg.sys.nodes();
     for i in 0..n {
@@ -38,11 +42,13 @@ fn contend(cfg: &SystemConfig, rounds: u32) -> Outcome {
             }
         }
     }
+    let probe: &StarvationProbe = eng.observer().expect("probe was registered");
     Outcome {
         latency,
-        nacks: eng.stats().nacks.get(),
-        retries: eng.stats().retries.get(),
-        max_queue: eng.max_request_queue_depth(),
+        nacks: probe.nacks(),
+        retries: probe.retries(),
+        worst_txn_retries: probe.worst_txn_retries(),
+        max_queue: probe.max_queue_depth(),
     }
 }
 
@@ -55,7 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let k = contend(&nack, rounds);
         println!("{nodes} nodes, {rounds} rounds of all-store contention on one block");
         println!("{:<24} {:>16} {:>16}", "", "queuing (6b)", "nack (6a)");
-        println!("{:<24} {:>16} {:>16}", "completions", q.latency.count(), k.latency.count());
+        println!(
+            "{:<24} {:>16} {:>16}",
+            "completions",
+            q.latency.count(),
+            k.latency.count()
+        );
         println!(
             "{:<24} {:>16.1} {:>16.1}",
             "mean latency (us)",
@@ -70,6 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!("{:<24} {:>16} {:>16}", "nacks", q.nacks, k.nacks);
         println!("{:<24} {:>16} {:>16}", "retries", q.retries, k.retries);
+        println!(
+            "{:<24} {:>16} {:>16}",
+            "worst txn retries", q.worst_txn_retries, k.worst_txn_retries
+        );
         println!(
             "{:<24} {:>16} {:>16}",
             "max queue depth",

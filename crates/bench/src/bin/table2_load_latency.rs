@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release -p cenju4-bench --bin table2_load_latency`
 
 use cenju4::sim::probes::load_latencies;
-use cenju4::sim::SystemConfig;
+use cenju4::sim::{sweep, SystemConfig};
 use cenju4_bench::paper::TABLE2;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,22 +21,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "d) shared local (dirty)",
         "e) shared remote (dirty)",
     ];
-    let mut measured = Vec::new();
-    for (nodes, _) in TABLE2 {
-        let cfg = SystemConfig::new(nodes)?;
-        let r = load_latencies(&cfg);
-        measured.push([
+    let cfgs = TABLE2
+        .iter()
+        .map(|&(nodes, _)| SystemConfig::new(nodes))
+        .collect::<Result<Vec<_>, _>>()?;
+    // The three machine sizes are independent; measure them in parallel.
+    let measured = sweep(&cfgs, |cfg| {
+        let r = load_latencies(cfg);
+        [
             r.private.as_ns(),
             r.shared_local_clean.as_ns(),
             r.shared_remote_clean.as_ns(),
             r.shared_local_dirty.as_ns(),
             r.shared_remote_dirty.as_ns(),
-        ]);
-    }
+        ]
+    });
     for (i, name) in rows.iter().enumerate() {
         print!("{name:<26}");
         for (col, (_, paper)) in TABLE2.iter().enumerate() {
-            print!(" {:>22}", cenju4_bench::vs(measured[col][i] as f64, paper[i] as f64));
+            print!(
+                " {:>22}",
+                cenju4_bench::vs(measured[col][i] as f64, paper[i] as f64)
+            );
         }
         println!();
     }

@@ -25,9 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let paper = TABLE3
                     .iter()
                     .find(|p| {
-                        p.app == app.name()
-                            && p.variant == variant.name()
-                            && p.mapped == mapped
+                        p.app == app.name() && p.variant == variant.name() && p.mapped == mapped
                     })
                     .expect("paper row");
                 println!(

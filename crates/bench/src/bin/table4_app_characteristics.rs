@@ -19,7 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("measured | paper where the paper reports the column\n");
     println!(
         "{:>4} {:>6} {:>12} {:>12} {:>15} {:>24} {:>15} {:>17}",
-        "app", "nodes", "time (ms)", "Minstr/node", "sync %", "accesses P/L/R %", "miss ratio %", "remote miss %"
+        "app",
+        "nodes",
+        "time (ms)",
+        "Minstr/node",
+        "sync %",
+        "accesses P/L/R %",
+        "miss ratio %",
+        "remote miss %"
     );
     for app in AppKind::ALL {
         for nodes in [16u16, app.paper_nodes()] {

@@ -4,6 +4,7 @@
 //! and prints the paper's own numbers next to the measured ones, so the
 //! comparison (EXPERIMENTS.md) can be refreshed with a single run.
 
+pub mod micro;
 pub mod paper;
 
 /// Formats a measured-vs-paper pair with the relative error.

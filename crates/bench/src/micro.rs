@@ -1,0 +1,226 @@
+//! A minimal, self-contained micro-benchmark harness.
+//!
+//! The workspace must build with no network access, so the microbenchmarks
+//! run on this tiny harness instead of Criterion. It keeps the same call
+//! shape (`Harness::bench_function`, groups, `black_box`, group/main
+//! macros) so benchmark bodies read the same way, but does only what we
+//! need: auto-calibrate an iteration count, take a handful of samples, and
+//! report the per-iteration time.
+//!
+//! Enable the targets with `cargo bench -p cenju4-bench --features
+//! bench-harness`.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock time for one measured batch of iterations.
+const BATCH_FLOOR: Duration = Duration::from_millis(10);
+/// Number of measured batches per benchmark.
+const SAMPLES: usize = 5;
+
+/// One benchmark measurement, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub name: String,
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub iters: u64,
+}
+
+/// The top-level harness handed to every benchmark function.
+#[derive(Default)]
+pub struct Harness {
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    pub fn new() -> Self {
+        Harness::default()
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        self.record(name.into(), b);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it are reported as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            prefix: name.to_string(),
+        }
+    }
+
+    fn record(&mut self, name: String, b: Bencher) {
+        if let Some(mut m) = b.result {
+            m.name = name;
+            println!(
+                "{:<44} {:>12.1} ns/iter (min {:>10.1}, {} samples x {} iters)",
+                m.name, m.median_ns, m.min_ns, SAMPLES, m.iters
+            );
+            self.results.push(m);
+        }
+    }
+
+    /// Prints a closing line; called by [`bench_main!`].
+    pub fn summary(&self) {
+        println!("{} benchmarks run", self.results.len());
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A benchmark group: names are prefixed, `finish` closes the group.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    prefix: String,
+}
+
+impl Group<'_> {
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name.into());
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        self.harness.record(full, b);
+        self
+    }
+
+    /// Accepted for call-shape compatibility; the harness always takes
+    /// [`SAMPLES`] batches.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Parameterised benchmark: the id is appended to the group name.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, id.0);
+        let mut b = Bencher { result: None };
+        f(&mut b, input);
+        self.harness.record(full, b);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier built from a displayable parameter.
+pub struct BenchId(String);
+
+impl BenchId {
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchId(p.to_string())
+    }
+}
+
+/// Runs the closed-over workload and measures it.
+pub struct Bencher {
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates an iteration count so one batch takes at
+    /// least [`BATCH_FLOOR`], then times [`SAMPLES`] batches and keeps the
+    /// median and minimum per-iteration time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let mut iters: u64 = 1;
+        let iters = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            if dt >= BATCH_FLOOR || iters >= 1 << 30 {
+                break iters;
+            }
+            // Jump close to the target batch size instead of doubling
+            // forever on very fast bodies.
+            let scale =
+                (BATCH_FLOOR.as_nanos() as u64 / dt.as_nanos().max(1) as u64).clamp(2, 1024);
+            iters = iters.saturating_mul(scale);
+        };
+        let mut samples = [0f64; SAMPLES];
+        for s in samples.iter_mut() {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            *s = t.elapsed().as_nanos() as f64 / iters as f64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(Measurement {
+            name: String::new(),
+            median_ns: samples[SAMPLES / 2],
+            min_ns: samples[0],
+            iters,
+        });
+    }
+}
+
+/// Bundles benchmark functions into one group function, mirroring
+/// Criterion's `criterion_group!`.
+#[macro_export]
+macro_rules! bench_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name(h: &mut $crate::micro::Harness) {
+            $( $f(h); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench target, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut h = $crate::micro::Harness::new();
+            $( $group(&mut h); )+
+            h.summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_body() {
+        let mut h = Harness::new();
+        h.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        assert_eq!(h.results().len(), 1);
+        assert!(h.results()[0].median_ns >= 0.0);
+        assert_eq!(h.results()[0].name, "noop");
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut h = Harness::new();
+        let mut g = h.benchmark_group("grp");
+        g.bench_function("x", |b| b.iter(|| black_box(2u32.pow(8))));
+        g.bench_with_input(BenchId::from_parameter(7), &7u32, |b, &k| {
+            b.iter(|| black_box(k * 3))
+        });
+        g.finish();
+        assert_eq!(h.results()[0].name, "grp/x");
+        assert_eq!(h.results()[1].name, "grp/7");
+    }
+}

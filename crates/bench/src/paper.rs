@@ -51,22 +51,150 @@ pub struct Table3Row {
 
 /// The sixteen rows of Table 3.
 pub const TABLE3: [Table3Row; 16] = [
-    Table3Row { app: "BT", variant: "dsm(1)", mapped: false, miss_ratio: 1.49, private: 2.4, local: 1.7, remote: 95.9 },
-    Table3Row { app: "BT", variant: "dsm(1)", mapped: true, miss_ratio: 1.47, private: 2.2, local: 63.7, remote: 34.1 },
-    Table3Row { app: "BT", variant: "dsm(2)", mapped: false, miss_ratio: 0.84, private: 76.3, local: 0.6, remote: 23.0 },
-    Table3Row { app: "BT", variant: "dsm(2)", mapped: true, miss_ratio: 0.85, private: 76.1, local: 12.7, remote: 11.2 },
-    Table3Row { app: "CG", variant: "dsm(1)", mapped: false, miss_ratio: 1.48, private: 27.8, local: 0.6, remote: 71.6 },
-    Table3Row { app: "CG", variant: "dsm(1)", mapped: true, miss_ratio: 1.48, private: 26.7, local: 0.7, remote: 72.6 },
-    Table3Row { app: "CG", variant: "dsm(2)", mapped: false, miss_ratio: 1.48, private: 28.2, local: 0.6, remote: 71.1 },
-    Table3Row { app: "CG", variant: "dsm(2)", mapped: true, miss_ratio: 1.44, private: 25.9, local: 0.7, remote: 73.4 },
-    Table3Row { app: "FT", variant: "dsm(1)", mapped: false, miss_ratio: 0.84, private: 30.2, local: 0.6, remote: 69.2 },
-    Table3Row { app: "FT", variant: "dsm(1)", mapped: true, miss_ratio: 0.81, private: 30.8, local: 50.9, remote: 18.3 },
-    Table3Row { app: "FT", variant: "dsm(2)", mapped: false, miss_ratio: 0.69, private: 57.2, local: 0.4, remote: 42.4 },
-    Table3Row { app: "FT", variant: "dsm(2)", mapped: true, miss_ratio: 0.77, private: 59.2, local: 23.0, remote: 17.9 },
-    Table3Row { app: "SP", variant: "dsm(1)", mapped: false, miss_ratio: 1.77, private: 4.5, local: 1.5, remote: 93.9 },
-    Table3Row { app: "SP", variant: "dsm(1)", mapped: true, miss_ratio: 1.84, private: 4.3, local: 36.0, remote: 59.7 },
-    Table3Row { app: "SP", variant: "dsm(2)", mapped: false, miss_ratio: 1.04, private: 24.7, local: 1.9, remote: 73.3 },
-    Table3Row { app: "SP", variant: "dsm(2)", mapped: true, miss_ratio: 1.02, private: 24.5, local: 36.9, remote: 38.6 },
+    Table3Row {
+        app: "BT",
+        variant: "dsm(1)",
+        mapped: false,
+        miss_ratio: 1.49,
+        private: 2.4,
+        local: 1.7,
+        remote: 95.9,
+    },
+    Table3Row {
+        app: "BT",
+        variant: "dsm(1)",
+        mapped: true,
+        miss_ratio: 1.47,
+        private: 2.2,
+        local: 63.7,
+        remote: 34.1,
+    },
+    Table3Row {
+        app: "BT",
+        variant: "dsm(2)",
+        mapped: false,
+        miss_ratio: 0.84,
+        private: 76.3,
+        local: 0.6,
+        remote: 23.0,
+    },
+    Table3Row {
+        app: "BT",
+        variant: "dsm(2)",
+        mapped: true,
+        miss_ratio: 0.85,
+        private: 76.1,
+        local: 12.7,
+        remote: 11.2,
+    },
+    Table3Row {
+        app: "CG",
+        variant: "dsm(1)",
+        mapped: false,
+        miss_ratio: 1.48,
+        private: 27.8,
+        local: 0.6,
+        remote: 71.6,
+    },
+    Table3Row {
+        app: "CG",
+        variant: "dsm(1)",
+        mapped: true,
+        miss_ratio: 1.48,
+        private: 26.7,
+        local: 0.7,
+        remote: 72.6,
+    },
+    Table3Row {
+        app: "CG",
+        variant: "dsm(2)",
+        mapped: false,
+        miss_ratio: 1.48,
+        private: 28.2,
+        local: 0.6,
+        remote: 71.1,
+    },
+    Table3Row {
+        app: "CG",
+        variant: "dsm(2)",
+        mapped: true,
+        miss_ratio: 1.44,
+        private: 25.9,
+        local: 0.7,
+        remote: 73.4,
+    },
+    Table3Row {
+        app: "FT",
+        variant: "dsm(1)",
+        mapped: false,
+        miss_ratio: 0.84,
+        private: 30.2,
+        local: 0.6,
+        remote: 69.2,
+    },
+    Table3Row {
+        app: "FT",
+        variant: "dsm(1)",
+        mapped: true,
+        miss_ratio: 0.81,
+        private: 30.8,
+        local: 50.9,
+        remote: 18.3,
+    },
+    Table3Row {
+        app: "FT",
+        variant: "dsm(2)",
+        mapped: false,
+        miss_ratio: 0.69,
+        private: 57.2,
+        local: 0.4,
+        remote: 42.4,
+    },
+    Table3Row {
+        app: "FT",
+        variant: "dsm(2)",
+        mapped: true,
+        miss_ratio: 0.77,
+        private: 59.2,
+        local: 23.0,
+        remote: 17.9,
+    },
+    Table3Row {
+        app: "SP",
+        variant: "dsm(1)",
+        mapped: false,
+        miss_ratio: 1.77,
+        private: 4.5,
+        local: 1.5,
+        remote: 93.9,
+    },
+    Table3Row {
+        app: "SP",
+        variant: "dsm(1)",
+        mapped: true,
+        miss_ratio: 1.84,
+        private: 4.3,
+        local: 36.0,
+        remote: 59.7,
+    },
+    Table3Row {
+        app: "SP",
+        variant: "dsm(2)",
+        mapped: false,
+        miss_ratio: 1.04,
+        private: 24.7,
+        local: 1.9,
+        remote: 73.3,
+    },
+    Table3Row {
+        app: "SP",
+        variant: "dsm(2)",
+        mapped: true,
+        miss_ratio: 1.02,
+        private: 24.5,
+        local: 36.9,
+        remote: 38.6,
+    },
 ];
 
 /// Table 4: per-app characteristics at the small and large node counts:

@@ -46,9 +46,8 @@ pub mod prelude {
         BitPattern, Cenju4NodeMap, DirectoryEntry, MemState, NodeId, NodeMap, SystemSize,
     };
     pub use cenju4_network::{Fabric, MulticastMode, NetParams};
-    pub use cenju4_protocol::{
-        Addr, CacheState, Engine, MemOp, ProtoParams, ProtocolKind,
-    };
+    pub use cenju4_protocol::observer::{Observer, StarvationProbe};
+    pub use cenju4_protocol::{Addr, CacheState, Engine, MemOp, ProtoParams, ProtocolKind};
     pub use cenju4_sim::{AccessClass, Driver, Program, RunReport, Step, SystemConfig, Target};
     pub use cenju4_workloads::{AppKind, Variant};
 }

@@ -106,7 +106,11 @@ impl<E> EventQueue<E> {
     /// Panics in debug builds if `at` is earlier than the current time —
     /// scheduling into the past would break causality.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, event });

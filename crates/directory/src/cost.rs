@@ -83,11 +83,11 @@ impl SchemeCost {
         let ptr = 32 - (n.max(2) - 1).leading_zeros(); // bits to name a node
         match self {
             SchemeCost::FullMap => n,
-            SchemeCost::Chained => 2 + ptr,        // state + head pointer
-            SchemeCost::LimitLess => 2 + 4 * ptr,  // state + 4 pointers
+            SchemeCost::Chained => 2 + ptr, // state + head pointer
+            SchemeCost::LimitLess => 2 + 4 * ptr, // state + 4 pointers
             SchemeCost::DynamicPointer => 2 + ptr, // state + list head
-            SchemeCost::Origin => 2 + 32,          // state + 32-bit vector
-            SchemeCost::Cenju4 => 64,              // the packed entry
+            SchemeCost::Origin => 2 + 32,   // state + 32-bit vector
+            SchemeCost::Cenju4 => 64,       // the packed entry
         }
     }
 

@@ -201,9 +201,7 @@ mod tests {
     fn digits_compose_to_node_number() {
         for raw in [0u16, 1, 5, 164, 1023] {
             let n = NodeId::new(raw);
-            let recomposed = (0..5).fold(0u16, |acc, d| {
-                acc | ((n.digit(d) as u16) << (2 * d))
-            });
+            let recomposed = (0..5).fold(0u16, |acc, d| acc | ((n.digit(d) as u16) << (2 * d)));
             assert_eq!(recomposed, raw);
         }
     }

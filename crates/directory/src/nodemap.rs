@@ -268,9 +268,7 @@ impl DestSpec {
     /// `n & mask == value & mask` — the switch-side routing primitive.
     pub fn intersects_masked(&self, mask: u32, value: u32) -> bool {
         match self {
-            DestSpec::Pointers(p) => p
-                .iter()
-                .any(|n| (n.index() as u32) & mask == value & mask),
+            DestSpec::Pointers(p) => p.iter().any(|n| (n.index() as u32) & mask == value & mask),
             DestSpec::Pattern(p) => p.intersects_masked(mask, value),
         }
     }
@@ -286,9 +284,9 @@ impl DestSpec {
     /// system-size input is exactly this clipping.
     pub fn intersects_masked_existing(&self, mask: u32, value: u32, sys: SystemSize) -> bool {
         match self {
-            DestSpec::Pointers(p) => p.iter().any(|n| {
-                sys.contains(n) && (n.index() as u32) & mask == value & mask
-            }),
+            DestSpec::Pointers(p) => p
+                .iter()
+                .any(|n| sys.contains(n) && (n.index() as u32) & mask == value & mask),
             DestSpec::Pattern(p) => {
                 if !p.intersects_masked(mask, value) {
                     return false;
@@ -504,6 +502,9 @@ mod tests {
     fn scheme_metadata() {
         let m = Cenju4NodeMap::new(sys(1024));
         assert_eq!(m.scheme_name(), "pointer+bit-pattern");
-        assert!(m.storage_bits() <= 59, "node map must fit the 59-bit budget");
+        assert!(
+            m.storage_bits() <= 59,
+            "node map must fit the 59-bit budget"
+        );
     }
 }

@@ -224,8 +224,7 @@ mod tests {
         for k in [8u32, 32, 64] {
             let bp = precision_curve(SchemeKind::Cenju4, sys(), &pool, &[k], 60, 6)[0];
             let cv = precision_curve(SchemeKind::CoarseVector32, sys(), &pool, &[k], 60, 6)[0];
-            let hb =
-                precision_curve(SchemeKind::HierarchicalBitMap, sys(), &pool, &[k], 60, 6)[0];
+            let hb = precision_curve(SchemeKind::HierarchicalBitMap, sys(), &pool, &[k], 60, 6)[0];
             assert!(bp.avg_represented <= cv.avg_represented + 1e-9);
             assert!(
                 bp.avg_represented < hb.avg_represented,

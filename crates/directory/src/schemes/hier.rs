@@ -68,7 +68,8 @@ impl NodeMap for HierarchicalBitMap {
     }
 
     fn contains(&self, node: NodeId) -> bool {
-        (0..self.fields.len()).all(|level| self.fields[level] & (1 << self.branch(node, level)) != 0)
+        (0..self.fields.len())
+            .all(|level| self.fields[level] & (1 << self.branch(node, level)) != 0)
     }
 
     fn count(&self) -> u32 {

@@ -160,9 +160,7 @@ impl<P: Payload> Fabric<P> {
     fn inject(&mut self, now: SimTime, src: NodeId) -> SimTime {
         let free = &mut self.inject_free[src.as_usize()];
         let depart = now.max(*free);
-        self.stats
-            .endpoint_wait
-            .push_duration(depart.since(now));
+        self.stats.endpoint_wait.push_duration(depart.since(now));
         *free = depart + self.params.inject_occupancy;
         depart + self.params.inject_latency
     }
@@ -183,7 +181,10 @@ impl<P: Payload> Fabric<P> {
     fn cross(&mut self, stage: u32, label: u32, p: u8, t: SimTime, data: bool) -> SimTime {
         let occ = self.occupancy(data);
         let hop = self.hop(data);
-        let free = self.port_free.entry((stage, label, p)).or_insert(SimTime::ZERO);
+        let free = self
+            .port_free
+            .entry((stage, label, p))
+            .or_insert(SimTime::ZERO);
         let depart = t.max(*free);
         self.stats.port_wait.push_duration(depart.since(t));
         *free = depart + occ;
@@ -356,7 +357,17 @@ impl<P: Payload> Fabric<P> {
             MulticastMode::Hardware => {
                 let mut out = Vec::new();
                 let t0 = self.inject(now, src) + self.params.multicast_setup;
-                self.descend(0, 0, src.index() as u32, t0, &spec, data, &payload, gather, &mut out);
+                self.descend(
+                    0,
+                    0,
+                    src.index() as u32,
+                    t0,
+                    &spec,
+                    data,
+                    &payload,
+                    gather,
+                    &mut out,
+                );
                 out
             }
             MulticastMode::SinglecastEmulation => {
@@ -734,10 +745,7 @@ mod tests {
         let dels = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 0, None);
         let mut got: Vec<u16> = dels.iter().map(|d| d.node.index()).collect();
         got.sort_unstable();
-        assert_eq!(
-            got,
-            expected.iter().map(|n| n.index()).collect::<Vec<_>>()
-        );
+        assert_eq!(got, expected.iter().map(|n| n.index()).collect::<Vec<_>>());
         assert!(got.iter().all(|&n| n < 256));
     }
 
@@ -813,10 +821,7 @@ mod tests {
         assert_eq!(combined.payload as usize, expected.len());
         assert_eq!(f.open_gathers(), 0);
         assert_eq!(f.stats().gather_delivered.get(), 1);
-        assert_eq!(
-            f.stats().gather_absorbed.get() as usize,
-            expected.len() - 1
-        );
+        assert_eq!(f.stats().gather_absorbed.get() as usize, expected.len() - 1);
     }
 
     #[test]

@@ -199,10 +199,7 @@ mod tests {
         // Two messages src->dst cross exactly the same switches.
         let t = topo(1024);
         for j in 0..t.stages() {
-            assert_eq!(
-                t.switch_on_path(999, 3, j),
-                t.switch_on_path(999, 3, j),
-            );
+            assert_eq!(t.switch_on_path(999, 3, j), t.switch_on_path(999, 3, j),);
         }
     }
 

@@ -98,7 +98,10 @@ impl Cache {
     pub fn new(capacity_bytes: u32, assoc: usize) -> Self {
         assert!(assoc > 0);
         let lines = (capacity_bytes / crate::addr::BLOCK_BYTES) as usize;
-        assert!(lines >= assoc && lines.is_multiple_of(assoc), "bad cache geometry");
+        assert!(
+            lines >= assoc && lines.is_multiple_of(assoc),
+            "bad cache geometry"
+        );
         let nsets = lines / assoc;
         Cache {
             sets: vec![Vec::with_capacity(assoc); nsets],

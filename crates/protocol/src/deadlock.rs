@@ -83,12 +83,36 @@ pub struct Edge {
 /// * slaves emit replies into the network.
 pub fn protocol_edges() -> Vec<Edge> {
     vec![
-        Edge { from: Resource::Master, to: Resource::Network, label: "request/writeback out" },
-        Edge { from: Resource::Network, to: Resource::Home, label: "request/writeback/reply in" },
-        Edge { from: Resource::Home, to: Resource::Network, label: "reply/forward/invalidate out" },
-        Edge { from: Resource::Network, to: Resource::Slave, label: "forward/invalidate in" },
-        Edge { from: Resource::Slave, to: Resource::Network, label: "slave reply out" },
-        Edge { from: Resource::Network, to: Resource::Master, label: "reply in" },
+        Edge {
+            from: Resource::Master,
+            to: Resource::Network,
+            label: "request/writeback out",
+        },
+        Edge {
+            from: Resource::Network,
+            to: Resource::Home,
+            label: "request/writeback/reply in",
+        },
+        Edge {
+            from: Resource::Home,
+            to: Resource::Network,
+            label: "reply/forward/invalidate out",
+        },
+        Edge {
+            from: Resource::Network,
+            to: Resource::Slave,
+            label: "forward/invalidate in",
+        },
+        Edge {
+            from: Resource::Slave,
+            to: Resource::Network,
+            label: "slave reply out",
+        },
+        Edge {
+            from: Resource::Network,
+            to: Resource::Master,
+            label: "reply in",
+        },
     ]
 }
 

@@ -1,17 +1,25 @@
-//! The coherence engine: nodes, modules, and the event loop.
+//! The coherence engine: a deterministic scheduler over the per-node
+//! master/home/slave modules.
+//!
+//! The engine itself owns no protocol state: the MESI caches and
+//! outstanding transactions live in the [`MasterModule`]s, the directory
+//! entries, memory values, and request queues in the [`HomeModule`]s,
+//! and the intervention queues in the [`SlaveModule`]s. The engine's job
+//! is purely to pop events off the [`MessageBus`], notify observers, and
+//! route each event to the owning module.
 
 use crate::addr::Addr;
-use crate::cache::{Cache, CacheState};
-use crate::messages::{ProtoMsg, ReqKind, TxnId};
+use crate::cache::CacheState;
+use crate::messages::{ProtoMsg, TxnId};
+use crate::modules::bus::{BusMsg, MessageBus};
+use crate::modules::{Ctx, HomeModule, MasterModule, SlaveModule};
+use crate::observer::{Observer, ObserverSet, TraceObserver};
 use crate::params::{ProtoParams, ProtocolKind};
-use crate::service::ServiceQueue;
 use crate::stats::EngineStats;
-use cenju4_des::{Duration, EventQueue, SimTime};
-use cenju4_directory::nodemap::DestSpec;
-use cenju4_directory::{DirectoryEntry, MemState, NodeId, NodeMap, SystemSize};
-use cenju4_network::fabric::GatherId;
-use cenju4_network::{Delivery, Fabric, NetParams};
-use std::collections::{HashMap, VecDeque};
+use cenju4_des::{Duration, SimTime};
+use cenju4_directory::{MemState, NodeId, NodeMap, SystemSize};
+use cenju4_network::NetParams;
+use std::collections::HashSet;
 
 /// A processor-issued memory operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -90,126 +98,15 @@ impl Notification {
     }
 }
 
-/// Internal events.
-#[derive(Debug)]
-enum Ev {
-    /// A processor access reaches the master module.
-    Access {
-        node: NodeId,
-        op: MemOp,
-        addr: Addr,
-        txn: TxnId,
-    },
-    /// A protocol message arrives at `dst`.
-    Recv {
-        dst: NodeId,
-        src: NodeId,
-        msg: ProtoMsg,
-        gather: Option<GatherId>,
-    },
-    /// A nacked master retries.
-    Retry { node: NodeId, txn: TxnId },
-    /// A user-level message finished arriving.
-    MpDeliver {
-        to: NodeId,
-        from: NodeId,
-        tag: u64,
-        bytes: u64,
-        sent: SimTime,
-    },
-    /// A caller-scheduled marker.
-    Marker(u64),
-}
-
-/// An in-flight master transaction.
-#[derive(Clone, Debug)]
-struct MasterTxn {
-    op: MemOp,
-    addr: Addr,
-    issued: SimTime,
-    retries: u32,
-    /// The token a store writes (`txn + 1`).
-    store_value: u64,
-}
-
-/// What a home is waiting for on a pending block.
-#[derive(Clone, Debug)]
-enum Expect {
-    /// A reply from the forwarded-to owner.
-    SlaveReply,
-    /// Gathered (or singlecast) invalidation acks: how many are still due.
-    InvAcks { remaining: u32 },
-}
-
-/// A home-side pending transaction on one block.
-#[derive(Clone, Debug)]
-struct PendingTxn {
-    master: NodeId,
-    txn: TxnId,
-    kind: ReqKind,
-    expect: Expect,
-}
-
-/// A request parked in the home's main-memory queue.
-#[derive(Clone, Copy, Debug)]
-struct QueuedReq {
-    kind: ReqKind,
-    addr: Addr,
-    master: NodeId,
-    txn: TxnId,
-    /// Write-through data for queued update requests.
-    value: u64,
-}
-
-/// Per-node state: the cache plus the three protocol modules.
-struct NodeState {
-    cache: Cache,
-    // --- master module ---
-    outstanding: HashMap<TxnId, MasterTxn>,
-    backlog: VecDeque<(MemOp, Addr, TxnId, SimTime)>,
-    master_q: ServiceQueue,
-    // --- home module ---
-    directory: HashMap<Addr, DirectoryEntry>,
-    pending: HashMap<Addr, PendingTxn>,
-    req_queue: VecDeque<QueuedReq>,
-    req_queue_hwm: usize,
-    home_q: ServiceQueue,
-    // --- slave module ---
-    slave_q: ServiceQueue,
-    /// Blocks whose current value is held in this node's main memory
-    /// (third-level cache of the update-protocol extension), with the
-    /// cached data.
-    l3: HashMap<Addr, u64>,
-    /// This node's main memory contents (as home), by block.
-    mem: HashMap<Addr, u64>,
-}
-
-impl NodeState {
-    fn new(params: &ProtoParams) -> Self {
-        NodeState {
-            cache: Cache::new(params.cache_bytes, params.cache_assoc),
-            outstanding: HashMap::new(),
-            backlog: VecDeque::new(),
-            master_q: ServiceQueue::new(),
-            directory: HashMap::new(),
-            pending: HashMap::new(),
-            req_queue: VecDeque::new(),
-            req_queue_hwm: 0,
-            home_q: ServiceQueue::new(),
-            slave_q: ServiceQueue::new(),
-            l3: HashMap::new(),
-            mem: HashMap::new(),
-        }
-    }
-}
-
 /// The Cenju-4 DSM coherence engine.
 ///
-/// The engine owns the network fabric, the per-node caches, directories and
-/// protocol modules, and a discrete-event queue. Drivers issue memory
-/// accesses with [`Engine::issue`] and pump the simulation with
-/// [`Engine::run_next`] (one event at a time) or [`Engine::run`] (to
-/// quiescence), reacting to [`Notification`]s.
+/// The engine owns the per-node protocol modules, the message bus
+/// (network fabric + discrete-event queue), and the observer set.
+/// Drivers issue memory accesses with [`Engine::issue`] and pump the
+/// simulation with [`Engine::run_next`] (one event at a time) or
+/// [`Engine::run`] (to quiescence), reacting to [`Notification`]s.
+/// Instrumentation — statistics, tracing, and anything user-defined —
+/// attaches through [`Engine::add_observer`].
 ///
 /// # Examples
 ///
@@ -232,59 +129,72 @@ pub struct Engine {
     sys: SystemSize,
     params: ProtoParams,
     kind: ProtocolKind,
-    fabric: Fabric<ProtoMsg>,
-    queue: EventQueue<Ev>,
-    nodes: Vec<NodeState>,
+    bus: MessageBus,
+    masters: Vec<MasterModule>,
+    homes: Vec<HomeModule>,
+    slaves: Vec<SlaveModule>,
     next_txn: TxnId,
-    stats: EngineStats,
     notifications: Vec<Notification>,
-    update_blocks: std::collections::HashSet<Addr>,
-    /// Optional deterministic perturbation of message delivery times,
-    /// used by race-coverage tests to explore different interleavings.
-    jitter: Option<(cenju4_des::SplitMix64, u8)>,
-    /// With jitter on: last delivery time per (src, dst), to preserve the
-    /// network's in-order guarantee (which the protocol relies on — e.g.
-    /// a writeback must reach the home before the evictor's next request
-    /// for the same block).
-    jitter_order: HashMap<(NodeId, NodeId), SimTime>,
-    /// Optional event trace for debugging (disabled by default).
-    trace: crate::trace::Trace,
+    update_blocks: HashSet<Addr>,
+    observers: ObserverSet,
 }
 
 impl Engine {
     /// Creates an engine for a machine of `sys` nodes.
-    pub fn new(
-        sys: SystemSize,
-        params: ProtoParams,
-        net: NetParams,
-        kind: ProtocolKind,
-    ) -> Self {
+    pub fn new(sys: SystemSize, params: ProtoParams, net: NetParams, kind: ProtocolKind) -> Self {
         Engine {
             sys,
             params,
             kind,
-            fabric: Fabric::new(sys, net),
-            queue: EventQueue::new(),
-            nodes: (0..sys.nodes()).map(|_| NodeState::new(&params)).collect(),
+            bus: MessageBus::new(sys, net),
+            masters: (0..sys.nodes())
+                .map(|i| MasterModule::new(NodeId::new(i), &params))
+                .collect(),
+            homes: (0..sys.nodes())
+                .map(|i| HomeModule::new(NodeId::new(i)))
+                .collect(),
+            slaves: (0..sys.nodes())
+                .map(|i| SlaveModule::new(NodeId::new(i)))
+                .collect(),
             next_txn: 0,
-            stats: EngineStats::default(),
             notifications: Vec::new(),
-            update_blocks: std::collections::HashSet::new(),
-            jitter: None,
-            jitter_order: HashMap::new(),
-            trace: crate::trace::Trace::disabled(),
+            update_blocks: HashSet::new(),
+            observers: ObserverSet::default(),
         }
     }
 
     /// Enables protocol event tracing, retaining the most recent
     /// `capacity` events. Inspect with [`Engine::trace`].
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = crate::trace::Trace::with_capacity(capacity);
+        self.observers.trace = TraceObserver::with_capacity(capacity);
     }
 
     /// The event trace (empty unless [`Engine::enable_trace`] was called).
     pub fn trace(&self) -> &crate::trace::Trace {
-        &self.trace
+        self.observers.trace.trace()
+    }
+
+    /// Registers an [`Observer`] to be notified of protocol events,
+    /// after the built-in statistics and trace observers. Retrieve it
+    /// later with [`Engine::observer`].
+    pub fn add_observer(&mut self, obs: Box<dyn Observer>) {
+        self.observers.user.push(obs);
+    }
+
+    /// The first registered observer of concrete type `T`, if any.
+    pub fn observer<T: Observer + 'static>(&self) -> Option<&T> {
+        self.observers
+            .user
+            .iter()
+            .find_map(|o| o.as_ref().as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable access to the first registered observer of type `T`.
+    pub fn observer_mut<T: Observer + 'static>(&mut self) -> Option<&mut T> {
+        self.observers
+            .user
+            .iter_mut()
+            .find_map(|o| o.as_mut().as_any_mut().downcast_mut::<T>())
     }
 
     /// Enables deterministic timing jitter: every network delivery's
@@ -299,7 +209,7 @@ impl Engine {
     /// Panics if `pct > 90`.
     pub fn enable_timing_jitter(&mut self, seed: u64, pct: u8) {
         assert!(pct <= 90, "jitter percentage too large");
-        self.jitter = Some((cenju4_des::SplitMix64::new(seed), pct));
+        self.bus.enable_jitter(seed, pct);
     }
 
     /// The machine size.
@@ -309,17 +219,17 @@ impl Engine {
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        self.bus.now()
     }
 
-    /// Engine counters.
+    /// Engine counters (maintained by the built-in stats observer).
     pub fn stats(&self) -> &EngineStats {
-        &self.stats
+        self.observers.stats.stats()
     }
 
     /// Network counters.
     pub fn net_stats(&self) -> &cenju4_network::NetStats {
-        self.fabric.stats()
+        self.bus.net_stats()
     }
 
     /// The protocol parameters in force.
@@ -340,7 +250,7 @@ impl Engine {
     /// first use; migrating a live block between protocols is not
     /// modeled).
     pub fn mark_update_block(&mut self, addr: Addr) {
-        let fresh = self.nodes[addr.home().as_usize()]
+        let fresh = self.homes[addr.home().as_usize()]
             .directory
             .get(&addr)
             .is_none_or(|e| e.state() == MemState::Clean && e.map().is_empty());
@@ -355,33 +265,29 @@ impl Engine {
 
     /// Whether `node`'s third-level cache holds a fresh copy of `addr`.
     pub fn l3_valid(&self, node: NodeId, addr: Addr) -> bool {
-        self.nodes[node.as_usize()].l3.contains_key(&addr)
+        self.masters[node.as_usize()].l3.contains_key(&addr)
     }
 
     /// The data in `addr`'s home memory (0 if never written).
     pub fn memory_value(&self, addr: Addr) -> u64 {
-        self.nodes[addr.home().as_usize()]
-            .mem
-            .get(&addr)
-            .copied()
-            .unwrap_or(0)
+        self.homes[addr.home().as_usize()].mem_value(addr)
     }
 
     /// The data in `node`'s cached copy of `addr` (0 if absent).
     pub fn cache_value(&self, node: NodeId, addr: Addr) -> u64 {
-        self.nodes[node.as_usize()].cache.value(addr)
+        self.masters[node.as_usize()].cache.value(addr)
     }
 
     /// The MESI state of `addr` in `node`'s cache (observability for
     /// tests and experiments).
     pub fn cache_state(&self, node: NodeId, addr: Addr) -> CacheState {
-        self.nodes[node.as_usize()].cache.state(addr)
+        self.masters[node.as_usize()].cache.state(addr)
     }
 
     /// The nodes the directory currently records for `addr` (the
     /// represented set — possibly a superset of the true sharers).
     pub fn directory_sharers(&self, addr: Addr) -> Vec<NodeId> {
-        self.nodes[addr.home().as_usize()]
+        self.homes[addr.home().as_usize()]
             .directory
             .get(&addr)
             .map(|e| e.map().represented())
@@ -390,7 +296,7 @@ impl Engine {
 
     /// The directory state of `addr` at its home (Clean if never touched).
     pub fn memory_state(&self, addr: Addr) -> MemState {
-        self.nodes[addr.home().as_usize()]
+        self.homes[addr.home().as_usize()]
             .directory
             .get(&addr)
             .map_or(MemState::Clean, |e| e.state())
@@ -400,16 +306,20 @@ impl Engine {
     /// The paper's starvation-freedom argument bounds this by
     /// `nodes × 4` (4096 entries / 32 KB on the full machine).
     pub fn max_request_queue_depth(&self) -> usize {
-        self.nodes.iter().map(|n| n.req_queue_hwm).max().unwrap_or(0)
+        self.homes
+            .iter()
+            .map(|h| h.req_queue_hwm)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The deepest slave-module input backlog seen at any node. The
     /// paper bounds the slave's main-memory spill buffer by `nodes × 4`
     /// messages (64 KB on the full machine).
     pub fn max_slave_input_depth(&self) -> u64 {
-        self.nodes
+        self.slaves
             .iter()
-            .map(|n| n.slave_q.depth_high_water())
+            .map(|s| s.input_q.depth_high_water())
             .max()
             .unwrap_or(0)
     }
@@ -417,9 +327,9 @@ impl Engine {
     /// The deepest master-module input backlog seen at any node; bounded
     /// by the four outstanding requests a processor may have.
     pub fn max_master_input_depth(&self) -> u64 {
-        self.nodes
+        self.masters
             .iter()
-            .map(|n| n.master_q.depth_high_water())
+            .map(|m| m.input_q.depth_high_water())
             .max()
             .unwrap_or(0)
     }
@@ -427,7 +337,7 @@ impl Engine {
     /// Retries performed by the given transaction's master so far
     /// (nack baseline instrumentation).
     pub fn txn_retries(&self, node: NodeId, txn: TxnId) -> Option<u32> {
-        self.nodes[node.as_usize()]
+        self.masters[node.as_usize()]
             .outstanding
             .get(&txn)
             .map(|t| t.retries)
@@ -443,7 +353,15 @@ impl Engine {
     pub fn issue(&mut self, at: SimTime, node: NodeId, op: MemOp, addr: Addr) -> TxnId {
         let txn = self.next_txn;
         self.next_txn += 1;
-        self.queue.schedule_at(at, Ev::Access { node, op, addr, txn });
+        self.bus.schedule(
+            at,
+            BusMsg::Access {
+                node,
+                op,
+                addr,
+                txn,
+            },
+        );
         txn
     }
 
@@ -466,11 +384,11 @@ impl Engine {
         };
         // Half the software overhead on the send side, half on receive.
         let d = self
-            .fabric
+            .bus
             .send_bulk(at + Duration::from_ns(sw.as_ns() / 2), src, dst, bytes, msg);
-        self.queue.schedule_at(
+        self.bus.schedule(
             d.at + Duration::from_ns(sw.as_ns() - sw.as_ns() / 2),
-            Ev::MpDeliver {
+            BusMsg::MpDeliver {
                 to: dst,
                 from: src,
                 tag,
@@ -484,13 +402,13 @@ impl Engine {
     /// interleaving its own timed work (think time, synchronization) with
     /// protocol events.
     pub fn schedule_marker(&mut self, at: SimTime, token: u64) {
-        self.queue.schedule_at(at, Ev::Marker(token));
+        self.bus.schedule(at, BusMsg::Marker(token));
     }
 
     /// Processes a single event. Returns the notifications it produced,
     /// or `None` when the simulation is quiescent.
     pub fn run_next(&mut self) -> Option<Vec<Notification>> {
-        let (at, ev) = self.queue.pop()?;
+        let (at, ev) = self.bus.pop()?;
         self.dispatch(at, ev);
         Some(std::mem::take(&mut self.notifications))
     }
@@ -505,117 +423,54 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
-    // Messaging helpers
-    // ------------------------------------------------------------------
-
-    /// Sends `msg` from `src` to `dst` at time `now`, using the network
-    /// for remote pairs and an immediate local hand-off otherwise.
-    fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, msg: ProtoMsg) {
-        if src == dst {
-            self.queue.schedule_at(
-                now,
-                Ev::Recv {
-                    dst,
-                    src,
-                    msg,
-                    gather: None,
-                },
-            );
-        } else {
-            let data = msg.carries_data();
-            let d = self.fabric.send_unicast(now, src, dst, data, msg);
-            self.schedule_delivery(d);
-        }
-    }
-
-    fn schedule_delivery(&mut self, d: Delivery<ProtoMsg>) {
-        let mut at = d.at;
-        if let Some((rng, pct)) = &mut self.jitter {
-            let now = self.queue.now();
-            let delay = at.since(now).as_ns();
-            let span = delay * (*pct as u64) / 100;
-            if span > 0 {
-                let offset = rng.next_below(2 * span + 1);
-                at = now + Duration::from_ns(delay - span + offset);
-            }
-            // Never reorder two messages between the same pair of nodes.
-            let floor = self
-                .jitter_order
-                .get(&(d.src, d.node))
-                .copied()
-                .unwrap_or(SimTime::ZERO);
-            if at <= floor {
-                at = floor + Duration::from_ns(1);
-            }
-            self.jitter_order.insert((d.src, d.node), at);
-        }
-        self.queue.schedule_at(
-            at,
-            Ev::Recv {
-                dst: d.node,
-                src: d.src,
-                msg: d.payload,
-                gather: d.gather,
-            },
-        );
-    }
-
-    // ------------------------------------------------------------------
     // Event dispatch
     // ------------------------------------------------------------------
 
-    fn dispatch(&mut self, at: SimTime, ev: Ev) {
-        if self.trace.enabled() {
-            let (node, label, addr, txn) = match &ev {
-                Ev::Access { node, addr, txn, op, .. } => (
-                    *node,
-                    match op {
-                        MemOp::Load => "access:load",
-                        MemOp::Store => "access:store",
-                    },
-                    Some(*addr),
-                    Some(*txn),
-                ),
-                Ev::Marker(_) => (NodeId::new(0), "marker", None, None),
-                Ev::Retry { node, txn } => (*node, "retry", None, Some(*txn)),
-                Ev::MpDeliver { to, .. } => (*to, "mp:deliver", None, None),
-                Ev::Recv { dst, msg, .. } => (
-                    *dst,
-                    match msg {
-                        ProtoMsg::Request { .. } => "home:request",
-                        ProtoMsg::WriteBack { .. } => "home:writeback",
-                        ProtoMsg::Forward { .. } => "slave:forward",
-                        ProtoMsg::Invalidate { .. } => "slave:invalidate",
-                        ProtoMsg::Update { .. } => "slave:update",
-                        ProtoMsg::SlaveReply { .. } => "home:slave-reply",
-                        ProtoMsg::InvAck { .. } => "home:inv-ack",
-                        ProtoMsg::DataReply { .. } => "master:data-reply",
-                        ProtoMsg::AckReply { .. } => "master:ack-reply",
-                        ProtoMsg::Nack { .. } => "master:nack",
-                        ProtoMsg::UserMessage { .. } => "mp:message",
-                    },
-                    Some(msg.addr()),
-                    None,
-                ),
-            };
-            self.trace.record(crate::trace::TraceRecord {
-                at,
+    /// Notifies observers of the event, then routes it to the module
+    /// that owns the corresponding state.
+    fn dispatch(&mut self, at: SimTime, ev: BusMsg) {
+        match &ev {
+            BusMsg::Access {
                 node,
-                label,
+                op,
                 addr,
                 txn,
-            });
+            } => self.observers.on_access(at, *node, *op, *addr, *txn),
+            BusMsg::Retry { node, txn } => self.observers.on_retry(at, *node, *txn),
+            BusMsg::Marker(token) => self.observers.on_marker(at, *token),
+            BusMsg::MpDeliver {
+                to,
+                from,
+                tag,
+                bytes,
+                ..
+            } => self.observers.on_mp_delivered(at, *to, *from, *tag, *bytes),
+            BusMsg::Recv { dst, src, msg, .. } => self.observers.on_receive(at, *dst, *src, msg),
         }
+        let ctx = &mut Ctx {
+            params: self.params,
+            kind: self.kind,
+            sys: self.sys,
+            bus: &mut self.bus,
+            obs: &mut self.observers,
+            notes: &mut self.notifications,
+            update_blocks: &self.update_blocks,
+        };
         match ev {
-            Ev::Access { node, op, addr, txn } => self.handle_access(at, node, op, addr, txn),
-            Ev::Marker(token) => self.notifications.push(Notification::Marker { token, at }),
-            Ev::MpDeliver {
+            BusMsg::Access {
+                node,
+                op,
+                addr,
+                txn,
+            } => self.masters[node.as_usize()].handle_access(ctx, at, op, addr, txn),
+            BusMsg::Marker(token) => ctx.notes.push(Notification::Marker { token, at }),
+            BusMsg::MpDeliver {
                 to,
                 from,
                 tag,
                 bytes,
                 sent,
-            } => self.notifications.push(Notification::MessageDelivered {
+            } => ctx.notes.push(Notification::MessageDelivered {
                 to,
                 from,
                 tag,
@@ -623,1148 +478,32 @@ impl Engine {
                 sent,
                 delivered: at,
             }),
-            Ev::Retry { node, txn } => self.handle_retry(at, node, txn),
-            Ev::Recv {
+            BusMsg::Retry { node, txn } => self.masters[node.as_usize()].handle_retry(ctx, at, txn),
+            BusMsg::Recv {
                 dst,
                 src,
                 msg,
                 gather,
             } => match &msg {
                 ProtoMsg::Request { .. } | ProtoMsg::WriteBack { .. } => {
-                    self.home_recv(at, dst, msg)
+                    self.homes[dst.as_usize()].recv(ctx, at, msg)
                 }
                 ProtoMsg::SlaveReply { .. } | ProtoMsg::InvAck { .. } => {
-                    self.home_reply_recv(at, dst, msg)
+                    self.homes[dst.as_usize()].reply_recv(ctx, at, msg)
                 }
                 ProtoMsg::Forward { .. }
                 | ProtoMsg::Invalidate { .. }
-                | ProtoMsg::Update { .. } => self.slave_recv(at, dst, src, msg, gather),
+                | ProtoMsg::Update { .. } => {
+                    let i = dst.as_usize();
+                    self.slaves[i].recv(ctx, at, src, msg, gather, &mut self.masters[i])
+                }
                 ProtoMsg::DataReply { .. } | ProtoMsg::AckReply { .. } | ProtoMsg::Nack { .. } => {
-                    self.master_recv(at, dst, msg)
+                    self.masters[dst.as_usize()].recv(ctx, at, msg)
                 }
                 ProtoMsg::UserMessage { .. } => {
                     unreachable!("user messages are delivered via MpDeliver")
                 }
             },
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Processor / master module
-    // ------------------------------------------------------------------
-
-    fn handle_access(&mut self, at: SimTime, node: NodeId, op: MemOp, addr: Addr, txn: TxnId) {
-        let params = self.params;
-        if self.update_blocks.contains(&addr) {
-            return self.handle_update_access(at, node, op, addr, txn);
-        }
-        let n = &mut self.nodes[node.as_usize()];
-        let state = n.cache.touch(addr);
-        let hit_done = at + params.hit;
-        match (op, state) {
-            (MemOp::Load, s) if s.readable() => {
-                let v = n.cache.value(addr);
-                self.complete(node, txn, op, addr, at, hit_done, true, false, v);
-            }
-            (MemOp::Store, CacheState::Modified) => {
-                n.cache.set_value(addr, txn + 1);
-                self.complete(node, txn, op, addr, at, hit_done, true, false, txn + 1);
-            }
-            (MemOp::Store, CacheState::Exclusive) => {
-                n.cache.set_state(addr, CacheState::Modified);
-                n.cache.set_value(addr, txn + 1);
-                self.complete(node, txn, op, addr, at, hit_done, true, false, txn + 1);
-            }
-            _ => {
-                // Miss (or upgrade): a coherence request is needed.
-                let busy_on_addr = n.outstanding.values().any(|t| t.addr == addr);
-                if n.outstanding.len() >= params.max_outstanding || busy_on_addr {
-                    n.backlog.push_back((op, addr, txn, at));
-                    return;
-                }
-                n.outstanding.insert(
-                    txn,
-                    MasterTxn {
-                        op,
-                        addr,
-                        issued: at,
-                        retries: 0,
-                        store_value: txn + 1,
-                    },
-                );
-                let kind = Self::request_kind(op, state);
-                self.stats.requests.incr();
-                self.send(
-                    at + params.issue,
-                    node,
-                    addr.home(),
-                    ProtoMsg::Request {
-                        kind,
-                        addr,
-                        master: node,
-                        txn,
-                        value: 0,
-                    },
-                );
-            }
-        }
-    }
-
-    /// Access path for update-protocol blocks: loads prefer the local
-    /// third-level cache; stores always write through to the home.
-    fn handle_update_access(
-        &mut self,
-        at: SimTime,
-        node: NodeId,
-        op: MemOp,
-        addr: Addr,
-        txn: TxnId,
-    ) {
-        let params = self.params;
-        let n = &mut self.nodes[node.as_usize()];
-        let state = n.cache.touch(addr);
-        debug_assert!(
-            !state.writable(),
-            "update blocks never hold M/E in the L2"
-        );
-        match op {
-            MemOp::Load if state.readable() => {
-                let v = n.cache.value(addr);
-                self.complete(node, txn, op, addr, at, at + params.hit, true, false, v);
-            }
-            MemOp::Load if n.l3.contains_key(&addr) => {
-                // L2 miss satisfied from the node's own main memory.
-                let v = n.l3[&addr];
-                let victim = if n.cache.state(addr) == CacheState::Invalid {
-                    n.cache.fill_value(addr, CacheState::Shared, v)
-                } else {
-                    None
-                };
-                if let Some(vic) = victim {
-                    if vic.dirty {
-                        self.stats.writebacks.incr();
-                        self.send(
-                            at + params.hit,
-                            node,
-                            vic.addr.home(),
-                            ProtoMsg::WriteBack {
-                                addr: vic.addr,
-                                from: node,
-                                value: vic.value,
-                            },
-                        );
-                    }
-                }
-                self.stats.l3_fills.incr();
-                self.complete(node, txn, op, addr, at, at + params.l3_fill, false, true, v);
-            }
-            _ => {
-                // Cold load (subscribe) or write-through store.
-                let busy_on_addr = self.nodes[node.as_usize()]
-                    .outstanding
-                    .values()
-                    .any(|t| t.addr == addr);
-                if self.nodes[node.as_usize()].outstanding.len() >= params.max_outstanding
-                    || busy_on_addr
-                {
-                    self.nodes[node.as_usize()]
-                        .backlog
-                        .push_back((op, addr, txn, at));
-                    return;
-                }
-                self.nodes[node.as_usize()].outstanding.insert(
-                    txn,
-                    MasterTxn {
-                        op,
-                        addr,
-                        issued: at,
-                        retries: 0,
-                        store_value: txn + 1,
-                    },
-                );
-                let kind = match op {
-                    MemOp::Load => ReqKind::ReadShared,
-                    MemOp::Store => ReqKind::Update,
-                };
-                self.stats.requests.incr();
-                if kind == ReqKind::Update {
-                    self.stats.updates.incr();
-                }
-                self.send(
-                    at + params.issue,
-                    node,
-                    addr.home(),
-                    ProtoMsg::Request {
-                        kind,
-                        addr,
-                        master: node,
-                        txn,
-                        value: txn + 1,
-                    },
-                );
-            }
-        }
-    }
-
-    fn request_kind(op: MemOp, state: CacheState) -> ReqKind {
-        match (op, state) {
-            (MemOp::Load, _) => ReqKind::ReadShared,
-            (MemOp::Store, CacheState::Shared) => ReqKind::Ownership,
-            (MemOp::Store, _) => ReqKind::ReadExclusive,
-        }
-    }
-
-    fn handle_retry(&mut self, at: SimTime, node: NodeId, txn: TxnId) {
-        let params = self.params;
-        let (op, addr) = {
-            let n = &self.nodes[node.as_usize()];
-            let t = &n.outstanding[&txn];
-            (t.op, t.addr)
-        };
-        // Re-evaluate the request kind: the cached copy may have been
-        // invalidated while we were nacked.
-        let state = self.nodes[node.as_usize()].cache.state(addr);
-        let kind = if self.update_blocks.contains(&addr) {
-            match op {
-                MemOp::Load => ReqKind::ReadShared,
-                MemOp::Store => ReqKind::Update,
-            }
-        } else {
-            Self::request_kind(op, state)
-        };
-        self.stats.retries.incr();
-        self.stats.requests.incr();
-        let value = if kind == ReqKind::Update { txn + 1 } else { 0 };
-        self.send(
-            at + params.issue,
-            node,
-            addr.home(),
-            ProtoMsg::Request {
-                kind,
-                addr,
-                master: node,
-                txn,
-                value,
-            },
-        );
-    }
-
-    fn master_recv(&mut self, at: SimTime, node: NodeId, msg: ProtoMsg) {
-        let params = self.params;
-        match msg {
-            ProtoMsg::DataReply {
-                addr,
-                txn,
-                grant,
-                value,
-            } => {
-                let done = self.nodes[node.as_usize()].master_q.begin(at, params.retire);
-                let t = self.nodes[node.as_usize()]
-                    .outstanding
-                    .remove(&txn)
-                    .expect("reply for unknown txn");
-                if self.update_blocks.contains(&addr) {
-                    // A subscription read: the data also lands in the
-                    // node's main-memory third-level cache.
-                    self.nodes[node.as_usize()].l3.insert(addr, value);
-                }
-                // A store immediately overwrites the granted line.
-                let observed = match t.op {
-                    MemOp::Load => value,
-                    MemOp::Store => t.store_value,
-                };
-                let n = &mut self.nodes[node.as_usize()];
-                let victim = if n.cache.state(addr) != CacheState::Invalid {
-                    n.cache.set_state(addr, grant);
-                    n.cache.set_value(addr, observed);
-                    None
-                } else {
-                    n.cache.fill_value(addr, grant, observed)
-                };
-                if let Some(v) = victim {
-                    if v.dirty {
-                        self.stats.writebacks.incr();
-                        self.send(
-                            done,
-                            node,
-                            v.addr.home(),
-                            ProtoMsg::WriteBack {
-                                addr: v.addr,
-                                from: node,
-                                value: v.value,
-                            },
-                        );
-                    }
-                }
-                self.complete(node, txn, t.op, addr, t.issued, done, false, false, observed);
-                self.drain_backlog(node, done);
-            }
-            ProtoMsg::AckReply { addr, txn } => {
-                let done = self.nodes[node.as_usize()].master_q.begin(at, params.retire);
-                let t = self.nodes[node.as_usize()]
-                    .outstanding
-                    .remove(&txn)
-                    .expect("ack for unknown txn");
-                if self.update_blocks.contains(&addr) {
-                    // Write-through acknowledged: the writer keeps (or
-                    // gains) a Shared copy; its own memory is fresh too.
-                    let n = &mut self.nodes[node.as_usize()];
-                    n.l3.insert(addr, t.store_value);
-                    let victim = match n.cache.state(addr) {
-                        CacheState::Invalid => {
-                            n.cache.fill_value(addr, CacheState::Shared, t.store_value)
-                        }
-                        _ => {
-                            n.cache.set_value(addr, t.store_value);
-                            None
-                        }
-                    };
-                    if let Some(v) = victim {
-                        if v.dirty {
-                            self.stats.writebacks.incr();
-                            self.send(
-                                done,
-                                node,
-                                v.addr.home(),
-                                ProtoMsg::WriteBack {
-                                    addr: v.addr,
-                                    from: node,
-                                    value: v.value,
-                                },
-                            );
-                        }
-                    }
-                } else {
-                    let n = &mut self.nodes[node.as_usize()];
-                    let victim = match n.cache.state(addr) {
-                        CacheState::Shared => {
-                            n.cache.set_state(addr, CacheState::Modified);
-                            n.cache.set_value(addr, t.store_value);
-                            None
-                        }
-                        CacheState::Invalid => {
-                            // The Shared copy was evicted while the
-                            // ownership upgrade was in flight (real
-                            // hardware pins transient lines; this model
-                            // lets conflicting fills race). Reinstall the
-                            // line — the block's value is the store's.
-                            n.cache.fill_value(addr, CacheState::Modified, t.store_value)
-                        }
-                        other => unreachable!("ownership ack with {other} copy"),
-                    };
-                    if let Some(v) = victim {
-                        if v.dirty {
-                            self.stats.writebacks.incr();
-                            self.send(
-                                done,
-                                node,
-                                v.addr.home(),
-                                ProtoMsg::WriteBack {
-                                    addr: v.addr,
-                                    from: node,
-                                    value: v.value,
-                                },
-                            );
-                        }
-                    }
-                }
-                self.complete(node, txn, t.op, addr, t.issued, done, false, false, t.store_value);
-                self.drain_backlog(node, done);
-            }
-            ProtoMsg::Nack { txn, .. } => {
-                let n = &mut self.nodes[node.as_usize()];
-                let t = n.outstanding.get_mut(&txn).expect("nack for unknown txn");
-                t.retries += 1;
-                self.stats.nacks.incr();
-                self.queue
-                    .schedule_at(at + params.nack_retry, Ev::Retry { node, txn });
-            }
-            other => panic!("master received {other:?}"),
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn complete(
-        &mut self,
-        node: NodeId,
-        txn: TxnId,
-        op: MemOp,
-        addr: Addr,
-        issued: SimTime,
-        finished: SimTime,
-        hit: bool,
-        l3: bool,
-        value: u64,
-    ) {
-        self.stats.completed.incr();
-        if hit {
-            self.stats.hits.incr();
-        }
-        self.notifications.push(Notification::Completed {
-            node,
-            txn,
-            op,
-            addr,
-            issued,
-            finished,
-            hit,
-            l3,
-            value,
-        });
-    }
-
-    fn drain_backlog(&mut self, node: NodeId, at: SimTime) {
-        if let Some((op, addr, txn, _issued)) = self.nodes[node.as_usize()].backlog.pop_front() {
-            self.queue.schedule_at(at, Ev::Access { node, op, addr, txn });
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Home module: requests and writebacks
-    // ------------------------------------------------------------------
-
-    fn entry(&mut self, addr: Addr) -> &mut DirectoryEntry {
-        let sys = self.sys;
-        self.nodes[addr.home().as_usize()]
-            .directory
-            .entry(addr)
-            .or_insert_with(|| DirectoryEntry::new(sys))
-    }
-
-    fn home_recv(&mut self, at: SimTime, home: NodeId, msg: ProtoMsg) {
-        debug_assert_eq!(msg.addr().home(), home, "message routed to wrong home");
-        let params = self.params;
-        match msg {
-            ProtoMsg::WriteBack { addr, from, value } => {
-                let done = self.nodes[home.as_usize()].home_q.begin(at, params.home_wb);
-                let _ = done;
-                self.nodes[home.as_usize()].mem.insert(addr, value);
-                let e = self.entry(addr);
-                if e.state() == MemState::Dirty {
-                    debug_assert!(e.map().contains(from), "writeback from non-owner");
-                    e.set_state(MemState::Clean);
-                    e.map_mut().clear();
-                }
-                // Otherwise: data written to memory, directory unchanged
-                // (the pending transaction in flight will supersede it).
-            }
-            ProtoMsg::Request {
-                kind,
-                addr,
-                master,
-                txn,
-                value,
-            } => {
-                let state = self.entry(addr).state();
-                if state.is_pending() {
-                    match self.kind {
-                        ProtocolKind::Queuing => {
-                            let done =
-                                self.nodes[home.as_usize()].home_q.begin(at, params.home_fwd);
-                            let _ = done;
-                            self.enqueue_request(home, kind, addr, master, txn, value);
-                        }
-                        ProtocolKind::Nack => {
-                            let done =
-                                self.nodes[home.as_usize()].home_q.begin(at, params.home_fwd);
-                            self.stats.queued_requests.incr(); // counted as deflected
-                            self.send(done, home, master, ProtoMsg::Nack { addr, txn, kind });
-                        }
-                    }
-                } else {
-                    self.process_request(at, home, kind, addr, master, txn, value);
-                }
-            }
-            other => panic!("home received {other:?}"),
-        }
-    }
-
-    /// Parks a request in the home's main-memory FIFO (queuing protocol).
-    #[allow(clippy::too_many_arguments)]
-    fn enqueue_request(
-        &mut self,
-        home: NodeId,
-        kind: ReqKind,
-        addr: Addr,
-        master: NodeId,
-        txn: TxnId,
-        value: u64,
-    ) {
-        // An ownership request is converted to read-exclusive when queued:
-        // by the time it is serviced the master's copy may be gone.
-        // (Update requests are never converted; subscribers stay valid.)
-        let kind = if kind == ReqKind::Ownership {
-            ReqKind::ReadExclusive
-        } else {
-            kind
-        };
-        self.stats.queued_requests.incr();
-        let n = &mut self.nodes[home.as_usize()];
-        let was_empty = n.req_queue.is_empty();
-        n.req_queue.push_back(QueuedReq {
-            kind,
-            addr,
-            master,
-            txn,
-            value,
-        });
-        n.req_queue_hwm = n.req_queue_hwm.max(n.req_queue.len());
-        assert!(
-            n.req_queue.len() <= self.params.home_queue_capacity,
-            "home request queue overflowed its 32KB bound"
-        );
-        if was_empty {
-            // The new head's target block is marked so the completion of
-            // its pending transaction wakes the queue.
-            self.entry(addr).set_reservation(true);
-        }
-    }
-
-    /// Services a request whose block is in a stable state, per the
-    /// appendix of the paper.
-    #[allow(clippy::too_many_arguments)]
-    fn process_request(
-        &mut self,
-        at: SimTime,
-        home: NodeId,
-        kind: ReqKind,
-        addr: Addr,
-        master: NodeId,
-        txn: TxnId,
-        value: u64,
-    ) {
-        let params = self.params;
-        let (state, only_master, has_others, master_in_map, owner) = {
-            let e = self.entry(addr);
-            let m = e.map();
-            let count = m.count();
-            let master_in = m.contains(master);
-            let only_master = count == 0 || (count == 1 && master_in);
-            let others = count > if master_in { 1 } else { 0 };
-            let owner = m.represented().first().copied();
-            (e.state(), only_master, others, master_in, owner)
-        };
-        debug_assert!(!state.is_pending());
-
-        if self.update_blocks.contains(&addr) {
-            return self.process_update_request(at, home, kind, addr, master, txn, value);
-        }
-
-        match kind {
-            ReqKind::ReadShared => {
-                if only_master {
-                    // Grant exclusivity: no other copies exist.
-                    let done = self.nodes[home.as_usize()].home_q.begin(at, params.home_clean);
-                    let mem = self.memory_value(addr);
-                    let e = self.entry(addr);
-                    e.set_state(MemState::Dirty);
-                    e.map_mut().set_only(master);
-                    self.send(
-                        done,
-                        home,
-                        master,
-                        ProtoMsg::DataReply {
-                            addr,
-                            txn,
-                            grant: CacheState::Exclusive,
-                            value: mem,
-                        },
-                    );
-                } else if state == MemState::Clean {
-                    let done = self.nodes[home.as_usize()].home_q.begin(at, params.home_clean);
-                    let mem = self.memory_value(addr);
-                    self.entry(addr).map_mut().add(master);
-                    self.send(
-                        done,
-                        home,
-                        master,
-                        ProtoMsg::DataReply {
-                            addr,
-                            txn,
-                            grant: CacheState::Shared,
-                            value: mem,
-                        },
-                    );
-                } else {
-                    // Dirty at another node: forward.
-                    let done = self.nodes[home.as_usize()].home_q.begin(at, params.home_fwd);
-                    let slave = owner.expect("dirty block with empty map");
-                    self.entry(addr).set_state(MemState::PendingShared);
-                    self.nodes[home.as_usize()].pending.insert(
-                        addr,
-                        PendingTxn {
-                            master,
-                            txn,
-                            kind,
-                            expect: Expect::SlaveReply,
-                        },
-                    );
-                    self.stats.forwards.incr();
-                    self.send(
-                        done,
-                        home,
-                        slave,
-                        ProtoMsg::Forward {
-                            kind,
-                            addr,
-                            master,
-                            txn,
-                        },
-                    );
-                }
-            }
-            ReqKind::ReadExclusive => {
-                if only_master {
-                    let done = self.nodes[home.as_usize()].home_q.begin(at, params.home_clean);
-                    let mem = self.memory_value(addr);
-                    let e = self.entry(addr);
-                    e.set_state(MemState::Dirty);
-                    e.map_mut().set_only(master);
-                    self.send(
-                        done,
-                        home,
-                        master,
-                        ProtoMsg::DataReply {
-                            addr,
-                            txn,
-                            grant: CacheState::Modified,
-                            value: mem,
-                        },
-                    );
-                } else if state == MemState::Clean {
-                    // Invalidate every sharer, then grant from memory.
-                    let done = self.nodes[home.as_usize()].home_q.begin(at, params.home_fwd);
-                    self.entry(addr).set_state(MemState::PendingExclusive);
-                    self.start_invalidation(done, home, addr, master, txn, kind);
-                } else {
-                    let done = self.nodes[home.as_usize()].home_q.begin(at, params.home_fwd);
-                    let slave = owner.expect("dirty block with empty map");
-                    self.entry(addr).set_state(MemState::PendingExclusive);
-                    self.nodes[home.as_usize()].pending.insert(
-                        addr,
-                        PendingTxn {
-                            master,
-                            txn,
-                            kind,
-                            expect: Expect::SlaveReply,
-                        },
-                    );
-                    self.stats.forwards.incr();
-                    self.send(
-                        done,
-                        home,
-                        slave,
-                        ProtoMsg::Forward {
-                            kind,
-                            addr,
-                            master,
-                            txn,
-                        },
-                    );
-                }
-            }
-            ReqKind::Update => unreachable!("update requests target update blocks"),
-            ReqKind::Ownership => {
-                if state == MemState::Clean && master_in_map && only_master {
-                    // Sole sharer: upgrade without any invalidation.
-                    let done = self.nodes[home.as_usize()].home_q.begin(at, params.home_fwd);
-                    let e = self.entry(addr);
-                    e.set_state(MemState::Dirty);
-                    e.map_mut().set_only(master);
-                    self.send(done, home, master, ProtoMsg::AckReply { addr, txn });
-                } else if state == MemState::Clean && master_in_map && has_others {
-                    let done = self.nodes[home.as_usize()].home_q.begin(at, params.home_fwd);
-                    self.entry(addr).set_state(MemState::PendingInvalidate);
-                    self.start_invalidation(done, home, addr, master, txn, kind);
-                } else {
-                    // The master's copy is gone (crossed with an
-                    // invalidation) or the block is dirty elsewhere:
-                    // behave as a read-exclusive.
-                    self.process_request(at, home, ReqKind::ReadExclusive, addr, master, txn, 0);
-                }
-            }
-        }
-    }
-
-    /// Services a request on an update-protocol block: the block is only
-    /// ever Clean (or pending an update push), reads are served from
-    /// memory with a Shared grant, and writes go through memory and are
-    /// pushed to every subscriber.
-    #[allow(clippy::too_many_arguments)]
-    fn process_update_request(
-        &mut self,
-        at: SimTime,
-        home: NodeId,
-        kind: ReqKind,
-        addr: Addr,
-        master: NodeId,
-        txn: TxnId,
-        value: u64,
-    ) {
-        let params = self.params;
-        debug_assert_eq!(self.entry(addr).state(), MemState::Clean);
-        match kind {
-            ReqKind::ReadShared => {
-                // Subscribe the reader; memory is always valid.
-                let done = self.nodes[home.as_usize()].home_q.begin(at, params.home_clean);
-                let mem = self.memory_value(addr);
-                self.entry(addr).map_mut().add(master);
-                self.send(
-                    done,
-                    home,
-                    master,
-                    ProtoMsg::DataReply {
-                        addr,
-                        txn,
-                        grant: CacheState::Shared,
-                        value: mem,
-                    },
-                );
-            }
-            ReqKind::Update => {
-                // Write memory, then push the fresh line to every other
-                // subscriber; their acks gather back like invalidations.
-                let done = self.nodes[home.as_usize()].home_q.begin(at, params.home_wb);
-                self.nodes[home.as_usize()].mem.insert(addr, value);
-                self.entry(addr).map_mut().add(master);
-                let spec = {
-                    let e = self.entry(addr);
-                    match e.map().as_pointers() {
-                        Some(p) => {
-                            let mut q = *p;
-                            q.remove(master);
-                            DestSpec::Pointers(q)
-                        }
-                        None => e.map().to_dest_spec(),
-                    }
-                };
-                let targets = spec.fanout(self.sys);
-                if targets == 0 {
-                    // Sole subscriber: ack immediately.
-                    self.send(done, home, master, ProtoMsg::AckReply { addr, txn });
-                    return;
-                }
-                self.entry(addr).set_state(MemState::PendingInvalidate);
-                self.nodes[home.as_usize()].pending.insert(
-                    addr,
-                    PendingTxn {
-                        master,
-                        txn,
-                        kind,
-                        expect: Expect::InvAcks { remaining: targets },
-                    },
-                );
-                if targets <= params.singlecast_threshold.max(1) {
-                    for dst in spec.destinations(self.sys) {
-                        let msg = ProtoMsg::Update {
-                            addr,
-                            master,
-                            txn,
-                            value,
-                            singlecast: true,
-                        };
-                        if dst == home {
-                            self.queue.schedule_at(
-                                done,
-                                Ev::Recv {
-                                    dst,
-                                    src: home,
-                                    msg,
-                                    gather: None,
-                                },
-                            );
-                        } else {
-                            self.send(done, home, dst, msg);
-                        }
-                    }
-                } else {
-                    let gather = self.fabric.open_gather(home, spec);
-                    let msg = ProtoMsg::Update {
-                        addr,
-                        master,
-                        txn,
-                        value,
-                        singlecast: false,
-                    };
-                    let dels = self
-                        .fabric
-                        .send_multicast(done, home, spec, true, msg, Some(gather));
-                    for d in dels {
-                        self.schedule_delivery(d);
-                    }
-                }
-            }
-            ReqKind::ReadExclusive | ReqKind::Ownership => {
-                unreachable!("update blocks never receive exclusive requests")
-            }
-        }
-    }
-
-    /// Sends invalidations to the sharers of `addr` and records the
-    /// pending transaction. Uses a singlecast when only one node must be
-    /// invalidated, the gathered multicast otherwise (Section 4.1 notes
-    /// the hardware multicasts whenever the target count exceeds one).
-    fn start_invalidation(
-        &mut self,
-        at: SimTime,
-        home: NodeId,
-        addr: Addr,
-        master: NodeId,
-        txn: TxnId,
-        kind: ReqKind,
-    ) {
-        self.stats.invalidations.incr();
-        // Pointer representation can exclude the master precisely; the
-        // bit pattern cannot, so the master may receive (and must ack) its
-        // own invalidation.
-        let spec = {
-            let e = self.entry(addr);
-            match e.map().as_pointers() {
-                Some(p) => {
-                    let mut q = *p;
-                    q.remove(master);
-                    DestSpec::Pointers(q)
-                }
-                None => e.map().to_dest_spec(),
-            }
-        };
-        let targets = spec.fanout(self.sys);
-        debug_assert!(targets > 0, "invalidation with no targets");
-        self.stats.invalidation_copies.add(targets as u64);
-        if targets <= self.params.singlecast_threshold.max(1) {
-            self.nodes[home.as_usize()].pending.insert(
-                addr,
-                PendingTxn {
-                    master,
-                    txn,
-                    kind,
-                    expect: Expect::InvAcks { remaining: targets },
-                },
-            );
-            for dst in spec.destinations(self.sys) {
-                let msg = ProtoMsg::Invalidate {
-                    addr,
-                    master,
-                    txn,
-                    singlecast: true,
-                };
-                if dst == home {
-                    // The home's own slave module is reached internally.
-                    self.queue.schedule_at(
-                        at,
-                        Ev::Recv {
-                            dst,
-                            src: home,
-                            msg,
-                            gather: None,
-                        },
-                    );
-                } else {
-                    self.send(at, home, dst, msg);
-                }
-            }
-        } else {
-            let gather = self.fabric.open_gather(home, spec);
-            self.nodes[home.as_usize()].pending.insert(
-                addr,
-                PendingTxn {
-                    master,
-                    txn,
-                    kind,
-                    expect: Expect::InvAcks { remaining: targets },
-                },
-            );
-            let msg = ProtoMsg::Invalidate {
-                addr,
-                master,
-                txn,
-                singlecast: false,
-            };
-            let dels = self
-                .fabric
-                .send_multicast(at, home, spec, false, msg, Some(gather));
-            for d in dels {
-                self.schedule_delivery(d);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Home module: replies
-    // ------------------------------------------------------------------
-
-    fn home_reply_recv(&mut self, at: SimTime, home: NodeId, msg: ProtoMsg) {
-        let params = self.params;
-        match msg {
-            ProtoMsg::SlaveReply {
-                addr,
-                txn,
-                with_data,
-                value,
-            } => {
-                let service = if with_data {
-                    params.home_from_data
-                } else {
-                    params.home_from_ack
-                };
-                let done = self.nodes[home.as_usize()].home_q.begin(at, service);
-                if with_data {
-                    // The owner's modified line is written back to memory.
-                    self.nodes[home.as_usize()].mem.insert(addr, value);
-                }
-                let mem = self.memory_value(addr);
-                let p = self.nodes[home.as_usize()]
-                    .pending
-                    .remove(&addr)
-                    .expect("slave reply without pending txn");
-                debug_assert_eq!(p.txn, txn);
-                match p.kind {
-                    ReqKind::ReadShared => {
-                        let e = self.entry(addr);
-                        e.set_state(MemState::Clean);
-                        e.map_mut().add(p.master);
-                        self.send(
-                            done,
-                            home,
-                            p.master,
-                            ProtoMsg::DataReply {
-                                addr,
-                                txn,
-                                grant: CacheState::Shared,
-                                value: mem,
-                            },
-                        );
-                    }
-                    ReqKind::ReadExclusive => {
-                        let e = self.entry(addr);
-                        e.set_state(MemState::Dirty);
-                        e.map_mut().set_only(p.master);
-                        self.send(
-                            done,
-                            home,
-                            p.master,
-                            ProtoMsg::DataReply {
-                                addr,
-                                txn,
-                                grant: CacheState::Modified,
-                                value: mem,
-                            },
-                        );
-                    }
-                    ReqKind::Ownership | ReqKind::Update => {
-                        unreachable!("never forwarded to a slave")
-                    }
-                }
-                self.drain_queue(done, home, addr);
-            }
-            ProtoMsg::InvAck { addr, txn, acks } => {
-                let p = self.nodes[home.as_usize()]
-                    .pending
-                    .get_mut(&addr)
-                    .expect("inv ack without pending txn");
-                debug_assert_eq!(p.txn, txn);
-                let finished = match &mut p.expect {
-                    Expect::InvAcks { remaining } => {
-                        assert!(*remaining >= acks, "more acks than invalidations");
-                        *remaining -= acks;
-                        *remaining == 0
-                    }
-                    Expect::SlaveReply => panic!("inv ack while expecting slave reply"),
-                };
-                if !finished {
-                    // Singlecast acks trickle in individually; gathered
-                    // acks arrive as one combined message so this branch
-                    // is only reachable in unusual configurations.
-                    let _ = self.nodes[home.as_usize()].home_q.begin(at, params.home_from_ack);
-                    return;
-                }
-                let p = self.nodes[home.as_usize()]
-                    .pending
-                    .remove(&addr)
-                    .expect("pending vanished");
-                match p.kind {
-                    ReqKind::Update => {
-                        // Push complete: the block stays Clean and every
-                        // subscriber keeps its (now fresh) copy.
-                        let done =
-                            self.nodes[home.as_usize()].home_q.begin(at, params.home_from_ack);
-                        self.entry(addr).set_state(MemState::Clean);
-                        self.send(done, home, p.master, ProtoMsg::AckReply { addr, txn });
-                        self.drain_queue(done, home, addr);
-                    }
-                    ReqKind::ReadExclusive => {
-                        // Data comes from memory: full memory read service.
-                        let done =
-                            self.nodes[home.as_usize()].home_q.begin(at, params.home_clean);
-                        let mem = self.memory_value(addr);
-                        let e = self.entry(addr);
-                        e.set_state(MemState::Dirty);
-                        e.map_mut().set_only(p.master);
-                        self.send(
-                            done,
-                            home,
-                            p.master,
-                            ProtoMsg::DataReply {
-                                addr,
-                                txn,
-                                grant: CacheState::Modified,
-                                value: mem,
-                            },
-                        );
-                        self.drain_queue(done, home, addr);
-                    }
-                    ReqKind::Ownership => {
-                        let done =
-                            self.nodes[home.as_usize()].home_q.begin(at, params.home_from_ack);
-                        let e = self.entry(addr);
-                        e.set_state(MemState::Dirty);
-                        e.map_mut().set_only(p.master);
-                        self.send(done, home, p.master, ProtoMsg::AckReply { addr, txn });
-                        self.drain_queue(done, home, addr);
-                    }
-                    ReqKind::ReadShared => unreachable!("read-shared never invalidates"),
-                }
-            }
-            other => panic!("home reply path received {other:?}"),
-        }
-    }
-
-    /// Wakes the main-memory request queue after `addr` left its pending
-    /// state, per the reservation-bit discipline of Section 3.3.
-    fn drain_queue(&mut self, at: SimTime, home: NodeId, addr: Addr) {
-        if !self.entry(addr).reservation() {
-            return;
-        }
-        self.entry(addr).set_reservation(false);
-        while let Some(head) = self.nodes[home.as_usize()].req_queue.front().copied() {
-            if self.entry(head.addr).state().is_pending() {
-                // The head must keep waiting: mark its block and stop.
-                self.entry(head.addr).set_reservation(true);
-                break;
-            }
-            self.nodes[home.as_usize()].req_queue.pop_front();
-            self.process_request(
-                at, home, head.kind, head.addr, head.master, head.txn, head.value,
-            );
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Slave module
-    // ------------------------------------------------------------------
-
-    fn slave_recv(
-        &mut self,
-        at: SimTime,
-        node: NodeId,
-        _src: NodeId,
-        msg: ProtoMsg,
-        gather: Option<GatherId>,
-    ) {
-        let params = self.params;
-        match msg {
-            ProtoMsg::Forward {
-                kind,
-                addr,
-                master: _,
-                txn,
-            } => {
-                let done = self.nodes[node.as_usize()].slave_q.begin(at, params.slave_fwd);
-                let n = &mut self.nodes[node.as_usize()];
-                let held = n.cache.value(addr);
-                let with_data = match kind {
-                    ReqKind::ReadShared => match n.cache.state(addr) {
-                        CacheState::Modified => {
-                            n.cache.set_state(addr, CacheState::Shared);
-                            true
-                        }
-                        CacheState::Exclusive => {
-                            n.cache.set_state(addr, CacheState::Shared);
-                            false
-                        }
-                        _ => false,
-                    },
-                    ReqKind::ReadExclusive => {
-                        matches!(n.cache.invalidate(addr), CacheState::Modified)
-                    }
-                    ReqKind::Ownership | ReqKind::Update => {
-                        unreachable!("never forwarded to a slave")
-                    }
-                };
-                self.send(
-                    done,
-                    node,
-                    addr.home(),
-                    ProtoMsg::SlaveReply {
-                        addr,
-                        txn,
-                        with_data,
-                        value: if with_data { held } else { 0 },
-                    },
-                );
-            }
-            ProtoMsg::Update {
-                addr,
-                master,
-                txn,
-                value,
-                singlecast,
-            } => {
-                // Fresh data pushed by the home: refresh the third-level
-                // cache (and the L2 copy stays valid — it is updated in
-                // place, not invalidated).
-                let done = self.nodes[node.as_usize()].slave_q.begin(at, params.slave_inv);
-                let n = &mut self.nodes[node.as_usize()];
-                n.l3.insert(addr, value);
-                if node != master && n.cache.state(addr) != CacheState::Invalid {
-                    n.cache.set_value(addr, value);
-                }
-                let _ = master;
-                let ack = ProtoMsg::InvAck { addr, txn, acks: 1 };
-                if singlecast {
-                    if node == addr.home() {
-                        self.queue.schedule_at(
-                            done,
-                            Ev::Recv {
-                                dst: addr.home(),
-                                src: node,
-                                msg: ack,
-                                gather: None,
-                            },
-                        );
-                    } else {
-                        self.send(done, node, addr.home(), ack);
-                    }
-                } else {
-                    let id = gather.expect("multicast update without gather id");
-                    if let Some(d) = self.fabric.send_gather_reply(done, node, id, ack) {
-                        self.schedule_delivery(d);
-                    }
-                }
-            }
-            ProtoMsg::Invalidate {
-                addr,
-                master,
-                txn,
-                singlecast,
-            } => {
-                let done = self.nodes[node.as_usize()].slave_q.begin(at, params.slave_inv);
-                if node != master {
-                    // The requester keeps its copy (it is upgrading);
-                    // everyone else drops theirs.
-                    let _ = self.nodes[node.as_usize()].cache.invalidate(addr);
-                }
-                let ack = ProtoMsg::InvAck { addr, txn, acks: 1 };
-                if singlecast {
-                    self.send(done, node, addr.home(), ack);
-                } else {
-                    let id = gather.expect("multicast invalidation without gather id");
-                    if let Some(d) = self.fabric.send_gather_reply(done, node, id, ack) {
-                        self.schedule_delivery(d);
-                    }
-                }
-            }
-            other => panic!("slave received {other:?}"),
         }
     }
 }

@@ -24,7 +24,12 @@
 //!
 //! The engine ([`Engine`]) is a discrete-event simulator: drivers issue
 //! loads and stores, pump events, and receive completion notifications
-//! carrying exact latencies.
+//! carrying exact latencies. Internally it is decomposed per the paper's
+//! Section 3.1 hardware organisation: a [`modules::MasterModule`],
+//! [`modules::HomeModule`], and [`modules::SlaveModule`] per node,
+//! connected by a typed [`modules::bus::MessageBus`], with all
+//! instrumentation (statistics, tracing, custom probes) attached through
+//! the [`observer::Observer`] trait.
 //!
 //! # Examples
 //!
@@ -58,6 +63,8 @@ pub mod cache;
 pub mod deadlock;
 pub mod engine;
 pub mod messages;
+pub mod modules;
+pub mod observer;
 pub mod params;
 pub mod service;
 pub mod stats;

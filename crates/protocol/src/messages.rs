@@ -243,7 +243,11 @@ mod tests {
             value: 0
         }
         .carries_data());
-        assert!(!ProtoMsg::AckReply { addr: addr(), txn: 1 }.carries_data());
+        assert!(!ProtoMsg::AckReply {
+            addr: addr(),
+            txn: 1
+        }
+        .carries_data());
         assert!(ProtoMsg::SlaveReply {
             addr: addr(),
             txn: 1,
@@ -281,8 +285,14 @@ mod tests {
     #[test]
     #[should_panic]
     fn combining_non_acks_panics() {
-        let mut a = ProtoMsg::AckReply { addr: addr(), txn: 1 };
-        a.combine(ProtoMsg::AckReply { addr: addr(), txn: 1 });
+        let mut a = ProtoMsg::AckReply {
+            addr: addr(),
+            txn: 1,
+        };
+        a.combine(ProtoMsg::AckReply {
+            addr: addr(),
+            txn: 1,
+        });
     }
 
     #[test]

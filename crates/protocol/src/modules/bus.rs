@@ -1,0 +1,215 @@
+//! The typed message bus connecting the protocol modules.
+//!
+//! The bus owns the network fabric and the discrete-event queue: every
+//! inter-module communication — remote sends over the fabric, node-local
+//! hand-offs, retries, processor accesses, user-level bulk transfers —
+//! goes through it as a [`BusMsg`]. The modules never touch the fabric or
+//! the event queue directly, so all scheduling (and therefore the
+//! simulation's deterministic event order) is concentrated here.
+
+use crate::addr::Addr;
+use crate::engine::MemOp;
+use crate::messages::{ProtoMsg, TxnId};
+use cenju4_des::{Duration, EventQueue, SimTime, SplitMix64};
+use cenju4_directory::nodemap::DestSpec;
+use cenju4_directory::{NodeId, SystemSize};
+use cenju4_network::fabric::GatherId;
+use cenju4_network::{Delivery, Fabric, NetParams, NetStats};
+use std::collections::HashMap;
+
+/// An event carried by the bus.
+#[derive(Debug)]
+pub enum BusMsg {
+    /// A processor access reaches the master module.
+    Access {
+        /// The issuing node.
+        node: NodeId,
+        /// The operation.
+        op: MemOp,
+        /// The target block.
+        addr: Addr,
+        /// The transaction id.
+        txn: TxnId,
+    },
+    /// A protocol message arrives at `dst`.
+    Recv {
+        /// The receiving node.
+        dst: NodeId,
+        /// The sending node.
+        src: NodeId,
+        /// The message.
+        msg: ProtoMsg,
+        /// The in-network gather this delivery belongs to, if any.
+        gather: Option<GatherId>,
+    },
+    /// A nacked master retries.
+    Retry {
+        /// The retrying node.
+        node: NodeId,
+        /// The nacked transaction.
+        txn: TxnId,
+    },
+    /// A user-level message finished arriving.
+    MpDeliver {
+        /// The receiving node.
+        to: NodeId,
+        /// The sending node.
+        from: NodeId,
+        /// The sender's tag.
+        tag: u64,
+        /// Transfer size in bytes.
+        bytes: u64,
+        /// When the send was issued.
+        sent: SimTime,
+    },
+    /// A caller-scheduled marker.
+    Marker(u64),
+}
+
+/// The fabric plus the event queue, with optional deterministic delivery
+/// jitter. See the module docs.
+pub struct MessageBus {
+    fabric: Fabric<ProtoMsg>,
+    queue: EventQueue<BusMsg>,
+    /// Optional deterministic perturbation of message delivery times,
+    /// used by race-coverage tests to explore different interleavings.
+    jitter: Option<(SplitMix64, u8)>,
+    /// With jitter on: last delivery time per (src, dst), to preserve the
+    /// network's in-order guarantee (which the protocol relies on — e.g.
+    /// a writeback must reach the home before the evictor's next request
+    /// for the same block).
+    jitter_order: HashMap<(NodeId, NodeId), SimTime>,
+}
+
+impl MessageBus {
+    pub(crate) fn new(sys: SystemSize, net: NetParams) -> Self {
+        MessageBus {
+            fabric: Fabric::new(sys, net),
+            queue: EventQueue::new(),
+            jitter: None,
+            jitter_order: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn enable_jitter(&mut self, seed: u64, pct: u8) {
+        self.jitter = Some((SplitMix64::new(seed), pct));
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Network counters.
+    pub fn net_stats(&self) -> &NetStats {
+        self.fabric.stats()
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, BusMsg)> {
+        self.queue.pop()
+    }
+
+    /// Schedules a raw bus event (accesses, retries, markers, deliveries
+    /// already timed by the fabric).
+    pub(crate) fn schedule(&mut self, at: SimTime, msg: BusMsg) {
+        self.queue.schedule_at(at, msg);
+    }
+
+    /// Sends `msg` from `src` to `dst` at time `now`, using the network
+    /// for remote pairs and an immediate local hand-off otherwise.
+    pub(crate) fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, msg: ProtoMsg) {
+        if src == dst {
+            self.queue.schedule_at(
+                now,
+                BusMsg::Recv {
+                    dst,
+                    src,
+                    msg,
+                    gather: None,
+                },
+            );
+        } else {
+            let data = msg.carries_data();
+            let d = self.fabric.send_unicast(now, src, dst, data, msg);
+            self.schedule_delivery(d);
+        }
+    }
+
+    /// Opens an in-network gather for the replies to a multicast.
+    pub(crate) fn open_gather(&mut self, home: NodeId, spec: DestSpec) -> GatherId {
+        self.fabric.open_gather(home, spec)
+    }
+
+    /// Fans `msg` out to `spec`'s destinations, returning the per-node
+    /// deliveries (not yet scheduled — the caller schedules each with
+    /// [`MessageBus::schedule_delivery`] after notifying observers).
+    pub(crate) fn send_multicast(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        spec: DestSpec,
+        data: bool,
+        msg: ProtoMsg,
+        gather: Option<GatherId>,
+    ) -> Vec<Delivery<ProtoMsg>> {
+        self.fabric.send_multicast(at, src, spec, data, msg, gather)
+    }
+
+    /// Contributes `msg` to gather `id`; returns the combined delivery
+    /// when this was the last expected contribution.
+    pub(crate) fn send_gather_reply(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        id: GatherId,
+        msg: ProtoMsg,
+    ) -> Option<Delivery<ProtoMsg>> {
+        self.fabric.send_gather_reply(at, node, id, msg)
+    }
+
+    /// Sends a bulk (user-level) transfer; no jitter is applied.
+    pub(crate) fn send_bulk(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        msg: ProtoMsg,
+    ) -> Delivery<ProtoMsg> {
+        self.fabric.send_bulk(at, src, dst, bytes, msg)
+    }
+
+    /// Turns a fabric delivery into a scheduled [`BusMsg::Recv`], applying
+    /// the deterministic jitter perturbation when enabled.
+    pub(crate) fn schedule_delivery(&mut self, d: Delivery<ProtoMsg>) {
+        let mut at = d.at;
+        if let Some((rng, pct)) = &mut self.jitter {
+            let now = self.queue.now();
+            let delay = at.since(now).as_ns();
+            let span = delay * (*pct as u64) / 100;
+            if span > 0 {
+                let offset = rng.next_below(2 * span + 1);
+                at = now + Duration::from_ns(delay - span + offset);
+            }
+            // Never reorder two messages between the same pair of nodes.
+            let floor = self
+                .jitter_order
+                .get(&(d.src, d.node))
+                .copied()
+                .unwrap_or(SimTime::ZERO);
+            if at <= floor {
+                at = floor + Duration::from_ns(1);
+            }
+            self.jitter_order.insert((d.src, d.node), at);
+        }
+        self.queue.schedule_at(
+            at,
+            BusMsg::Recv {
+                dst: d.node,
+                src: d.src,
+                msg: d.payload,
+                gather: d.gather,
+            },
+        );
+    }
+}

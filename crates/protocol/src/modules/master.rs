@@ -1,0 +1,453 @@
+//! The master module: the processor side of the coherence protocol.
+//!
+//! Owns the node's MESI second-level cache, the outstanding-transaction
+//! table (the R10000's four-request bound), the backlog of accesses
+//! waiting for a free slot, and — for the Section 4.2.3 update extension —
+//! the third-level cache held in the node's main memory.
+
+use crate::addr::Addr;
+use crate::cache::{Cache, CacheState, Victim};
+use crate::engine::MemOp;
+use crate::messages::{ProtoMsg, ReqKind, TxnId};
+use crate::modules::bus::BusMsg;
+use crate::modules::Ctx;
+use crate::observer::ModuleKind;
+use crate::params::ProtoParams;
+use crate::service::ServiceQueue;
+use cenju4_des::SimTime;
+use cenju4_directory::NodeId;
+use std::collections::{HashMap, VecDeque};
+
+/// An in-flight master transaction.
+#[derive(Clone, Debug)]
+pub(crate) struct MasterTxn {
+    pub op: MemOp,
+    pub addr: Addr,
+    pub issued: SimTime,
+    pub retries: u32,
+    /// The token a store writes (`txn + 1`).
+    pub store_value: u64,
+}
+
+/// The processor-side protocol module of one node.
+pub struct MasterModule {
+    pub(crate) node: NodeId,
+    pub(crate) cache: Cache,
+    /// Blocks whose current value is held in this node's main memory
+    /// (third-level cache of the update-protocol extension), with the
+    /// cached data.
+    pub(crate) l3: HashMap<Addr, u64>,
+    pub(crate) outstanding: HashMap<TxnId, MasterTxn>,
+    pub(crate) backlog: VecDeque<(MemOp, Addr, TxnId, SimTime)>,
+    pub(crate) input_q: ServiceQueue,
+}
+
+impl MasterModule {
+    pub(crate) fn new(node: NodeId, params: &ProtoParams) -> Self {
+        MasterModule {
+            node,
+            cache: Cache::new(params.cache_bytes, params.cache_assoc),
+            l3: HashMap::new(),
+            outstanding: HashMap::new(),
+            backlog: VecDeque::new(),
+            input_q: ServiceQueue::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cache mutation helpers (with observer notification)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn set_cache_state(
+        &mut self,
+        ctx: &mut Ctx,
+        at: SimTime,
+        addr: Addr,
+        to: CacheState,
+    ) {
+        let from = self.cache.state(addr);
+        self.cache.set_state(addr, to);
+        if from != to {
+            ctx.obs.on_cache_transition(at, self.node, addr, from, to);
+        }
+    }
+
+    pub(crate) fn invalidate_cache(
+        &mut self,
+        ctx: &mut Ctx,
+        at: SimTime,
+        addr: Addr,
+    ) -> CacheState {
+        let from = self.cache.invalidate(addr);
+        if from != CacheState::Invalid {
+            ctx.obs
+                .on_cache_transition(at, self.node, addr, from, CacheState::Invalid);
+        }
+        from
+    }
+
+    /// Fills `addr` (observers see the incoming line's transition; a
+    /// displaced victim is returned for the caller to write back).
+    pub(crate) fn fill_cache(
+        &mut self,
+        ctx: &mut Ctx,
+        at: SimTime,
+        addr: Addr,
+        state: CacheState,
+        value: u64,
+    ) -> Option<Victim> {
+        let victim = self.cache.fill_value(addr, state, value);
+        ctx.obs
+            .on_cache_transition(at, self.node, addr, CacheState::Invalid, state);
+        victim
+    }
+
+    /// Writes back a displaced dirty line to its home.
+    fn writeback_victim(&self, ctx: &mut Ctx, at: SimTime, victim: Option<Victim>) {
+        if let Some(v) = victim {
+            if v.dirty {
+                ctx.send(
+                    at,
+                    self.node,
+                    v.addr.home(),
+                    ProtoMsg::WriteBack {
+                        addr: v.addr,
+                        from: self.node,
+                        value: v.value,
+                    },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Processor accesses
+    // ------------------------------------------------------------------
+
+    pub(crate) fn handle_access(
+        &mut self,
+        ctx: &mut Ctx,
+        at: SimTime,
+        op: MemOp,
+        addr: Addr,
+        txn: TxnId,
+    ) {
+        let params = ctx.params;
+        if ctx.update_blocks.contains(&addr) {
+            return self.handle_update_access(ctx, at, op, addr, txn);
+        }
+        let state = self.cache.touch(addr);
+        let hit_done = at + params.hit;
+        match (op, state) {
+            (MemOp::Load, s) if s.readable() => {
+                let v = self.cache.value(addr);
+                ctx.complete(self.node, txn, op, addr, at, hit_done, true, false, v);
+            }
+            (MemOp::Store, CacheState::Modified) => {
+                self.cache.set_value(addr, txn + 1);
+                ctx.complete(self.node, txn, op, addr, at, hit_done, true, false, txn + 1);
+            }
+            (MemOp::Store, CacheState::Exclusive) => {
+                self.set_cache_state(ctx, at, addr, CacheState::Modified);
+                self.cache.set_value(addr, txn + 1);
+                ctx.complete(self.node, txn, op, addr, at, hit_done, true, false, txn + 1);
+            }
+            _ => {
+                // Miss (or upgrade): a coherence request is needed.
+                let busy_on_addr = self.outstanding.values().any(|t| t.addr == addr);
+                if self.outstanding.len() >= params.max_outstanding || busy_on_addr {
+                    self.backlog.push_back((op, addr, txn, at));
+                    return;
+                }
+                self.outstanding.insert(
+                    txn,
+                    MasterTxn {
+                        op,
+                        addr,
+                        issued: at,
+                        retries: 0,
+                        store_value: txn + 1,
+                    },
+                );
+                let kind = request_kind(op, state);
+                ctx.obs.on_request_issued(at, self.node, kind, false);
+                ctx.send(
+                    at + params.issue,
+                    self.node,
+                    addr.home(),
+                    ProtoMsg::Request {
+                        kind,
+                        addr,
+                        master: self.node,
+                        txn,
+                        value: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Access path for update-protocol blocks: loads prefer the local
+    /// third-level cache; stores always write through to the home.
+    fn handle_update_access(
+        &mut self,
+        ctx: &mut Ctx,
+        at: SimTime,
+        op: MemOp,
+        addr: Addr,
+        txn: TxnId,
+    ) {
+        let params = ctx.params;
+        let state = self.cache.touch(addr);
+        debug_assert!(!state.writable(), "update blocks never hold M/E in the L2");
+        match op {
+            MemOp::Load if state.readable() => {
+                let v = self.cache.value(addr);
+                ctx.complete(
+                    self.node,
+                    txn,
+                    op,
+                    addr,
+                    at,
+                    at + params.hit,
+                    true,
+                    false,
+                    v,
+                );
+            }
+            MemOp::Load if self.l3.contains_key(&addr) => {
+                // L2 miss satisfied from the node's own main memory.
+                let v = self.l3[&addr];
+                let victim = if self.cache.state(addr) == CacheState::Invalid {
+                    self.fill_cache(ctx, at, addr, CacheState::Shared, v)
+                } else {
+                    None
+                };
+                self.writeback_victim(ctx, at + params.hit, victim);
+                ctx.obs.on_l3_fill(at, self.node, addr);
+                ctx.complete(
+                    self.node,
+                    txn,
+                    op,
+                    addr,
+                    at,
+                    at + params.l3_fill,
+                    false,
+                    true,
+                    v,
+                );
+            }
+            _ => {
+                // Cold load (subscribe) or write-through store.
+                let busy_on_addr = self.outstanding.values().any(|t| t.addr == addr);
+                if self.outstanding.len() >= params.max_outstanding || busy_on_addr {
+                    self.backlog.push_back((op, addr, txn, at));
+                    return;
+                }
+                self.outstanding.insert(
+                    txn,
+                    MasterTxn {
+                        op,
+                        addr,
+                        issued: at,
+                        retries: 0,
+                        store_value: txn + 1,
+                    },
+                );
+                let kind = match op {
+                    MemOp::Load => ReqKind::ReadShared,
+                    MemOp::Store => ReqKind::Update,
+                };
+                ctx.obs.on_request_issued(at, self.node, kind, false);
+                ctx.send(
+                    at + params.issue,
+                    self.node,
+                    addr.home(),
+                    ProtoMsg::Request {
+                        kind,
+                        addr,
+                        master: self.node,
+                        txn,
+                        value: txn + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    pub(crate) fn handle_retry(&mut self, ctx: &mut Ctx, at: SimTime, txn: TxnId) {
+        let params = ctx.params;
+        let (op, addr) = {
+            let t = &self.outstanding[&txn];
+            (t.op, t.addr)
+        };
+        // Re-evaluate the request kind: the cached copy may have been
+        // invalidated while we were nacked.
+        let state = self.cache.state(addr);
+        let kind = if ctx.update_blocks.contains(&addr) {
+            match op {
+                MemOp::Load => ReqKind::ReadShared,
+                MemOp::Store => ReqKind::Update,
+            }
+        } else {
+            request_kind(op, state)
+        };
+        ctx.obs.on_request_issued(at, self.node, kind, true);
+        let value = if kind == ReqKind::Update { txn + 1 } else { 0 };
+        ctx.send(
+            at + params.issue,
+            self.node,
+            addr.home(),
+            ProtoMsg::Request {
+                kind,
+                addr,
+                master: self.node,
+                txn,
+                value,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Replies
+    // ------------------------------------------------------------------
+
+    pub(crate) fn recv(&mut self, ctx: &mut Ctx, at: SimTime, msg: ProtoMsg) {
+        let params = ctx.params;
+        match msg {
+            ProtoMsg::DataReply {
+                addr,
+                txn,
+                grant,
+                value,
+            } => {
+                let done = ctx.begin(
+                    &mut self.input_q,
+                    self.node,
+                    ModuleKind::Master,
+                    at,
+                    params.retire,
+                );
+                let t = self
+                    .outstanding
+                    .remove(&txn)
+                    .expect("reply for unknown txn");
+                if ctx.update_blocks.contains(&addr) {
+                    // A subscription read: the data also lands in the
+                    // node's main-memory third-level cache.
+                    self.l3.insert(addr, value);
+                }
+                // A store immediately overwrites the granted line.
+                let observed = match t.op {
+                    MemOp::Load => value,
+                    MemOp::Store => t.store_value,
+                };
+                let victim = if self.cache.state(addr) != CacheState::Invalid {
+                    self.set_cache_state(ctx, at, addr, grant);
+                    self.cache.set_value(addr, observed);
+                    None
+                } else {
+                    self.fill_cache(ctx, at, addr, grant, observed)
+                };
+                self.writeback_victim(ctx, done, victim);
+                ctx.complete(
+                    self.node, txn, t.op, addr, t.issued, done, false, false, observed,
+                );
+                self.drain_backlog(ctx, done);
+            }
+            ProtoMsg::AckReply { addr, txn } => {
+                let done = ctx.begin(
+                    &mut self.input_q,
+                    self.node,
+                    ModuleKind::Master,
+                    at,
+                    params.retire,
+                );
+                let t = self.outstanding.remove(&txn).expect("ack for unknown txn");
+                if ctx.update_blocks.contains(&addr) {
+                    // Write-through acknowledged: the writer keeps (or
+                    // gains) a Shared copy; its own memory is fresh too.
+                    self.l3.insert(addr, t.store_value);
+                    let victim = match self.cache.state(addr) {
+                        CacheState::Invalid => {
+                            self.fill_cache(ctx, at, addr, CacheState::Shared, t.store_value)
+                        }
+                        _ => {
+                            self.cache.set_value(addr, t.store_value);
+                            None
+                        }
+                    };
+                    self.writeback_victim(ctx, done, victim);
+                } else {
+                    let victim = match self.cache.state(addr) {
+                        CacheState::Shared => {
+                            self.set_cache_state(ctx, at, addr, CacheState::Modified);
+                            self.cache.set_value(addr, t.store_value);
+                            None
+                        }
+                        CacheState::Invalid => {
+                            // The Shared copy was evicted while the
+                            // ownership upgrade was in flight (real
+                            // hardware pins transient lines; this model
+                            // lets conflicting fills race). Reinstall the
+                            // line — the block's value is the store's.
+                            self.fill_cache(ctx, at, addr, CacheState::Modified, t.store_value)
+                        }
+                        other => unreachable!("ownership ack with {other} copy"),
+                    };
+                    self.writeback_victim(ctx, done, victim);
+                }
+                ctx.complete(
+                    self.node,
+                    txn,
+                    t.op,
+                    addr,
+                    t.issued,
+                    done,
+                    false,
+                    false,
+                    t.store_value,
+                );
+                self.drain_backlog(ctx, done);
+            }
+            ProtoMsg::Nack { txn, .. } => {
+                let t = self
+                    .outstanding
+                    .get_mut(&txn)
+                    .expect("nack for unknown txn");
+                t.retries += 1;
+                ctx.bus.schedule(
+                    at + params.nack_retry,
+                    BusMsg::Retry {
+                        node: self.node,
+                        txn,
+                    },
+                );
+            }
+            other => panic!("master received {other:?}"),
+        }
+    }
+
+    fn drain_backlog(&mut self, ctx: &mut Ctx, at: SimTime) {
+        if let Some((op, addr, txn, _issued)) = self.backlog.pop_front() {
+            ctx.bus.schedule(
+                at,
+                BusMsg::Access {
+                    node: self.node,
+                    op,
+                    addr,
+                    txn,
+                },
+            );
+        }
+    }
+}
+
+/// The request a master issues for `op` given its current cached state.
+fn request_kind(op: MemOp, state: CacheState) -> ReqKind {
+    match (op, state) {
+        (MemOp::Load, _) => ReqKind::ReadShared,
+        (MemOp::Store, CacheState::Shared) => ReqKind::Ownership,
+        (MemOp::Store, _) => ReqKind::ReadExclusive,
+    }
+}

@@ -1,0 +1,145 @@
+//! The three protocol modules of a Cenju-4 node and the bus that
+//! connects them.
+//!
+//! Section 3.1 of the paper splits each node's DSM hardware into three
+//! units, reproduced here one struct each:
+//!
+//! * [`MasterModule`] — the processor side: the MESI second-level cache,
+//!   the (up to four) outstanding transactions, the access backlog, and
+//!   the update-extension third-level cache held in local main memory.
+//! * [`HomeModule`] — the memory side: the directory entries, the home
+//!   main-memory data, pending remote transactions, and the main-memory
+//!   request queue with its reservation-bit discipline (Section 3.3).
+//! * [`SlaveModule`] — the intervention side: services forwards,
+//!   invalidations, and update pushes against the local cache.
+//!
+//! Modules never call each other and never touch the event queue or the
+//! network directly: all communication flows through the typed
+//! [`MessageBus`](bus::MessageBus) as [`BusMsg`](bus::BusMsg) events, and
+//! all instrumentation is routed to the engine's observers via [`Ctx`].
+
+pub mod bus;
+mod home;
+mod master;
+mod slave;
+
+pub use home::HomeModule;
+pub use master::MasterModule;
+pub use slave::SlaveModule;
+
+use crate::addr::Addr;
+use crate::engine::{MemOp, Notification};
+use crate::messages::{ProtoMsg, TxnId};
+use crate::observer::{ModuleKind, ObserverSet};
+use crate::params::{ProtoParams, ProtocolKind};
+use crate::service::ServiceQueue;
+use bus::MessageBus;
+use cenju4_des::{Duration, SimTime};
+use cenju4_directory::nodemap::DestSpec;
+use cenju4_directory::{NodeId, SystemSize};
+use std::collections::HashSet;
+
+/// Per-event handler context: the shared machine configuration, the bus,
+/// and the observer fan-out. Handed by the engine's dispatcher to every
+/// module handler, so the modules themselves own nothing but their
+/// paper-mandated state.
+pub(crate) struct Ctx<'a> {
+    pub params: ProtoParams,
+    pub kind: ProtocolKind,
+    pub sys: SystemSize,
+    pub bus: &'a mut MessageBus,
+    pub obs: &'a mut ObserverSet,
+    pub notes: &'a mut Vec<Notification>,
+    /// Blocks running the update protocol (Section 4.2.3).
+    pub update_blocks: &'a HashSet<Addr>,
+}
+
+impl Ctx<'_> {
+    /// Sends a protocol message and notifies observers.
+    pub(crate) fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, msg: ProtoMsg) {
+        self.obs.on_send(now, src, dst, &msg);
+        self.bus.send(now, src, dst, msg);
+    }
+
+    /// Multicasts `msg` (with an in-network reply gather) and notifies
+    /// observers once per delivered copy.
+    pub(crate) fn multicast(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        spec: DestSpec,
+        data: bool,
+        msg: ProtoMsg,
+    ) {
+        let gather = self.bus.open_gather(src, spec);
+        let dels = self
+            .bus
+            .send_multicast(at, src, spec, data, msg, Some(gather));
+        for d in dels {
+            self.obs.on_send(at, src, d.node, &d.payload);
+            self.bus.schedule_delivery(d);
+        }
+    }
+
+    /// Contributes an ack to gather `id`, forwarding the combined message
+    /// when this contribution closes it.
+    pub(crate) fn gather_reply(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        id: cenju4_network::fabric::GatherId,
+        msg: ProtoMsg,
+    ) {
+        if let Some(d) = self.bus.send_gather_reply(at, node, id, msg) {
+            self.obs.on_send(at, node, d.node, &d.payload);
+            self.bus.schedule_delivery(d);
+        }
+    }
+
+    /// Starts service on a module input queue, reporting high-water-mark
+    /// rises to observers. Returns the service completion time.
+    pub(crate) fn begin(
+        &mut self,
+        q: &mut ServiceQueue,
+        node: NodeId,
+        module: ModuleKind,
+        arrival: SimTime,
+        service: Duration,
+    ) -> SimTime {
+        let before = q.depth_high_water();
+        let done = q.begin(arrival, service);
+        let after = q.depth_high_water();
+        if after > before {
+            self.obs.on_queue_depth(arrival, node, module, after);
+        }
+        done
+    }
+
+    /// Graduates a memory access: notifies observers and the driver.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn complete(
+        &mut self,
+        node: NodeId,
+        txn: TxnId,
+        op: MemOp,
+        addr: Addr,
+        issued: SimTime,
+        finished: SimTime,
+        hit: bool,
+        l3: bool,
+        value: u64,
+    ) {
+        self.obs.on_complete(finished, node, txn, op, addr, hit, l3);
+        self.notes.push(Notification::Completed {
+            node,
+            txn,
+            op,
+            addr,
+            issued,
+            finished,
+            hit,
+            l3,
+            value,
+        });
+    }
+}

@@ -25,7 +25,13 @@ pub struct TraceRecord {
 
 impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:>12} {:>5} {:<16}", self.at, self.node.to_string(), self.label)?;
+        write!(
+            f,
+            "{:>12} {:>5} {:<16}",
+            self.at,
+            self.node.to_string(),
+            self.label
+        )?;
         if let Some(a) = self.addr {
             write!(f, " {a}")?;
         }

@@ -321,7 +321,10 @@ fn contended_stores_all_complete_without_nacks() {
         assert!(completed.contains(t), "txn {t} starved");
     }
     assert_eq!(eng.stats().nacks.get(), 0);
-    assert!(eng.stats().queued_requests.get() > 0, "contention must queue");
+    assert!(
+        eng.stats().queued_requests.get() > 0,
+        "contention must queue"
+    );
     assert!(eng.max_request_queue_depth() > 0);
     assert!(
         eng.max_request_queue_depth() <= 16 * 4,
@@ -427,7 +430,11 @@ fn deadlock_prevention_buffer_bounds_hold_under_stress() {
     for round in 0..50u32 {
         let t0 = eng.now();
         for n in 0..16u16 {
-            let op = if rng.chance(0.5) { MemOp::Load } else { MemOp::Store };
+            let op = if rng.chance(0.5) {
+                MemOp::Load
+            } else {
+                MemOp::Store
+            };
             let a = addr(0, rng.next_below(4) as u32);
             eng.issue(t0, node(n), op, a);
             let _ = round;
@@ -473,10 +480,7 @@ fn check_coherence_invariants(eng: &Engine, nodes: u16, blocks: &[Addr]) {
             // its clean Exclusive line. The directory must then name
             // exactly one node and no other copies may exist; the next
             // request recovers via the forward / no-copy-reply path.
-            assert!(
-                sharers.is_empty(),
-                "{a:?}: dirty with sharers but no owner"
-            );
+            assert!(sharers.is_empty(), "{a:?}: dirty with sharers but no owner");
             assert_eq!(
                 eng.directory_sharers(a).len(),
                 1,
@@ -491,16 +495,18 @@ fn random_stress_preserves_coherence_invariants() {
     for seed in 0..8u64 {
         let mut eng = engine(16);
         let mut rng = SplitMix64::new(seed);
-        let blocks: Vec<Addr> = (0..6)
-            .map(|i| addr((i % 4) as u16, i / 4))
-            .collect();
+        let blocks: Vec<Addr> = (0..6).map(|i| addr((i % 4) as u16, i / 4)).collect();
         for _ in 0..40 {
             let t0 = eng.now();
             // A burst of concurrent random accesses, then quiesce.
             for _ in 0..12 {
                 let n = node(rng.next_below(16) as u16);
                 let a = blocks[rng.next_below(blocks.len() as u64) as usize];
-                let op = if rng.chance(0.4) { MemOp::Store } else { MemOp::Load };
+                let op = if rng.chance(0.4) {
+                    MemOp::Store
+                } else {
+                    MemOp::Load
+                };
                 eng.issue(t0, n, op, a);
             }
             eng.run();
@@ -519,7 +525,11 @@ fn random_stress_on_128_nodes() {
         for _ in 0..40 {
             let n = node(rng.next_below(128) as u16);
             let a = blocks[rng.next_below(blocks.len() as u64) as usize];
-            let op = if rng.chance(0.3) { MemOp::Store } else { MemOp::Load };
+            let op = if rng.chance(0.3) {
+                MemOp::Store
+            } else {
+                MemOp::Load
+            };
             eng.issue(t0, n, op, a);
         }
         eng.run();
@@ -541,7 +551,11 @@ fn deterministic_replay() {
             for _ in 0..8 {
                 let n = node(rng.next_below(16) as u16);
                 let a = addr(rng.next_below(4) as u16, rng.next_below(3) as u32);
-                let op = if rng.chance(0.5) { MemOp::Store } else { MemOp::Load };
+                let op = if rng.chance(0.5) {
+                    MemOp::Store
+                } else {
+                    MemOp::Load
+                };
                 eng.issue(t0, n, op, a);
             }
             eng.run();
@@ -588,7 +602,11 @@ fn random_stress_with_timing_jitter_stays_coherent() {
             for _ in 0..10 {
                 let n = node(rng.next_below(16) as u16);
                 let a = blocks[rng.next_below(blocks.len() as u64) as usize];
-                let op = if rng.chance(0.45) { MemOp::Store } else { MemOp::Load };
+                let op = if rng.chance(0.45) {
+                    MemOp::Store
+                } else {
+                    MemOp::Load
+                };
                 eng.issue(t0, n, op, a);
             }
             eng.run();
@@ -622,13 +640,20 @@ fn jitter_with_tiny_caches_exercises_writeback_races() {
             for _ in 0..8 {
                 let n = node(rng.next_below(8) as u16);
                 let a = blocks[rng.next_below(blocks.len() as u64) as usize];
-                let op = if rng.chance(0.6) { MemOp::Store } else { MemOp::Load };
+                let op = if rng.chance(0.6) {
+                    MemOp::Store
+                } else {
+                    MemOp::Load
+                };
                 eng.issue(t0, n, op, a);
             }
             eng.run();
             check_coherence_invariants(&eng, 8, &blocks);
         }
-        assert!(eng.stats().writebacks.get() > 0, "seed {seed}: no evictions");
+        assert!(
+            eng.stats().writebacks.get() > 0,
+            "seed {seed}: no evictions"
+        );
     }
 }
 

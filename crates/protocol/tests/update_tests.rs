@@ -244,7 +244,12 @@ fn update_requests_queue_behind_pending_pushes() {
     }
     let t0 = eng.now();
     eng.issue(t0, node(1), MemOp::Store, a);
-    eng.issue(t0 + cenju4_des::Duration::from_ns(10), node(2), MemOp::Store, a);
+    eng.issue(
+        t0 + cenju4_des::Duration::from_ns(10),
+        node(2),
+        MemOp::Store,
+        a,
+    );
     let done = eng.run();
     let completions = done
         .iter()

@@ -151,7 +151,7 @@ fn update_l3_refill_returns_latest_value() {
     eng.mark_update_block(a);
     one(&mut eng, node(5), MemOp::Load, a); // subscribe
     let (_, wrote) = one(&mut eng, node(1), MemOp::Store, a); // push
-    // Evict node 5's L2 line; the L3 retains the pushed value.
+                                                              // Evict node 5's L2 line; the L3 retains the pushed value.
     for b in 1..40u32 {
         one(&mut eng, node(5), MemOp::Load, addr(5, b));
         use cenju4_protocol::CacheState;

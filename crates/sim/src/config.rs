@@ -94,15 +94,15 @@ mod tests {
     fn defaults_are_queuing_with_multicast() {
         let c = SystemConfig::new(16).unwrap();
         assert_eq!(c.kind, ProtocolKind::Queuing);
-        assert_eq!(
-            c.net.multicast,
-            cenju4_network::MulticastMode::Hardware
-        );
+        assert_eq!(c.net.multicast, cenju4_network::MulticastMode::Hardware);
     }
 
     #[test]
     fn ablation_switches() {
-        let c = SystemConfig::new(16).unwrap().without_multicast().with_nack_protocol();
+        let c = SystemConfig::new(16)
+            .unwrap()
+            .without_multicast()
+            .with_nack_protocol();
         assert_eq!(c.kind, ProtocolKind::Nack);
         assert_eq!(
             c.net.multicast,

@@ -417,9 +417,11 @@ mod tests {
                 let phase = &mut self.done[node.as_usize()];
                 *phase += 1;
                 match *phase {
-                    1 => Some(Step::Think(Duration::from_ns(
-                        if node.index() == 0 { 10_000 } else { 100 },
-                    ))),
+                    1 => Some(Step::Think(Duration::from_ns(if node.index() == 0 {
+                        10_000
+                    } else {
+                        100
+                    }))),
                     2 => Some(Step::Barrier),
                     _ => None,
                 }
@@ -512,7 +514,7 @@ mod histogram_tests {
             }
             left -= 1;
             // Alternate local and remote cold loads.
-            let home = if left % 2 == 0 { 0 } else { 1 };
+            let home = if left.is_multiple_of(2) { 0 } else { 1 };
             Some(Step::load(Addr::new(NodeId::new(home), left)))
         })
         .run();

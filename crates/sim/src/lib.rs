@@ -15,7 +15,10 @@
 //!   barrier synchronizations against the engine;
 //! * [`report`] — per-node and aggregate statistics in the shape of the
 //!   paper's Tables 3 and 4 (access and miss breakdowns into
-//!   private / shared-local / shared-remote, sync-time fractions).
+//!   private / shared-local / shared-remote, sync-time fractions);
+//! * [`sweep`] — fans independent parameter points out over `std::thread`
+//!   workers with deterministic (point-order) results, so figure sweeps
+//!   produce bit-identical output at any worker count.
 //!
 //! # Examples
 //!
@@ -35,7 +38,9 @@ pub mod config;
 pub mod driver;
 pub mod probes;
 pub mod report;
+pub mod sweep;
 
 pub use config::SystemConfig;
 pub use driver::{Driver, Program, Step, Target};
 pub use report::{AccessClass, NodeReport, RunReport};
+pub use sweep::{sweep, sweep_on};

@@ -48,13 +48,23 @@ pub fn load_latencies(cfg: &SystemConfig) -> LoadLatencies {
     // Row b: local clean. Fresh engine, node 0 loads its own memory.
     let shared_local_clean = {
         let mut eng = cfg.build();
-        measure(&mut eng, NodeId::new(0), MemOp::Load, Addr::new(NodeId::new(0), 0))
+        measure(
+            &mut eng,
+            NodeId::new(0),
+            MemOp::Load,
+            Addr::new(NodeId::new(0), 0),
+        )
     };
 
     // Row c: remote clean.
     let shared_remote_clean = {
         let mut eng = cfg.build();
-        measure(&mut eng, NodeId::new(0), MemOp::Load, Addr::new(NodeId::new(1), 0))
+        measure(
+            &mut eng,
+            NodeId::new(0),
+            MemOp::Load,
+            Addr::new(NodeId::new(1), 0),
+        )
     };
 
     // Row d: local memory, dirty in a remote cache.

@@ -31,7 +31,7 @@ impl AccessClass {
 }
 
 /// Per-node statistics accumulated by the driver.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NodeReport {
     /// Accesses per class.
     pub accesses: [u64; 3],
@@ -74,7 +74,7 @@ impl NodeReport {
 
 /// The result of a driven run: one [`NodeReport`] per node plus run-level
 /// aggregates, with the derived quantities the paper tabulates.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunReport {
     /// Per-node statistics.
     pub nodes: Vec<NodeReport>,
@@ -180,7 +180,11 @@ impl RunReport {
         if total == 0.0 {
             return 0.0;
         }
-        let avg_sync: f64 = self.nodes.iter().map(|n| n.sync.as_ns() as f64).sum::<f64>()
+        let avg_sync: f64 = self
+            .nodes
+            .iter()
+            .map(|n| n.sync.as_ns() as f64)
+            .sum::<f64>()
             / self.nodes.len().max(1) as f64;
         avg_sync / total
     }

@@ -51,9 +51,7 @@ impl KernelProgram {
         match (app, variant) {
             (_, Variant::Seq) => b.seq(app, &p),
             (_, Variant::Mpi) => b.mpi(app, &p),
-            (AppKind::Bt | AppKind::Sp, v) => {
-                b.grid_solver(&p, v, Mapping::from_flag(mapping))
-            }
+            (AppKind::Bt | AppKind::Sp, v) => b.grid_solver(&p, v, Mapping::from_flag(mapping)),
             (AppKind::Cg, _) => b.cg(&p, Mapping::from_flag(mapping)),
             (AppKind::Ft, v) => b.ft(&p, v, Mapping::from_flag(mapping)),
         }
@@ -165,7 +163,10 @@ impl Builder {
                     // Vector read with full single-node reuse + result.
                     for _ in 0..p.blocks {
                         self.emit(0, Step::private_miss(p.gather_reuse.max(1)));
-                        self.emit(0, Step::think(p.think_ns * p.gather_reuse.max(1) as u64 / 8));
+                        self.emit(
+                            0,
+                            Step::think(p.think_ns * p.gather_reuse.max(1) as u64 / 8),
+                        );
                         self.emit(0, Step::private_miss(2));
                     }
                 }
@@ -195,8 +196,7 @@ impl Builder {
                     }
                 }
                 AppKind::Cg => {
-                    let matrix_per_node =
-                        (p.matrix_factor * p.blocks / self.nodes as u32).max(1);
+                    let matrix_per_node = (p.matrix_factor * p.blocks / self.nodes as u32).max(1);
                     let reuse = (p.gather_reuse / self.nodes as u32).max(1);
                     for n in 0..self.nodes {
                         for _ in 0..matrix_per_node {
@@ -352,8 +352,7 @@ impl Builder {
                     x = (x ^ (x >> 13)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
                     (x >> 40) as f64 / (1u64 << 24) as f64
                 };
-                let matrix_per_node =
-                    ((matrix_base as f64) * (1.0 + spread * h)).round() as u32;
+                let matrix_per_node = ((matrix_base as f64) * (1.0 + spread * h)).round() as u32;
                 let own = q.owned_range(NodeId::new(n));
                 for _ in 0..matrix_per_node {
                     self.emit(n, Step::private_miss(p.reuse));
@@ -422,8 +421,7 @@ impl Builder {
                 _ => (1u32, p.reuse / 2),
             };
             for n in 0..self.nodes {
-                let per_node = ((p.blocks / self.nodes as u32).max(1) * stripe_scale)
-                    .min(p.blocks);
+                let per_node = ((p.blocks / self.nodes as u32).max(1) * stripe_scale).min(p.blocks);
                 for k in 0..per_node {
                     // Deterministic spread over the whole tile array.
                     let b = (k as u64 * 2654435761 + n as u64 * 97) % p.blocks as u64;

@@ -101,6 +101,30 @@ pub fn speedup(
     Ok(t_seq / t_par)
 }
 
+/// Speedups at several machine sizes, computed in parallel: one
+/// [`cenju4_sim::sweep`] point per node count, each running its own
+/// engine. The sequential baseline is measured once, up front. Results
+/// are in `nodes` order and identical to calling [`speedup`] per count.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn speedups(
+    app: AppKind,
+    variant: Variant,
+    mapping: bool,
+    nodes: &[u16],
+    scale: f64,
+) -> Result<Vec<f64>, SystemSizeError> {
+    let t_seq = sequential_time(app, scale)? as f64;
+    cenju4_sim::sweep(nodes, |&n| {
+        let t_par = run_workload(app, variant, mapping, n, scale)?;
+        Ok(t_seq / t_par.total_time().as_ns() as f64)
+    })
+    .into_iter()
+    .collect()
+}
+
 /// Parallel efficiency: `speedup / nodes` (Figure 11(b)'s y-axis).
 ///
 /// # Errors
@@ -146,17 +170,13 @@ mod tests {
         for app in [AppKind::Bt, AppKind::Sp] {
             let e1 = efficiency(app, Variant::Dsm1, true, 8, SCALE).unwrap();
             let e2 = efficiency(app, Variant::Dsm2, true, 8, SCALE).unwrap();
-            assert!(
-                e2 > e1,
-                "{app}: dsm2 ({e2:.2}) must beat dsm1 ({e1:.2})"
-            );
+            assert!(e2 > e1, "{app}: dsm2 ({e2:.2}) must beat dsm1 ({e1:.2})");
         }
     }
 
     #[test]
     fn mapping_reduces_remote_misses_for_dsm1_grid() {
-        let unmapped =
-            run_workload(AppKind::Bt, Variant::Dsm1, false, 8, SCALE).unwrap();
+        let unmapped = run_workload(AppKind::Bt, Variant::Dsm1, false, 8, SCALE).unwrap();
         let mapped = run_workload(AppKind::Bt, Variant::Dsm1, true, 8, SCALE).unwrap();
         let rf_un = unmapped.miss_fraction(AccessClass::SharedRemote);
         let rf_map = mapped.miss_fraction(AccessClass::SharedRemote);
@@ -195,8 +215,7 @@ mod tests {
         let d1 = run_workload(AppKind::Bt, Variant::Dsm1, true, 8, SCALE).unwrap();
         let d2 = run_workload(AppKind::Bt, Variant::Dsm2, true, 8, SCALE).unwrap();
         assert!(
-            d2.access_fraction(AccessClass::Private)
-                > d1.access_fraction(AccessClass::Private)
+            d2.access_fraction(AccessClass::Private) > d1.access_fraction(AccessClass::Private)
         );
         assert!(d2.miss_ratio() < d1.miss_ratio());
     }

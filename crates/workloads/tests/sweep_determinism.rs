@@ -1,0 +1,41 @@
+//! The parallel sweep must not change results: running the same parameter
+//! points on one worker and on many workers has to produce bit-identical
+//! [`RunReport`]s, because every point simulates an independent,
+//! deterministic engine and the sweep only schedules them.
+
+use cenju4_sim::sweep::sweep_on;
+use cenju4_sim::RunReport;
+use cenju4_workloads::{runner, AppKind, Variant};
+
+const SCALE: f64 = 0.25;
+
+fn sweep_reports(threads: usize) -> Vec<RunReport> {
+    let nodes = [2u16, 4, 8, 16];
+    sweep_on(threads, &nodes, |&n| {
+        runner::run_workload(AppKind::Cg, Variant::Dsm2, true, n, SCALE).expect("valid node count")
+    })
+}
+
+#[test]
+fn run_reports_identical_at_one_and_many_threads() {
+    let one = sweep_reports(1);
+    let four = sweep_reports(4);
+    assert_eq!(one.len(), four.len());
+    for (i, (a, b)) in one.iter().zip(&four).enumerate() {
+        assert_eq!(a, b, "point {i} diverged between 1 and 4 threads");
+    }
+}
+
+#[test]
+fn speedups_match_pointwise_speedup() {
+    let nodes = [2u16, 4, 8];
+    let swept = runner::speedups(AppKind::Bt, Variant::Dsm2, true, &nodes, SCALE).unwrap();
+    for (&n, &s) in nodes.iter().zip(&swept) {
+        let single = runner::speedup(AppKind::Bt, Variant::Dsm2, true, n, SCALE).unwrap();
+        assert_eq!(
+            s.to_bits(),
+            single.to_bits(),
+            "speedup at {n} nodes diverged"
+        );
+    }
+}

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example directory_precision`
 
-use cenju4::directory::precision::{
-    group_pool, precision_curve, whole_machine_pool, SchemeKind,
-};
+use cenju4::directory::precision::{group_pool, precision_curve, whole_machine_pool, SchemeKind};
 use cenju4::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,8 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for (title, pool) in [
-        ("(a) sharers drawn from all 1024 nodes", whole_machine_pool(sys)),
-        ("(b) sharers drawn from one 128-node group", group_pool(sys, 0, 128)),
+        (
+            "(a) sharers drawn from all 1024 nodes",
+            whole_machine_pool(sys),
+        ),
+        (
+            "(b) sharers drawn from one 128-node group",
+            group_pool(sys, 0, 128),
+        ),
     ] {
         println!("Figure 4{title}");
         print!("{:>8}", "sharers");
@@ -28,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             print!("  {:>20}", s.name());
         }
         println!();
-        let ks: Vec<u32> = ks.iter().copied().filter(|&k| k as usize <= pool.len()).collect();
+        let ks: Vec<u32> = ks
+            .iter()
+            .copied()
+            .filter(|&k| k as usize <= pool.len())
+            .collect();
         let curves: Vec<_> = schemes
             .iter()
             .map(|&s| precision_curve(s, sys, &pool, &ks, 200, 42))

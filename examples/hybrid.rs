@@ -63,7 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nphase 3: contention — node 1 sends 64 KB while loading remotely");
     let t0 = eng.now();
     eng.mp_send(t0, NodeId::new(1), NodeId::new(8), 64 * 1024, 99);
-    eng.issue(t0, NodeId::new(1), MemOp::Load, Addr::new(NodeId::new(2), 5));
+    eng.issue(
+        t0,
+        NodeId::new(1),
+        MemOp::Load,
+        Addr::new(NodeId::new(2), 5),
+    );
     for note in eng.run() {
         match note {
             Notification::Completed {

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // gathered in-network into a single message.
     let txn = eng.issue(eng.now(), NodeId::new(3), MemOp::Store, block);
     let done = eng.run();
-    let latency = done.iter().find_map(|x| x.latency()).expect("store completes");
+    let latency = done
+        .iter()
+        .find_map(|x| x.latency())
+        .expect("store completes");
     println!(
         "\nnode  3 store  txn {txn:3}  latency {:>6} ns  cache={}  memory={}",
         latency.as_ns(),

@@ -4,13 +4,16 @@
 //!
 //! Run with: `cargo run --release --example starvation`
 
-use cenju4::prelude::*;
 use cenju4::des::stats::OnlineStats;
+use cenju4::prelude::*;
 
 /// Issues `rounds` of simultaneous stores from every node to one block and
-/// returns (completion-latency stats, nacks, retries, max queue depth).
-fn contend(cfg: &SystemConfig, rounds: u32) -> (OnlineStats, u64, u64, usize) {
+/// returns (completion-latency stats, nacks, retries, max queue depth,
+/// worst per-transaction retry count) measured by a [`StarvationProbe`]
+/// observer attached to the engine.
+fn contend(cfg: &SystemConfig, rounds: u32) -> (OnlineStats, u64, u64, usize, u32) {
     let mut eng = cfg.build();
+    eng.add_observer(Box::new(StarvationProbe::default()));
     let block = Addr::new(NodeId::new(0), 0);
     let n = cfg.sys.nodes();
     // Warm: everyone holds the block Shared.
@@ -30,11 +33,13 @@ fn contend(cfg: &SystemConfig, rounds: u32) -> (OnlineStats, u64, u64, usize) {
             }
         }
     }
+    let probe: &StarvationProbe = eng.observer().expect("probe was registered");
     (
         lat,
-        eng.stats().nacks.get(),
-        eng.stats().retries.get(),
-        eng.max_request_queue_depth(),
+        probe.nacks(),
+        probe.retries(),
+        probe.max_queue_depth(),
+        probe.worst_txn_retries(),
     )
 }
 
@@ -46,17 +51,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let queuing = SystemConfig::new(nodes)?;
     let nack = queuing.with_nack_protocol();
 
-    let (ql, qn, qr, qd) = contend(&queuing, rounds);
-    let (nl, nn, nr, _) = contend(&nack, rounds);
+    let (ql, qn, qr, qd, qw) = contend(&queuing, rounds);
+    let (nl, nn, nr, _, nw) = contend(&nack, rounds);
 
     println!("                     queuing (Cenju-4)      nack (DASH-style)");
-    println!("completions          {:>12}           {:>12}", ql.count(), nl.count());
-    println!("mean latency (us)    {:>12.2}           {:>12.2}", ql.mean() / 1000.0, nl.mean() / 1000.0);
-    println!("worst latency (us)   {:>12.2}           {:>12.2}", ql.max() / 1000.0, nl.max() / 1000.0);
+    println!(
+        "completions          {:>12}           {:>12}",
+        ql.count(),
+        nl.count()
+    );
+    println!(
+        "mean latency (us)    {:>12.2}           {:>12.2}",
+        ql.mean() / 1000.0,
+        nl.mean() / 1000.0
+    );
+    println!(
+        "worst latency (us)   {:>12.2}           {:>12.2}",
+        ql.max() / 1000.0,
+        nl.max() / 1000.0
+    );
     println!("nacks                {:>12}           {:>12}", qn, nn);
     println!("retries              {:>12}           {:>12}", qr, nr);
+    println!("worst txn retries    {:>12}           {:>12}", qw, nw);
     println!("\nqueuing protocol: max main-memory request-queue depth = {qd}");
-    println!("  (bound: nodes x 4 outstanding = {} entries; 32 KB on 1024 nodes)", nodes * 4);
+    println!(
+        "  (bound: nodes x 4 outstanding = {} entries; 32 KB on 1024 nodes)",
+        nodes * 4
+    );
     println!("\nThe nack protocol spends its time re-sending requests that lose");
     println!("the race (Figure 6a); the queuing home services them FIFO with");
     println!("zero nacks (Figure 6b).");

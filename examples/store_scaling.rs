@@ -9,7 +9,10 @@ use cenju4::sim::probes;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("store latency vs sharers (128-node machine, 4 network stages)\n");
-    println!("{:>8}  {:>14}  {:>16}  {:>6}", "sharers", "multicast (us)", "singlecast (us)", "ratio");
+    println!(
+        "{:>8}  {:>14}  {:>16}  {:>6}",
+        "sharers", "multicast (us)", "singlecast (us)", "ratio"
+    );
 
     let with_mc = SystemConfig::new(128)?;
     let without_mc = with_mc.without_multicast();
@@ -30,7 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let big = SystemConfig::new(1024)?;
     let a = probes::store_latency(&big, 1024);
     let b = probes::store_latency(&big.without_multicast(), 1024);
-    println!("  with multicast+gather : {:>8.1} us   (paper estimate:   6.3 us)", a.as_us_f64());
-    println!("  without               : {:>8.1} us   (paper estimate: 184.0 us)", b.as_us_f64());
+    println!(
+        "  with multicast+gather : {:>8.1} us   (paper estimate:   6.3 us)",
+        a.as_us_f64()
+    );
+    println!(
+        "  without               : {:>8.1} us   (paper estimate: 184.0 us)",
+        b.as_us_f64()
+    );
     Ok(())
 }

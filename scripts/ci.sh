@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, and the tier-1 verify (ROADMAP.md).
+# Everything runs offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1 verify: cargo build --release && cargo test -q"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "==> workspace tests"
+cargo test -q --workspace --offline
+
+echo "CI OK"

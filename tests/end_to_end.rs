@@ -79,13 +79,8 @@ fn deadlock_freedom_buffers_stay_bounded_in_app_runs() {
     // Run a real workload and confirm the three deadlock-prevention
     // buffers never exceed the paper's provisioning.
     let cfg = SystemConfig::new(16).unwrap();
-    let prog = cenju4::workloads::KernelProgram::build(
-        AppKind::Sp,
-        Variant::Dsm1,
-        false,
-        &cfg,
-        0.25,
-    );
+    let prog =
+        cenju4::workloads::KernelProgram::build(AppKind::Sp, Variant::Dsm1, false, &cfg, 0.25);
     let driver = Driver::new(&cfg, prog);
     // Driver::run consumes; rebuild to inspect engine afterwards.
     let report = driver.run();

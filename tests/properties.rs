@@ -1,52 +1,80 @@
-//! Property-based tests (proptest) over the core data structures and
-//! protocol invariants.
+//! Randomized property tests over the core data structures and protocol
+//! invariants.
+//!
+//! These were originally written with proptest; they are now driven by the
+//! in-repo [`SplitMix64`] generator so the tier-1 suite builds and runs with
+//! no network access (no crates.io dependencies). Each test sweeps a fixed
+//! number of seeded random cases and is therefore fully deterministic.
 
-use cenju4::prelude::*;
+use cenju4::des::SplitMix64;
 use cenju4::directory::nodemap::DestSpec;
-use proptest::prelude::*;
+use cenju4::prelude::*;
 
-fn arb_nodes() -> impl Strategy<Value = Vec<u16>> {
-    proptest::collection::vec(0u16..1024, 1..40)
+/// Number of random cases per property.
+const CASES: u64 = 200;
+
+/// A random non-empty node list with indices below `max_node`.
+fn random_nodes(rng: &mut SplitMix64, max_node: u16, max_len: u64) -> Vec<u16> {
+    let len = 1 + rng.next_below(max_len - 1);
+    (0..len)
+        .map(|_| rng.next_below(max_node as u64) as u16)
+        .collect()
 }
 
-proptest! {
-    /// Every inserted node is represented — the superset invariant the
-    /// whole coherence argument rests on.
-    #[test]
-    fn bitpattern_is_a_superset(nodes in arb_nodes()) {
+/// Every inserted node is represented — the superset invariant the whole
+/// coherence argument rests on.
+#[test]
+fn bitpattern_is_a_superset() {
+    let mut rng = SplitMix64::new(0xB17_0001);
+    for _ in 0..CASES {
+        let nodes = random_nodes(&mut rng, 1024, 40);
         let p: BitPattern = nodes.iter().map(|&n| NodeId::new(n)).collect();
         for &n in &nodes {
-            prop_assert!(p.contains(NodeId::new(n)));
+            assert!(p.contains(NodeId::new(n)), "{n} missing from {nodes:?}");
         }
         let distinct = nodes.iter().collect::<std::collections::HashSet<_>>().len();
-        prop_assert!(p.count() as usize >= distinct);
+        assert!(p.count() as usize >= distinct);
     }
+}
 
-    /// Packing a pattern into 42 bits and back is lossless.
-    #[test]
-    fn bitpattern_bits_roundtrip(nodes in arb_nodes()) {
+/// Packing a pattern into 42 bits and back is lossless.
+#[test]
+fn bitpattern_bits_roundtrip() {
+    let mut rng = SplitMix64::new(0xB17_0002);
+    for _ in 0..CASES {
+        let nodes = random_nodes(&mut rng, 1024, 40);
         let p: BitPattern = nodes.iter().map(|&n| NodeId::new(n)).collect();
-        prop_assert_eq!(BitPattern::from_bits(p.to_bits()), p);
-        prop_assert!(p.to_bits() < (1u64 << 42));
+        assert_eq!(BitPattern::from_bits(p.to_bits()), p);
+        assert!(p.to_bits() < (1u64 << 42));
     }
+}
 
-    /// The switch-side masked predicate agrees with brute-force
-    /// enumeration of the represented set.
-    #[test]
-    fn masked_predicate_matches_enumeration(
-        nodes in arb_nodes(),
-        mask in 0u32..1024,
-        value in 0u32..1024,
-    ) {
+/// The switch-side masked predicate agrees with brute-force enumeration of
+/// the represented set.
+#[test]
+fn masked_predicate_matches_enumeration() {
+    let mut rng = SplitMix64::new(0xB17_0003);
+    for _ in 0..CASES {
+        let nodes = random_nodes(&mut rng, 1024, 40);
+        let mask = rng.next_below(1024) as u32;
+        let value = rng.next_below(1024) as u32;
         let p: BitPattern = nodes.iter().map(|&n| NodeId::new(n)).collect();
         let expected = p.iter().any(|n| (n.index() as u32) & mask == value & mask);
-        prop_assert_eq!(p.intersects_masked(mask, value), expected);
+        assert_eq!(
+            p.intersects_masked(mask, value),
+            expected,
+            "mask={mask:#x} value={value:#x} nodes={nodes:?}"
+        );
     }
+}
 
-    /// The dynamic map is precise up to four sharers and a superset after.
-    #[test]
-    fn cenju4_map_invariants(nodes in arb_nodes()) {
-        let sys = SystemSize::new(1024).unwrap();
+/// The dynamic map is precise up to four sharers and a superset after.
+#[test]
+fn cenju4_map_invariants() {
+    let mut rng = SplitMix64::new(0xB17_0004);
+    let sys = SystemSize::new(1024).unwrap();
+    for _ in 0..CASES {
+        let nodes = random_nodes(&mut rng, 1024, 40);
         let mut m = Cenju4NodeMap::new(sys);
         let mut truth = std::collections::BTreeSet::new();
         for &n in &nodes {
@@ -54,51 +82,62 @@ proptest! {
             truth.insert(n);
         }
         for &n in &truth {
-            prop_assert!(m.contains(NodeId::new(n)));
+            assert!(m.contains(NodeId::new(n)));
         }
-        prop_assert!(m.count() as usize >= truth.len());
+        assert!(m.count() as usize >= truth.len());
         if truth.len() <= 4 {
-            prop_assert_eq!(m.count() as usize, truth.len(), "pointer mode is precise");
+            assert_eq!(m.count() as usize, truth.len(), "pointer mode is precise");
         }
     }
+}
 
-    /// Directory entries survive the 64-bit pack/unpack for any state,
-    /// reservation, and sharer set.
-    #[test]
-    fn entry_roundtrip(nodes in arb_nodes(), state in 0u8..5, resv in any::<bool>()) {
-        let sys = SystemSize::new(1024).unwrap();
+/// Directory entries survive the 64-bit pack/unpack for any state,
+/// reservation, and sharer set.
+#[test]
+fn entry_roundtrip() {
+    let mut rng = SplitMix64::new(0xB17_0005);
+    let sys = SystemSize::new(1024).unwrap();
+    let states = [
+        MemState::Clean,
+        MemState::Dirty,
+        MemState::PendingShared,
+        MemState::PendingExclusive,
+        MemState::PendingInvalidate,
+    ];
+    for _ in 0..CASES {
+        let nodes = random_nodes(&mut rng, 1024, 40);
+        let st = states[rng.next_below(states.len() as u64) as usize];
+        let resv = rng.chance(0.5);
         let mut e = DirectoryEntry::new(sys);
-        let st = [
-            MemState::Clean,
-            MemState::Dirty,
-            MemState::PendingShared,
-            MemState::PendingExclusive,
-            MemState::PendingInvalidate,
-        ][state as usize];
         e.set_state(st);
         e.set_reservation(resv);
         for &n in &nodes {
             e.map_mut().add(NodeId::new(n));
         }
         let back = DirectoryEntry::from_bits(e.to_bits(), sys);
-        prop_assert_eq!(back.state(), st);
-        prop_assert_eq!(back.reservation(), resv);
-        prop_assert_eq!(back.map().count(), e.map().count());
+        assert_eq!(back.state(), st);
+        assert_eq!(back.reservation(), resv);
+        assert_eq!(back.map().count(), e.map().count());
         for &n in &nodes {
-            prop_assert!(back.map().contains(NodeId::new(n)));
+            assert!(back.map().contains(NodeId::new(n)));
         }
     }
+}
 
-    /// The fabric delivers a multicast to exactly the existing represented
-    /// destinations — never more (phantom ports), never fewer.
-    #[test]
-    fn multicast_delivery_set_is_exact(
-        nodes in proptest::collection::vec(0u16..600, 1..30),
-        machine in prop_oneof![Just(600u16), Just(64), Just(1024), Just(100)],
-    ) {
-        let sys = SystemSize::new(machine).unwrap();
+/// The fabric delivers a multicast to exactly the existing represented
+/// destinations — never more (phantom ports), never fewer.
+#[test]
+fn multicast_delivery_set_is_exact() {
+    let mut rng = SplitMix64::new(0xB17_0006);
+    let machines = [600u16, 64, 1024, 100];
+    for case in 0..CASES {
+        let machine = machines[(case % machines.len() as u64) as usize];
+        let nodes = random_nodes(&mut rng, 600, 30);
         let members: Vec<u16> = nodes.into_iter().filter(|&n| n < machine).collect();
-        prop_assume!(!members.is_empty());
+        if members.is_empty() {
+            continue;
+        }
+        let sys = SystemSize::new(machine).unwrap();
         let spec = if members.len() <= 4 {
             let mut ps = cenju4::directory::PointerSet::new();
             for &n in &members {
@@ -108,58 +147,61 @@ proptest! {
         } else {
             DestSpec::Pattern(members.iter().map(|&n| NodeId::new(n)).collect())
         };
-        let expected: Vec<u16> = spec
-            .destinations(sys)
-            .iter()
-            .map(|n| n.index())
-            .collect();
+        let expected: Vec<u16> = spec.destinations(sys).iter().map(|n| n.index()).collect();
         let mut f: Fabric<u32> = Fabric::new(sys, NetParams::default());
         let dels = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 0, None);
         let mut got: Vec<u16> = dels.iter().map(|d| d.node.index()).collect();
         got.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "machine={machine} members={members:?}");
     }
+}
 
-    /// In-order delivery: messages between one (src, dst) pair always
-    /// arrive in send order, whatever mix of data/header messages.
-    #[test]
-    fn fabric_in_order_delivery(
-        kinds in proptest::collection::vec(any::<bool>(), 2..20),
-        src in 0u16..128,
-        dst in 0u16..128,
-    ) {
-        prop_assume!(src != dst);
-        let sys = SystemSize::new(128).unwrap();
+/// In-order delivery: messages between one (src, dst) pair always arrive in
+/// send order, whatever mix of data/header messages.
+#[test]
+fn fabric_in_order_delivery() {
+    let mut rng = SplitMix64::new(0xB17_0007);
+    let sys = SystemSize::new(128).unwrap();
+    for _ in 0..CASES {
+        let src = rng.next_below(128) as u16;
+        let dst = {
+            let mut d = rng.next_below(128) as u16;
+            if d == src {
+                d = (d + 1) % 128;
+            }
+            d
+        };
+        let n_msgs = 2 + rng.next_below(18);
         let mut f: Fabric<u32> = Fabric::new(sys, NetParams::default());
         let mut last = SimTime::ZERO;
-        for (i, &data) in kinds.iter().enumerate() {
+        for i in 0..n_msgs {
+            let data = rng.chance(0.5);
             let d = f.send_unicast(
-                SimTime::from_ns(i as u64),
+                SimTime::from_ns(i),
                 NodeId::new(src),
                 NodeId::new(dst),
                 data,
                 i as u32,
             );
-            prop_assert!(d.at > last, "message {i} overtook its predecessor");
+            assert!(d.at > last, "message {i} overtook its predecessor");
             last = d.at;
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Random concurrent loads/stores leave the machine coherent: at most
-    /// one owner per block, owners exclude sharers, and directory state
-    /// matches cache contents at quiescence.
-    #[test]
-    fn protocol_coherence_under_random_traffic(
-        seed in any::<u64>(),
-        nodes in prop_oneof![Just(4u16), Just(16), Just(32)],
-    ) {
+/// Random concurrent loads/stores leave the machine coherent: at most one
+/// owner per block, owners exclude sharers, and directory state matches
+/// cache contents at quiescence.
+#[test]
+fn protocol_coherence_under_random_traffic() {
+    let mut seeds = SplitMix64::new(0xB17_0008);
+    let sizes = [4u16, 16, 32];
+    for case in 0..16u64 {
+        let nodes = sizes[(case % sizes.len() as u64) as usize];
+        let seed = seeds.next_u64();
         let cfg = SystemConfig::new(nodes).unwrap();
         let mut eng = cfg.build();
-        let mut rng = cenju4::des::SplitMix64::new(seed);
+        let mut rng = SplitMix64::new(seed);
         let blocks: Vec<Addr> = (0..5)
             .map(|i| Addr::new(NodeId::new((i * 7) % nodes), i as u32))
             .collect();
@@ -168,7 +210,11 @@ proptest! {
             for _ in 0..10 {
                 let n = NodeId::new(rng.next_below(nodes as u64) as u16);
                 let a = blocks[rng.next_below(blocks.len() as u64) as usize];
-                let op = if rng.chance(0.4) { MemOp::Store } else { MemOp::Load };
+                let op = if rng.chance(0.4) {
+                    MemOp::Store
+                } else {
+                    MemOp::Load
+                };
                 eng.issue(t0, n, op, a);
             }
             eng.run();
@@ -182,15 +228,15 @@ proptest! {
                         CacheState::Invalid => {}
                     }
                 }
-                prop_assert!(owners <= 1, "{a:?}: {owners} owners");
+                assert!(owners <= 1, "{a:?}: {owners} owners (seed {seed:#x})");
                 if owners == 1 {
-                    prop_assert_eq!(sharers, 0, "{:?}: owner with sharers", a);
-                    prop_assert_eq!(eng.memory_state(a), MemState::Dirty);
+                    assert_eq!(sharers, 0, "{a:?}: owner with sharers");
+                    assert_eq!(eng.memory_state(a), MemState::Dirty);
                 } else if eng.memory_state(a) == MemState::Dirty {
                     // Sole Exclusive owner silently evicted (see
                     // engine_tests::check_coherence_invariants).
-                    prop_assert_eq!(sharers, 0);
-                    prop_assert_eq!(eng.directory_sharers(a).len(), 1);
+                    assert_eq!(sharers, 0);
+                    assert_eq!(eng.directory_sharers(a).len(), 1);
                 }
             }
         }
