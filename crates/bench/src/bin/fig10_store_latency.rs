@@ -4,14 +4,13 @@
 //!
 //! Run with: `cargo run --release -p cenju4-bench --bin fig10_store_latency`
 
-use cenju4::sim::probes::store_latency;
-use cenju4::sim::{sweep, SystemConfig};
+use cenju4::prelude::*;
 use cenju4_bench::paper::{FIG10_MULTICAST_1024, FIG10_SINGLECAST_1024};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for nodes in [16u16, 128, 1024] {
-        let with_mc = SystemConfig::new(nodes)?;
-        let without = with_mc.without_multicast();
+        let with_mc = SystemConfig::builder(nodes).build()?;
+        let without = SystemConfig::builder(nodes).without_multicast().build()?;
         println!(
             "store latency on {nodes} nodes ({} stages):",
             with_mc.sys.stages()
@@ -30,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Each sharer count is an independent simulation; sweep them in
         // parallel and print in point order.
         let pairs = sweep(&ks, |&k| {
-            (store_latency(&with_mc, k), store_latency(&without, k))
+            (
+                probes::store_latency(&with_mc, k),
+                probes::store_latency(&without, k),
+            )
         });
         for (&k, &(a, b)) in ks.iter().zip(&pairs) {
             println!(
@@ -44,9 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
     }
 
-    let big = SystemConfig::new(1024)?;
-    let a = store_latency(&big, 1024).as_ns() as f64;
-    let b = store_latency(&big.without_multicast(), 1024).as_ns() as f64;
+    let big = SystemConfig::builder(1024).build()?;
+    let big_sc = SystemConfig::builder(1024).without_multicast().build()?;
+    let a = probes::store_latency(&big, 1024).as_ns() as f64;
+    let b = probes::store_latency(&big_sc, 1024).as_ns() as f64;
     println!("paper's 1024-sharer estimates:");
     println!(
         "  multicast+gather : {} us",

@@ -7,8 +7,9 @@
 //! `cargo run --release -p cenju4-bench --bin fig11_dsm_vs_mpi [scale]`
 //! (scale defaults to 1.0; smaller is faster, larger is closer asymptotic)
 
+use cenju4::prelude::*;
 use cenju4::workloads::rewrite::paper_rewriting_ratios;
-use cenju4::workloads::{runner, AppKind, Variant};
+use cenju4::workloads::runner;
 use cenju4_bench::paper::{FIG11B_DSM1_EFFICIENCY, FIG11B_DSM2_EFFICIENCY};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -4,7 +4,8 @@
 //!
 //! Run with: `cargo run --release -p cenju4-bench --bin fig12_speedups [scale]`
 
-use cenju4::workloads::{runner, AppKind, Variant};
+use cenju4::prelude::*;
+use cenju4::workloads::runner;
 use cenju4_bench::paper::FIG12;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -8,7 +8,6 @@
 
 use cenju4::directory::precision::{group_pool, precision_curve, whole_machine_pool, SchemeKind};
 use cenju4::prelude::*;
-use cenju4::sim::sweep;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trials = cenju4_bench::scale_arg(200.0) as u32;

@@ -55,8 +55,8 @@ fn contend(cfg: &SystemConfig, rounds: u32) -> Outcome {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rounds = cenju4_bench::scale_arg(20.0) as u32;
     for nodes in [16u16, 64] {
-        let queuing = SystemConfig::new(nodes)?;
-        let nack = queuing.with_nack_protocol();
+        let queuing = SystemConfig::builder(nodes).build()?;
+        let nack = SystemConfig::builder(nodes).nack_protocol().build()?;
         let q = contend(&queuing, rounds);
         let k = contend(&nack, rounds);
         println!("{nodes} nodes, {rounds} rounds of all-store contention on one block");

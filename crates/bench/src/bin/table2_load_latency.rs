@@ -4,8 +4,7 @@
 //!
 //! Run with: `cargo run --release -p cenju4-bench --bin table2_load_latency`
 
-use cenju4::sim::probes::load_latencies;
-use cenju4::sim::{sweep, SystemConfig};
+use cenju4::prelude::*;
 use cenju4_bench::paper::TABLE2;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,11 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let cfgs = TABLE2
         .iter()
-        .map(|&(nodes, _)| SystemConfig::new(nodes))
+        .map(|&(nodes, _)| SystemConfig::builder(nodes).build())
         .collect::<Result<Vec<_>, _>>()?;
     // The three machine sizes are independent; measure them in parallel.
     let measured = sweep(&cfgs, |cfg| {
-        let r = load_latencies(cfg);
+        let r = probes::load_latencies(cfg);
         [
             r.private.as_ns(),
             r.shared_local_clean.as_ns(),

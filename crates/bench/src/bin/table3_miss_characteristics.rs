@@ -5,8 +5,8 @@
 //! Run with:
 //! `cargo run --release -p cenju4-bench --bin table3_miss_characteristics [scale]`
 
-use cenju4::sim::AccessClass;
-use cenju4::workloads::{runner, AppKind, Variant};
+use cenju4::prelude::*;
+use cenju4::workloads::runner;
 use cenju4_bench::paper::TABLE3;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -7,11 +7,9 @@
 //! Run with:
 //! `cargo run --release -p cenju4-bench --bin table4_app_characteristics [scale]`
 
-use cenju4::sim::AccessClass;
-use cenju4::sim::SystemConfig;
-use cenju4::workloads::{runner, AppKind, KernelProgram, Variant};
+use cenju4::prelude::*;
+use cenju4::workloads::{runner, KernelProgram};
 use cenju4_bench::paper::TABLE4;
-use cenju4_directory::NodeId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = cenju4_bench::scale_arg(2.0);
@@ -30,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for app in AppKind::ALL {
         for nodes in [16u16, app.paper_nodes()] {
-            let cfg = SystemConfig::new(nodes)?;
+            let cfg = SystemConfig::builder(nodes).build()?;
             let prog = KernelProgram::build(app, Variant::Dsm2, true, &cfg, scale);
             let instr = prog.node_instructions(NodeId::new(0)) as f64 / 1e6;
             let r = runner::run_workload(app, Variant::Dsm2, true, nodes, scale)?;

@@ -40,15 +40,15 @@ pub use cenju4_sim as sim;
 pub use cenju4_workloads as workloads;
 
 /// The most commonly used types, for `use cenju4::prelude::*`.
+///
+/// Built on [`cenju4_sim::prelude`] — the simulation stack's single
+/// import path — plus the directory-analytics, raw-fabric, and workload
+/// types that only full-system consumers need.
 pub mod prelude {
-    pub use cenju4_des::{Duration, SimTime};
-    pub use cenju4_directory::{
-        BitPattern, Cenju4NodeMap, DirectoryEntry, MemState, NodeId, NodeMap, SystemSize,
-    };
-    pub use cenju4_network::{Fabric, MulticastMode, NetParams};
-    pub use cenju4_protocol::observer::{Observer, StarvationProbe};
-    pub use cenju4_protocol::{Addr, CacheState, Engine, MemOp, ProtoParams, ProtocolKind};
-    pub use cenju4_sim::{AccessClass, Driver, Program, RunReport, Step, SystemConfig, Target};
+    pub use cenju4_sim::prelude::*;
+
+    pub use cenju4_directory::{BitPattern, Cenju4NodeMap, DirectoryEntry, NodeMap};
+    pub use cenju4_network::Fabric;
     pub use cenju4_workloads::{AppKind, Variant};
 }
 

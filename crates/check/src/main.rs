@@ -1,0 +1,190 @@
+//! `cenju4-check`: command-line schedule exploration for the Cenju-4
+//! coherence protocol.
+//!
+//! Subcommands:
+//!
+//! * `exhaustive` — bounded-exhaustive DFS over every schedule of a small
+//!   scenario; exits 1 if any oracle is falsified.
+//! * `random` — seeded random walks; exits 1 on a falsified oracle.
+//! * `replay` — replays one printed schedule deterministically.
+//! * `mutants` — arms each `FaultInjection` mutant and demands a
+//!   counterexample from each; exits 1 if a mutant *survives* (the
+//!   oracles failed to distinguish a broken protocol).
+//!
+//! Common flags: `--nodes N --blocks B --ops K --protocol queuing|nack`
+//! `--fault none|no-reservation|drop-spills --max-steps S`
+//! `--max-schedules M --max-seconds T`; `random` adds `--seed`/`--walks`,
+//! `replay` adds `--schedule 1,0,2` (`-` for the empty schedule).
+
+use cenju4_check::{exhaustive, random_walks, replay, CheckConfig, Exploration, ExploreLimits};
+use cenju4_protocol::{FaultInjection, ProtocolKind};
+use std::process::ExitCode;
+
+struct Args {
+    cfg: CheckConfig,
+    limits: ExploreLimits,
+    seed: u64,
+    walks: u64,
+    schedule: Vec<usize>,
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: cenju4-check <exhaustive|random|replay|mutants> \
+         [--nodes N] [--blocks B] [--ops K] [--protocol queuing|nack] \
+         [--fault none|no-reservation|drop-spills] [--max-steps S] \
+         [--max-schedules M] [--max-seconds T] [--seed S] [--walks W] \
+         [--schedule 1,0,2|-]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse(mut argv: std::env::Args) -> Result<(String, Args), String> {
+    let _bin = argv.next();
+    let cmd = argv.next().ok_or("missing subcommand")?;
+    let mut args = Args {
+        cfg: CheckConfig::default(),
+        limits: ExploreLimits {
+            max_steps: 10_000,
+            max_schedules: 1_000_000,
+            max_seconds: 300,
+        },
+        seed: 1,
+        walks: 100,
+        schedule: Vec::new(),
+    };
+    while let Some(flag) = argv.next() {
+        let mut val = || argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--nodes" => args.cfg.nodes = val()?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--blocks" => args.cfg.blocks = val()?.parse().map_err(|e| format!("--blocks: {e}"))?,
+            "--ops" => args.cfg.ops_per_node = val()?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--protocol" => {
+                args.cfg.kind = match val()?.as_str() {
+                    "queuing" => ProtocolKind::Queuing,
+                    "nack" => ProtocolKind::Nack,
+                    other => return Err(format!("unknown protocol {other:?}")),
+                }
+            }
+            "--fault" => {
+                let v = val()?;
+                args.cfg.fault = FaultInjection::parse(&v).ok_or(format!("unknown fault {v:?}"))?
+            }
+            "--max-steps" => {
+                args.limits.max_steps = val()?.parse().map_err(|e| format!("--max-steps: {e}"))?
+            }
+            "--max-schedules" => {
+                args.limits.max_schedules = val()?
+                    .parse()
+                    .map_err(|e| format!("--max-schedules: {e}"))?
+            }
+            "--max-seconds" => {
+                args.limits.max_seconds =
+                    val()?.parse().map_err(|e| format!("--max-seconds: {e}"))?
+            }
+            "--seed" => args.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--walks" => args.walks = val()?.parse().map_err(|e| format!("--walks: {e}"))?,
+            "--schedule" => {
+                let v = val()?;
+                if v != "-" {
+                    args.schedule = v
+                        .split(',')
+                        .map(|c| c.parse().map_err(|e| format!("--schedule: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((cmd, args))
+}
+
+fn report(what: &str, cfg: &CheckConfig, result: &Exploration) -> ExitCode {
+    match result {
+        Exploration::AllGreen { schedules } => {
+            println!("{what}: {cfg}: all oracles green over {schedules} schedules");
+            ExitCode::SUCCESS
+        }
+        Exploration::Budget { schedules } => {
+            println!(
+                "{what}: {cfg}: budget reached after {schedules} schedules, \
+                 all green so far (inconclusive)"
+            );
+            ExitCode::SUCCESS
+        }
+        Exploration::Falsified(cx) => {
+            println!("{what}: {cfg}: FALSIFIED");
+            print!("{cx}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let (cmd, args) = match parse(std::env::args()) {
+        Ok(p) => p,
+        Err(e) => return usage(&e),
+    };
+    match cmd.as_str() {
+        "exhaustive" => {
+            let r = exhaustive(&args.cfg, &args.limits);
+            report("exhaustive", &args.cfg, &r)
+        }
+        "random" => {
+            let r = random_walks(&args.cfg, args.seed, args.walks, &args.limits);
+            report(&format!("random (seed {})", args.seed), &args.cfg, &r)
+        }
+        "replay" => {
+            let out = replay(&args.cfg, &args.schedule, args.limits.max_steps);
+            match &out.violation {
+                None => {
+                    println!(
+                        "replay: {}: schedule {:?} quiesced green in {} steps",
+                        args.cfg, args.schedule, out.steps
+                    );
+                    ExitCode::SUCCESS
+                }
+                Some(v) => {
+                    println!("replay: {}: violation at step {}", args.cfg, out.steps);
+                    println!("  {v}");
+                    if !out.trace.is_empty() {
+                        for line in out.trace.lines() {
+                            println!("    {line}");
+                        }
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "mutants" => {
+            // Each mutant must be *killed*: the oracles must produce a
+            // counterexample. A surviving mutant means the checker is
+            // blind to that class of protocol bug.
+            let mut all_killed = true;
+            for fault in [
+                FaultInjection::DisableReservation,
+                FaultInjection::DropSpilledRequests,
+            ] {
+                let cfg = CheckConfig { fault, ..args.cfg };
+                match exhaustive(&cfg, &args.limits) {
+                    Exploration::Falsified(cx) => {
+                        println!("mutant {fault}: killed");
+                        print!("{cx}");
+                    }
+                    other => {
+                        println!("mutant {fault}: SURVIVED ({other:?})");
+                        all_killed = false;
+                    }
+                }
+            }
+            if all_killed {
+                println!("mutants: all killed");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => usage(&format!("unknown subcommand {other:?}")),
+    }
+}

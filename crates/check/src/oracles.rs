@@ -1,0 +1,263 @@
+//! Invariant oracles evaluated after every scheduler step.
+//!
+//! Each oracle states a property the Cenju-4 protocol must uphold in
+//! *every* reachable state — including transient ones, so the checks are
+//! phrased to tolerate in-flight messages (the directory may represent a
+//! superset of the true sharers, never a subset):
+//!
+//! * **single-writer/multiple-reader** — at most one Modified/Exclusive
+//!   copy machine-wide, and never alongside another readable copy;
+//! * **directory agreement** — every readable cached copy is represented
+//!   in its home's directory entry;
+//! * **value coherence** — all Shared copies carry the same data, and a
+//!   Clean block's readable copies match its home memory;
+//! * **data freshness** — a completed load observes exactly the value of
+//!   the last completed store to that block (or 0);
+//! * **bounded queues** — the paper's Figure-9 bounds: per-home request
+//!   FIFO and slave spill buffer ≤ `4·nodes`, master input ≤ 4;
+//! * **quiescence** — when no events remain, every issued transaction has
+//!   graduated and every queue is empty (nothing was lost or starved).
+
+use crate::scenario::CheckConfig;
+use cenju4_directory::{MemState, NodeId};
+use cenju4_protocol::{Addr, CacheState, Engine, MemOp, Notification};
+use core::fmt;
+use std::collections::HashMap;
+
+/// A falsified invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which oracle fired (a stable short name, e.g. `swmr`).
+    pub oracle: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Running oracle state: the workload's blocks plus the store/load
+/// history needed by the data-freshness check.
+pub struct OracleState {
+    blocks: Vec<Addr>,
+    nodes: u16,
+    /// Value of the last *completed* store per block, in dispatch order.
+    last_store: HashMap<Addr, u64>,
+    /// Graduated accesses seen so far.
+    pub completed: usize,
+}
+
+impl OracleState {
+    /// Fresh oracle state for one scenario run.
+    pub fn new(cfg: &CheckConfig) -> Self {
+        OracleState {
+            blocks: cfg.block_addrs(),
+            nodes: cfg.nodes,
+            last_store: HashMap::new(),
+            completed: 0,
+        }
+    }
+
+    /// Folds one step's notifications into the history, checking that
+    /// every completed load returns the last completed store's value.
+    pub fn note(&mut self, notes: &[Notification]) -> Option<Violation> {
+        for n in notes {
+            if let Notification::Completed {
+                node,
+                op,
+                addr,
+                value,
+                ..
+            } = n
+            {
+                self.completed += 1;
+                match op {
+                    MemOp::Store => {
+                        self.last_store.insert(*addr, *value);
+                    }
+                    MemOp::Load => {
+                        let want = self.last_store.get(addr).copied().unwrap_or(0);
+                        if *value != want {
+                            return Some(Violation {
+                                oracle: "data-freshness",
+                                detail: format!(
+                                    "load at {node} on {addr} returned {value}, \
+                                     last completed store wrote {want}"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Evaluates the state oracles against the engine after one step.
+    pub fn check_step(&self, eng: &Engine) -> Option<Violation> {
+        let nodes: Vec<NodeId> = (0..self.nodes).map(NodeId::new).collect();
+        for &addr in &self.blocks {
+            let states: Vec<(NodeId, CacheState)> = nodes
+                .iter()
+                .map(|&n| (n, eng.cache_state(n, addr)))
+                .collect();
+            let owners: Vec<NodeId> = states
+                .iter()
+                .filter(|(_, s)| s.writable())
+                .map(|(n, _)| *n)
+                .collect();
+            let readable: Vec<NodeId> = states
+                .iter()
+                .filter(|(_, s)| s.readable())
+                .map(|(n, _)| *n)
+                .collect();
+
+            // Single writer, multiple readers.
+            if owners.len() > 1 {
+                return Some(Violation {
+                    oracle: "swmr",
+                    detail: format!("{addr}: multiple writable copies at {owners:?}"),
+                });
+            }
+            if owners.len() == 1 && readable.len() > 1 {
+                return Some(Violation {
+                    oracle: "swmr",
+                    detail: format!(
+                        "{addr}: writable copy at {} coexists with readers {readable:?}",
+                        owners[0]
+                    ),
+                });
+            }
+
+            // Every readable copy is represented in the directory. (The
+            // directory may be a superset — silent clean evictions — but
+            // never a subset.)
+            let dir = eng.directory_sharers(addr);
+            for &n in &readable {
+                if !dir.contains(&n) {
+                    return Some(Violation {
+                        oracle: "directory",
+                        detail: format!(
+                            "{addr}: node {n} holds a readable copy but the \
+                             directory represents only {dir:?}"
+                        ),
+                    });
+                }
+            }
+
+            // Value coherence among Shared copies, and against a Clean
+            // home memory.
+            let shared_vals: Vec<(NodeId, u64)> = states
+                .iter()
+                .filter(|(_, s)| *s == CacheState::Shared)
+                .map(|(n, _)| (*n, eng.cache_value(*n, addr)))
+                .collect();
+            if let Some(&(first_node, first)) = shared_vals.first() {
+                for &(n, v) in &shared_vals[1..] {
+                    if v != first {
+                        return Some(Violation {
+                            oracle: "value-coherence",
+                            detail: format!(
+                                "{addr}: Shared copies disagree \
+                                 ({first_node}={first}, {n}={v})"
+                            ),
+                        });
+                    }
+                }
+            }
+            if eng.memory_state(addr) == MemState::Clean {
+                let mem = eng.memory_value(addr);
+                for &(n, v) in &shared_vals {
+                    if v != mem {
+                        return Some(Violation {
+                            oracle: "value-coherence",
+                            detail: format!(
+                                "{addr}: Clean memory holds {mem} but node {n}'s \
+                                 Shared copy holds {v}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Figure-9 queue bounds: 4 outstanding per node bounds every spill
+        // structure by 4·nodes.
+        let max_out = eng.params().max_outstanding;
+        let bound = max_out * self.nodes as usize;
+        for &n in &nodes {
+            let depth = eng.request_queue_len(n);
+            if depth > bound {
+                return Some(Violation {
+                    oracle: "queue-bound",
+                    detail: format!("home {n} request queue depth {depth} exceeds 4n = {bound}"),
+                });
+            }
+        }
+        if eng.max_slave_input_depth() > bound as u64 {
+            return Some(Violation {
+                oracle: "queue-bound",
+                detail: format!(
+                    "slave input depth {} exceeds 4n = {bound}",
+                    eng.max_slave_input_depth()
+                ),
+            });
+        }
+        if eng.max_master_input_depth() > max_out as u64 {
+            return Some(Violation {
+                oracle: "queue-bound",
+                detail: format!(
+                    "master input depth {} exceeds max_outstanding = {max_out}",
+                    eng.max_master_input_depth()
+                ),
+            });
+        }
+        None
+    }
+
+    /// Evaluates the end-of-run oracles once no events remain: global
+    /// quiescence means nothing was lost (the reservation-bit discipline
+    /// woke every parked request) and every queue drained.
+    pub fn check_quiescent(&self, eng: &Engine, issued: usize) -> Option<Violation> {
+        if self.completed != issued {
+            return Some(Violation {
+                oracle: "quiescence",
+                detail: format!(
+                    "{} of {issued} accesses graduated before the event set \
+                     drained — transactions were lost or starved",
+                    self.completed
+                ),
+            });
+        }
+        let outstanding = eng.outstanding_txn_count();
+        if outstanding != 0 {
+            return Some(Violation {
+                oracle: "quiescence",
+                detail: format!("{outstanding} transactions still outstanding at quiescence"),
+            });
+        }
+        for n in (0..self.nodes).map(NodeId::new) {
+            let parked = eng.request_queue_len(n);
+            if parked != 0 {
+                return Some(Violation {
+                    oracle: "quiescence",
+                    detail: format!(
+                        "home {n} still holds {parked} parked requests at quiescence \
+                         — the reservation bit never woke them"
+                    ),
+                });
+            }
+            let pending = eng.home_pending_count(n);
+            if pending != 0 {
+                return Some(Violation {
+                    oracle: "quiescence",
+                    detail: format!("home {n} still has {pending} pending transactions"),
+                });
+            }
+        }
+        None
+    }
+}

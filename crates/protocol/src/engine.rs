@@ -11,15 +11,61 @@
 use crate::addr::Addr;
 use crate::cache::CacheState;
 use crate::messages::{ProtoMsg, TxnId};
-use crate::modules::bus::{BusMsg, MessageBus};
+use crate::modules::bus::{BusMsg, MessageBus, PendingEvent};
 use crate::modules::{Ctx, HomeModule, MasterModule, SlaveModule};
 use crate::observer::{Observer, ObserverSet, TraceObserver};
-use crate::params::{ProtoParams, ProtocolKind};
+use crate::params::{FaultInjection, ProtoParams, ProtocolKind};
 use crate::stats::EngineStats;
 use cenju4_des::{Duration, SimTime};
 use cenju4_directory::{MemState, NodeId, NodeMap, SystemSize};
 use cenju4_network::NetParams;
+use core::fmt;
 use std::collections::HashSet;
+
+/// Why [`Engine::try_issue`] rejected an access. The legacy
+/// [`Engine::issue`] panics on these instead of returning them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IssueError {
+    /// The issuing node is outside the configured machine.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The machine size.
+        nodes: u16,
+    },
+    /// The target block's home node is outside the configured machine.
+    HomeOutOfRange {
+        /// The block's home.
+        home: NodeId,
+        /// The machine size.
+        nodes: u16,
+    },
+    /// The issue time precedes the current simulation time.
+    TimeInPast {
+        /// The requested issue time.
+        at: SimTime,
+        /// The current simulation time.
+        now: SimTime,
+    },
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueError::NodeOutOfRange { node, nodes } => {
+                write!(f, "issuing node {node} outside the {nodes}-node machine")
+            }
+            IssueError::HomeOutOfRange { home, nodes } => {
+                write!(f, "block home {home} outside the {nodes}-node machine")
+            }
+            IssueError::TimeInPast { at, now } => {
+                write!(f, "issue time {at} precedes current time {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IssueError {}
 
 /// A processor-issued memory operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -137,6 +183,7 @@ pub struct Engine {
     notifications: Vec<Notification>,
     update_blocks: HashSet<Addr>,
     observers: ObserverSet,
+    fault: FaultInjection,
 }
 
 impl Engine {
@@ -160,7 +207,57 @@ impl Engine {
             notifications: Vec::new(),
             update_blocks: HashSet::new(),
             observers: ObserverSet::default(),
+            fault: FaultInjection::None,
         }
+    }
+
+    /// Arms a test-only protocol mutation (see [`FaultInjection`]). Used
+    /// by the `cenju4-check` mutant runs to prove the invariant oracles
+    /// can tell the correct protocol from broken ones; never used by
+    /// production drivers.
+    pub fn inject_fault(&mut self, fault: FaultInjection) {
+        self.fault = fault;
+    }
+
+    /// Switches the engine into **controlled-schedule mode**: events are
+    /// parked instead of firing in time order, and the caller — a model
+    /// checker — picks which ready event fires next via
+    /// [`Engine::run_pending`]. Must be called before any access is
+    /// issued; mutually exclusive with timing jitter.
+    pub fn enable_controlled_schedule(&mut self) {
+        self.bus.enable_controlled();
+    }
+
+    /// Whether the engine is in controlled-schedule mode.
+    pub fn is_controlled(&self) -> bool {
+        self.bus.is_controlled()
+    }
+
+    /// The parked events of a controlled engine, sorted by (scheduled
+    /// time, insertion sequence): index 0 is the event the uncontrolled
+    /// simulation would fire next, and is always ready. Only events with
+    /// `ready == true` are legal choices for [`Engine::run_pending`].
+    pub fn pending_events(&self) -> Vec<PendingEvent> {
+        self.bus.pending()
+    }
+
+    /// Number of parked events in a controlled engine.
+    pub fn pending_event_count(&self) -> usize {
+        self.bus.held_len()
+    }
+
+    /// Fires the parked event at sorted position `choice` (an index into
+    /// [`Engine::pending_events`]), returning the notifications it
+    /// produced, or `None` when no events remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chosen event is not ready — firing it would reorder
+    /// an in-order delivery channel the real network guarantees.
+    pub fn run_pending(&mut self, choice: usize) -> Option<Vec<Notification>> {
+        let (at, ev) = self.bus.pop_held(choice)?;
+        self.dispatch(at, ev);
+        Some(std::mem::take(&mut self.notifications))
     }
 
     /// Enables protocol event tracing, retaining the most recent
@@ -344,13 +441,82 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // Checker inspection
+    // ------------------------------------------------------------------
+
+    /// Transactions that have been issued but not yet graduated, summed
+    /// across every master's outstanding table and access backlog. Zero
+    /// at quiescence — anything else with an empty event set means the
+    /// protocol lost a transaction.
+    pub fn outstanding_txn_count(&self) -> usize {
+        self.masters
+            .iter()
+            .map(|m| m.outstanding.len() + m.backlog.len())
+            .sum()
+    }
+
+    /// Requests currently parked in `home`'s main-memory queue.
+    pub fn request_queue_len(&self, home: NodeId) -> usize {
+        self.homes[home.as_usize()].req_queue.len()
+    }
+
+    /// Transactions `home` is currently waiting on (forwarded requests
+    /// and outstanding invalidation gathers).
+    pub fn home_pending_count(&self, home: NodeId) -> usize {
+        self.homes[home.as_usize()].pending.len()
+    }
+
+    /// Whether the reservation bit of `addr` is set at its home
+    /// (Section 3.3's queue-wakeup mark).
+    pub fn reservation_set(&self, addr: Addr) -> bool {
+        self.homes[addr.home().as_usize()]
+            .directory
+            .get(&addr)
+            .is_some_and(|e| e.reservation())
+    }
+
+    // ------------------------------------------------------------------
     // Driver interface
     // ------------------------------------------------------------------
 
     /// Schedules a memory access at time `at` (≥ the current time).
     /// Returns the transaction id that will appear in the completion
     /// notification.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions [`Engine::try_issue`] reports as errors:
+    /// out-of-range node or home, or an issue time in the past.
     pub fn issue(&mut self, at: SimTime, node: NodeId, op: MemOp, addr: Addr) -> TxnId {
+        self.try_issue(at, node, op, addr)
+            .unwrap_or_else(|e| panic!("issue rejected: {e}"))
+    }
+
+    /// Schedules a memory access, validating it first: the issuing node
+    /// and the block's home must lie inside the machine, and `at` must
+    /// not precede the current simulation time. The panicking
+    /// [`Engine::issue`] delegates here.
+    pub fn try_issue(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        op: MemOp,
+        addr: Addr,
+    ) -> Result<TxnId, IssueError> {
+        let nodes = self.sys.nodes();
+        if !self.sys.contains(node) {
+            return Err(IssueError::NodeOutOfRange { node, nodes });
+        }
+        if !self.sys.contains(addr.home()) {
+            return Err(IssueError::HomeOutOfRange {
+                home: addr.home(),
+                nodes,
+            });
+        }
+        let now = self.now();
+        if at < now {
+            return Err(IssueError::TimeInPast { at, now });
+        }
         let txn = self.next_txn;
         self.next_txn += 1;
         self.bus.schedule(
@@ -362,7 +528,7 @@ impl Engine {
                 txn,
             },
         );
-        txn
+        Ok(txn)
     }
 
     /// Sends a user-level message of `bytes` bytes from `src` to `dst` at
@@ -455,6 +621,7 @@ impl Engine {
             obs: &mut self.observers,
             notes: &mut self.notifications,
             update_blocks: &self.update_blocks,
+            fault: self.fault,
         };
         match ev {
             BusMsg::Access {

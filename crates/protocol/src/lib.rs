@@ -72,7 +72,8 @@ pub mod trace;
 
 pub use addr::{Addr, BLOCK_BYTES};
 pub use cache::{Cache, CacheState, Victim};
-pub use engine::{Engine, MemOp, Notification};
+pub use engine::{Engine, IssueError, MemOp, Notification};
 pub use messages::{ProtoMsg, ReqKind, TxnId};
-pub use params::{ProtoParams, ProtocolKind};
+pub use modules::bus::PendingEvent;
+pub use params::{FaultInjection, ProtoParams, ProtocolKind};
 pub use stats::EngineStats;

@@ -176,6 +176,41 @@ impl ProtoMsg {
         }
     }
 
+    /// A short static label naming the receiving module and message kind,
+    /// used by the trace observer and the controlled scheduler's
+    /// pending-event descriptions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtoMsg::Request { .. } => "home:request",
+            ProtoMsg::WriteBack { .. } => "home:writeback",
+            ProtoMsg::Forward { .. } => "slave:forward",
+            ProtoMsg::Invalidate { .. } => "slave:invalidate",
+            ProtoMsg::Update { .. } => "slave:update",
+            ProtoMsg::SlaveReply { .. } => "home:slave-reply",
+            ProtoMsg::InvAck { .. } => "home:inv-ack",
+            ProtoMsg::DataReply { .. } => "master:data-reply",
+            ProtoMsg::AckReply { .. } => "master:ack-reply",
+            ProtoMsg::Nack { .. } => "master:nack",
+            ProtoMsg::UserMessage { .. } => "mp:message",
+        }
+    }
+
+    /// The transaction this message belongs to, if it carries one.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            ProtoMsg::Request { txn, .. }
+            | ProtoMsg::Forward { txn, .. }
+            | ProtoMsg::Update { txn, .. }
+            | ProtoMsg::Invalidate { txn, .. }
+            | ProtoMsg::SlaveReply { txn, .. }
+            | ProtoMsg::InvAck { txn, .. }
+            | ProtoMsg::DataReply { txn, .. }
+            | ProtoMsg::AckReply { txn, .. }
+            | ProtoMsg::Nack { txn, .. } => Some(*txn),
+            ProtoMsg::WriteBack { .. } | ProtoMsg::UserMessage { .. } => None,
+        }
+    }
+
     /// The block this message concerns.
     pub fn addr(&self) -> Addr {
         match self {

@@ -66,6 +66,84 @@ pub enum BusMsg {
     Marker(u64),
 }
 
+impl BusMsg {
+    /// A short human-readable label for schedule listings and traces.
+    fn label(&self) -> &'static str {
+        match self {
+            BusMsg::Access { .. } => "proc:access",
+            BusMsg::Recv { msg, .. } => msg.label(),
+            BusMsg::Retry { .. } => "proc:retry",
+            BusMsg::MpDeliver { .. } => "mp:deliver",
+            BusMsg::Marker(_) => "marker",
+        }
+    }
+
+    /// The ordering channel this event belongs to. Events on the same
+    /// channel must fire in (time, sequence) order even under a
+    /// controlled scheduler: the network guarantees per-(src, dst)
+    /// in-order delivery (which the protocol relies on — e.g. a writeback
+    /// must reach the home before the evictor's next request for the same
+    /// block), and a processor issues its accesses in program order.
+    /// `None` means the event is unordered and always ready.
+    fn channel(&self) -> Option<Channel> {
+        match self {
+            BusMsg::Recv { dst, src, .. } if src != dst => Some(Channel::Wire(*src, *dst)),
+            BusMsg::Recv { dst, .. } => Some(Channel::Local(*dst)),
+            BusMsg::Access { node, .. } => Some(Channel::Proc(*node)),
+            BusMsg::Retry { .. } | BusMsg::MpDeliver { .. } | BusMsg::Marker(_) => None,
+        }
+    }
+}
+
+/// An ordering channel for controlled scheduling; see [`BusMsg::channel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Channel {
+    /// Remote deliveries between one ordered (src, dst) pair.
+    Wire(NodeId, NodeId),
+    /// Node-local hand-offs (src == dst), ordered among themselves.
+    Local(NodeId),
+    /// Processor accesses of one node, in program order.
+    Proc(NodeId),
+}
+
+/// A snapshot of one event waiting in the held queue of a controlled
+/// bus, exposed to the checker through `Engine::pending_events`.
+#[derive(Clone, Debug)]
+pub struct PendingEvent {
+    /// Scheduled firing time in the uncontrolled simulation.
+    pub at: SimTime,
+    /// Whether the event may fire next without violating a channel's
+    /// in-order guarantee. Only ready events are legal schedule choices.
+    pub ready: bool,
+    /// The node the event fires at.
+    pub node: NodeId,
+    /// The sending node, for message deliveries.
+    pub src: Option<NodeId>,
+    /// Short description, e.g. `home:request` or `proc:access`.
+    pub label: &'static str,
+    /// The block concerned, when the event names one.
+    pub addr: Option<Addr>,
+    /// The transaction concerned, when the event names one.
+    pub txn: Option<TxnId>,
+}
+
+/// The held event set of a bus in controlled-schedule mode. Events are
+/// parked here instead of the time-ordered queue; the checker picks which
+/// ready event fires next.
+struct HeldQueue {
+    /// Parked events as (scheduled time, insertion sequence, event). The
+    /// sequence breaks time ties exactly like the event queue's tie-break,
+    /// so choosing the minimal (at, seq) event reproduces the natural
+    /// schedule.
+    events: Vec<(SimTime, u64, BusMsg)>,
+    /// Next insertion sequence number.
+    seq: u64,
+    /// Monotonic virtual clock: the maximum scheduled time of any event
+    /// fired so far. Events chosen "early" are clamped up to this so the
+    /// per-module service queues still see nondecreasing arrival times.
+    now: SimTime,
+}
+
 /// The fabric plus the event queue, with optional deterministic delivery
 /// jitter. See the module docs.
 pub struct MessageBus {
@@ -79,6 +157,9 @@ pub struct MessageBus {
     /// a writeback must reach the home before the evictor's next request
     /// for the same block).
     jitter_order: HashMap<(NodeId, NodeId), SimTime>,
+    /// Controlled-schedule mode (the checker picks the next event).
+    /// Mutually exclusive with jitter.
+    held: Option<HeldQueue>,
 }
 
 impl MessageBus {
@@ -88,16 +169,142 @@ impl MessageBus {
             queue: EventQueue::new(),
             jitter: None,
             jitter_order: HashMap::new(),
+            held: None,
         }
     }
 
     pub(crate) fn enable_jitter(&mut self, seed: u64, pct: u8) {
+        assert!(
+            self.held.is_none(),
+            "jitter and controlled scheduling are mutually exclusive"
+        );
         self.jitter = Some((SplitMix64::new(seed), pct));
+    }
+
+    /// Switches the bus into controlled-schedule mode: newly scheduled
+    /// events are parked in a held set instead of the time-ordered queue,
+    /// and [`MessageBus::pop_held`] fires the one the caller picks. Must
+    /// be enabled before any event is scheduled.
+    pub(crate) fn enable_controlled(&mut self) {
+        assert!(
+            self.jitter.is_none(),
+            "jitter and controlled scheduling are mutually exclusive"
+        );
+        assert!(
+            self.queue.is_empty(),
+            "controlled scheduling must be enabled before events are scheduled"
+        );
+        self.held = Some(HeldQueue {
+            events: Vec::new(),
+            seq: 0,
+            now: self.queue.now(),
+        });
+    }
+
+    /// Whether the bus is in controlled-schedule mode.
+    pub(crate) fn is_controlled(&self) -> bool {
+        self.held.is_some()
+    }
+
+    /// Number of parked events (controlled mode only).
+    pub(crate) fn held_len(&self) -> usize {
+        self.held.as_ref().map_or(0, |h| h.events.len())
+    }
+
+    /// Snapshots the parked events, sorted by (scheduled time, insertion
+    /// sequence) — index 0 is the event the uncontrolled simulation would
+    /// fire next, and it is always ready. Indices returned here are the
+    /// choice indices accepted by [`MessageBus::pop_held`].
+    pub(crate) fn pending(&self) -> Vec<PendingEvent> {
+        let h = self
+            .held
+            .as_ref()
+            .expect("pending() requires controlled mode");
+        let order = Self::sorted_order(h);
+        order
+            .iter()
+            .map(|&i| {
+                let (at, seq, msg) = &h.events[i];
+                let ready = match msg.channel() {
+                    None => true,
+                    Some(ch) => h
+                        .events
+                        .iter()
+                        .all(|(a, s, m)| m.channel() != Some(ch) || (*a, *s) >= (*at, *seq)),
+                };
+                let (node, src) = match msg {
+                    BusMsg::Access { node, .. } | BusMsg::Retry { node, .. } => (*node, None),
+                    BusMsg::Recv { dst, src, .. } => (*dst, Some(*src)),
+                    BusMsg::MpDeliver { to, from, .. } => (*to, Some(*from)),
+                    BusMsg::Marker(_) => (NodeId::new(0), None),
+                };
+                let (addr, txn) = match msg {
+                    BusMsg::Access { addr, txn, .. } => (Some(*addr), Some(*txn)),
+                    BusMsg::Recv { msg, .. } => (Some(msg.addr()), msg.txn()),
+                    BusMsg::Retry { txn, .. } => (None, Some(*txn)),
+                    BusMsg::MpDeliver { .. } | BusMsg::Marker(_) => (None, None),
+                };
+                PendingEvent {
+                    at: *at,
+                    ready,
+                    node,
+                    src,
+                    label: msg.label(),
+                    addr,
+                    txn,
+                }
+            })
+            .collect()
+    }
+
+    /// Fires the parked event at sorted position `choice` (the index into
+    /// [`MessageBus::pending`]'s snapshot). The event's firing time is
+    /// clamped up to the virtual clock so module service queues still see
+    /// nondecreasing arrivals when the checker fires events "early".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chosen event is not ready (an earlier event exists on
+    /// the same ordering channel) — such a choice would forge a network
+    /// reordering the real machine cannot produce.
+    pub(crate) fn pop_held(&mut self, choice: usize) -> Option<(SimTime, BusMsg)> {
+        let h = self
+            .held
+            .as_mut()
+            .expect("pop_held() requires controlled mode");
+        if choice >= h.events.len() {
+            return None;
+        }
+        let order = Self::sorted_order(h);
+        let idx = order[choice];
+        let (at, seq) = (h.events[idx].0, h.events[idx].1);
+        if let Some(ch) = h.events[idx].2.channel() {
+            assert!(
+                h.events
+                    .iter()
+                    .all(|(a, s, m)| m.channel() != Some(ch) || (*a, *s) >= (at, seq)),
+                "schedule choice {choice} is not ready: an earlier event \
+                 exists on its ordering channel"
+            );
+        }
+        let (at, _, msg) = h.events.remove(idx);
+        let fire = at.max(h.now);
+        h.now = fire;
+        Some((fire, msg))
+    }
+
+    fn sorted_order(h: &HeldQueue) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..h.events.len()).collect();
+        order.sort_by_key(|&i| (h.events[i].0, h.events[i].1));
+        order
     }
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        match &self.held {
+            Some(h) => h.now,
+            None => self.queue.now(),
+        }
     }
 
     /// Network counters.
@@ -106,20 +313,37 @@ impl MessageBus {
     }
 
     pub(crate) fn pop(&mut self) -> Option<(SimTime, BusMsg)> {
+        debug_assert!(
+            self.held.is_none(),
+            "a controlled bus must be stepped with pop_held()"
+        );
         self.queue.pop()
+    }
+
+    /// The single choke point every scheduled event passes through: parks
+    /// the event when controlled, otherwise hands it to the event queue.
+    fn enqueue(&mut self, at: SimTime, msg: BusMsg) {
+        match &mut self.held {
+            Some(h) => {
+                let seq = h.seq;
+                h.seq += 1;
+                h.events.push((at, seq, msg));
+            }
+            None => self.queue.schedule_at(at, msg),
+        }
     }
 
     /// Schedules a raw bus event (accesses, retries, markers, deliveries
     /// already timed by the fabric).
     pub(crate) fn schedule(&mut self, at: SimTime, msg: BusMsg) {
-        self.queue.schedule_at(at, msg);
+        self.enqueue(at, msg);
     }
 
     /// Sends `msg` from `src` to `dst` at time `now`, using the network
     /// for remote pairs and an immediate local hand-off otherwise.
     pub(crate) fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, msg: ProtoMsg) {
         if src == dst {
-            self.queue.schedule_at(
+            self.enqueue(
                 now,
                 BusMsg::Recv {
                     dst,
@@ -202,7 +426,7 @@ impl MessageBus {
             }
             self.jitter_order.insert((d.src, d.node), at);
         }
-        self.queue.schedule_at(
+        self.enqueue(
             at,
             BusMsg::Recv {
                 dst: d.node,

@@ -139,6 +139,12 @@ impl HomeModule {
                                 at,
                                 params.home_fwd,
                             );
+                            if ctx.fault == crate::params::FaultInjection::DropSpilledRequests {
+                                // Mutant: the Figure-9 spill path is
+                                // disabled — the request vanishes and its
+                                // transaction never completes.
+                                return;
+                            }
                             self.enqueue_request(ctx, at, kind, addr, master, txn, value);
                         }
                         ProtocolKind::Nack => {
@@ -197,9 +203,10 @@ impl HomeModule {
             self.req_queue.len() <= ctx.params.home_queue_capacity,
             "home request queue overflowed its 32KB bound"
         );
-        if was_empty {
+        if was_empty && ctx.fault != crate::params::FaultInjection::DisableReservation {
             // The new head's target block is marked so the completion of
-            // its pending transaction wakes the queue.
+            // its pending transaction wakes the queue. (The mutant skips
+            // this, so parked requests are never woken.)
             self.entry(ctx.sys, addr).set_reservation(true);
         }
     }

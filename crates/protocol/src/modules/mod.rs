@@ -31,7 +31,7 @@ use crate::addr::Addr;
 use crate::engine::{MemOp, Notification};
 use crate::messages::{ProtoMsg, TxnId};
 use crate::observer::{ModuleKind, ObserverSet};
-use crate::params::{ProtoParams, ProtocolKind};
+use crate::params::{FaultInjection, ProtoParams, ProtocolKind};
 use crate::service::ServiceQueue;
 use bus::MessageBus;
 use cenju4_des::{Duration, SimTime};
@@ -52,6 +52,9 @@ pub(crate) struct Ctx<'a> {
     pub notes: &'a mut Vec<Notification>,
     /// Blocks running the update protocol (Section 4.2.3).
     pub update_blocks: &'a HashSet<Addr>,
+    /// Test-only protocol mutation in force (checker mutant runs);
+    /// [`FaultInjection::None`] in every production path.
+    pub fault: FaultInjection,
 }
 
 impl Ctx<'_> {

@@ -323,20 +323,7 @@ impl Observer for TraceObserver {
     }
 
     fn on_receive(&mut self, at: SimTime, dst: NodeId, _src: NodeId, msg: &ProtoMsg) {
-        let label = match msg {
-            ProtoMsg::Request { .. } => "home:request",
-            ProtoMsg::WriteBack { .. } => "home:writeback",
-            ProtoMsg::Forward { .. } => "slave:forward",
-            ProtoMsg::Invalidate { .. } => "slave:invalidate",
-            ProtoMsg::Update { .. } => "slave:update",
-            ProtoMsg::SlaveReply { .. } => "home:slave-reply",
-            ProtoMsg::InvAck { .. } => "home:inv-ack",
-            ProtoMsg::DataReply { .. } => "master:data-reply",
-            ProtoMsg::AckReply { .. } => "master:ack-reply",
-            ProtoMsg::Nack { .. } => "master:nack",
-            ProtoMsg::UserMessage { .. } => "mp:message",
-        };
-        self.record(at, dst, label, Some(msg.addr()), None);
+        self.record(at, dst, msg.label(), Some(msg.addr()), None);
     }
 
     fn on_retry(&mut self, at: SimTime, node: NodeId, txn: TxnId) {

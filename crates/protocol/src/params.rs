@@ -16,6 +16,48 @@ pub enum ProtocolKind {
     Nack,
 }
 
+/// Test-only protocol mutations used by the schedule-exploring checker
+/// (`cenju4-check`) to prove its oracles can distinguish the correct
+/// protocol from broken ones. Production code paths never set these.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// The unmodified protocol.
+    #[default]
+    None,
+    /// The home never sets the per-block reservation bit when parking a
+    /// request in the main-memory FIFO (Section 3.3). Parked requests are
+    /// then never drained, so transactions stall forever — the checker's
+    /// quiescence oracle must catch this.
+    DisableReservation,
+    /// The home drops requests that would be spilled to the main-memory
+    /// queue instead of enqueuing them (disabling the Figure-9 spill
+    /// path). The dropped transaction never completes — again caught by
+    /// the quiescence oracle.
+    DropSpilledRequests,
+}
+
+impl FaultInjection {
+    /// Parse the command-line spelling used by the `cenju4-check` binary.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(FaultInjection::None),
+            "no-reservation" => Some(FaultInjection::DisableReservation),
+            "drop-spills" => Some(FaultInjection::DropSpilledRequests),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for FaultInjection {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            FaultInjection::None => "none",
+            FaultInjection::DisableReservation => "no-reservation",
+            FaultInjection::DropSpilledRequests => "drop-spills",
+        })
+    }
+}
+
 /// Service-time parameters of the protocol modules.
 ///
 /// Defaults are calibrated so the simulated Table 2 matches the paper

@@ -2,8 +2,47 @@
 
 use cenju4_des::Duration;
 use cenju4_directory::{SystemSize, SystemSizeError};
-use cenju4_network::NetParams;
+use cenju4_network::{MulticastMode, NetParams};
 use cenju4_protocol::{Engine, ProtoParams, ProtocolKind};
+use core::fmt;
+
+/// Why [`SystemConfigBuilder::build`] rejected a configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The node count is outside the machine's 2..=1024 range.
+    Size(SystemSizeError),
+    /// The MPI bandwidth is zero — every transfer would take forever.
+    ZeroMpiBandwidth,
+    /// The per-master outstanding-request bound is zero — no access could
+    /// ever be issued.
+    ZeroOutstanding,
+    /// The home main-memory request queue has no capacity — the queuing
+    /// protocol could not park a single request.
+    ZeroHomeQueue,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Size(e) => write!(f, "{e}"),
+            ConfigError::ZeroMpiBandwidth => f.write_str("MPI bandwidth must be non-zero"),
+            ConfigError::ZeroOutstanding => {
+                f.write_str("per-master outstanding-request bound must be non-zero")
+            }
+            ConfigError::ZeroHomeQueue => {
+                f.write_str("home request-queue capacity must be non-zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<SystemSizeError> for ConfigError {
+    fn from(e: SystemSizeError) -> Self {
+        ConfigError::Size(e)
+    }
+}
 
 /// A complete machine configuration: size, network and protocol
 /// parameters, and the protocol variant.
@@ -17,7 +56,7 @@ use cenju4_protocol::{Engine, ProtoParams, ProtocolKind};
 /// assert_eq!(cfg.sys.nodes(), 128);
 /// # Ok::<(), cenju4_directory::SystemSizeError>(())
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SystemConfig {
     /// Machine size.
     pub sys: SystemSize,
@@ -36,19 +75,40 @@ pub struct SystemConfig {
 }
 
 impl SystemConfig {
-    /// A default-calibrated machine of `nodes` nodes.
+    /// Starts a validating builder for a machine of `nodes` nodes. All
+    /// other parameters default to the paper's calibration; validation
+    /// happens once, in [`SystemConfigBuilder::build`].
     ///
-    /// # Errors
+    /// # Examples
     ///
-    /// Returns [`SystemSizeError`] for invalid node counts.
-    pub fn new(nodes: u16) -> Result<Self, SystemSizeError> {
-        Ok(SystemConfig {
-            sys: SystemSize::new(nodes)?,
+    /// ```
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::builder(128).nack_protocol().build()?;
+    /// assert_eq!(cfg.sys.nodes(), 128);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn builder(nodes: u16) -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            nodes,
             net: NetParams::default(),
             proto: ProtoParams::default(),
             kind: ProtocolKind::Queuing,
             mpi_latency: Duration::from_us(9) + Duration::from_ns(100),
             mpi_bytes_per_us: 169,
+        }
+    }
+
+    /// A default-calibrated machine of `nodes` nodes. Thin wrapper around
+    /// [`SystemConfig::builder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemSizeError`] for invalid node counts.
+    pub fn new(nodes: u16) -> Result<Self, SystemSizeError> {
+        SystemConfig::builder(nodes).build().map_err(|e| match e {
+            ConfigError::Size(s) => s,
+            other => unreachable!("default parameters rejected: {other}"),
         })
     }
 
@@ -86,6 +146,212 @@ impl SystemConfig {
     }
 }
 
+/// Validating builder for [`SystemConfig`], started with
+/// [`SystemConfig::builder`]. Setters never fail; [`SystemConfigBuilder::build`]
+/// validates everything at once and returns a typed [`ConfigError`].
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfigBuilder {
+    nodes: u16,
+    net: NetParams,
+    proto: ProtoParams,
+    kind: ProtocolKind,
+    mpi_latency: Duration,
+    mpi_bytes_per_us: u64,
+}
+
+impl SystemConfigBuilder {
+    /// Selects the network's multicast mode (hardware multicast/gather vs
+    /// singlecast emulation — the Figure 10 ablation).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_network::MulticastMode;
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::builder(16)
+    ///     .multicast(MulticastMode::SinglecastEmulation)
+    ///     .build()?;
+    /// assert_eq!(cfg.net.multicast, MulticastMode::SinglecastEmulation);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn multicast(mut self, mode: MulticastMode) -> Self {
+        self.net.multicast = mode;
+        self
+    }
+
+    /// Disables the multicast/gather hardware (shorthand for
+    /// [`SystemConfigBuilder::multicast`] with singlecast emulation).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_network::MulticastMode;
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::builder(16).without_multicast().build()?;
+    /// assert_eq!(cfg.net.multicast, MulticastMode::SinglecastEmulation);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn without_multicast(self) -> Self {
+        self.multicast(MulticastMode::SinglecastEmulation)
+    }
+
+    /// Selects the coherence protocol variant the homes run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_protocol::ProtocolKind;
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::builder(16).protocol(ProtocolKind::Nack).build()?;
+    /// assert_eq!(cfg.kind, ProtocolKind::Nack);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn protocol(mut self, kind: ProtocolKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Selects the DASH-style nack baseline (shorthand for
+    /// [`SystemConfigBuilder::protocol`] with [`ProtocolKind::Nack`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_protocol::ProtocolKind;
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::builder(16).nack_protocol().build()?;
+    /// assert_eq!(cfg.kind, ProtocolKind::Nack);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn nack_protocol(self) -> Self {
+        self.protocol(ProtocolKind::Nack)
+    }
+
+    /// Sets the one-way MPI latency of the cost model (the paper measured
+    /// 9.1 µs on 128 nodes).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_des::Duration;
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::builder(16)
+    ///     .mpi_latency(Duration::from_us(5))
+    ///     .build()?;
+    /// assert_eq!(cfg.mpi_latency.as_ns(), 5_000);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn mpi_latency(mut self, latency: Duration) -> Self {
+        self.mpi_latency = latency;
+        self
+    }
+
+    /// Sets the MPI bandwidth in bytes per microsecond (the paper measured
+    /// 169 MB/s = 169 B/µs). Zero is rejected at build time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_sim::{ConfigError, SystemConfig};
+    ///
+    /// let cfg = SystemConfig::builder(16).mpi_bandwidth(200).build()?;
+    /// assert_eq!(cfg.mpi_bytes_per_us, 200);
+    /// let err = SystemConfig::builder(16).mpi_bandwidth(0).build();
+    /// assert_eq!(err.unwrap_err(), ConfigError::ZeroMpiBandwidth);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn mpi_bandwidth(mut self, bytes_per_us: u64) -> Self {
+        self.mpi_bytes_per_us = bytes_per_us;
+        self
+    }
+
+    /// Replaces the full network parameter set (later
+    /// [`SystemConfigBuilder::multicast`] calls still apply on top).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_network::NetParams;
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let net = NetParams::default();
+    /// let cfg = SystemConfig::builder(16).net(net).build()?;
+    /// assert_eq!(cfg.net, net);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn net(mut self, net: NetParams) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Replaces the full protocol parameter set (service times, cache
+    /// geometry, queue capacities). Zero `max_outstanding` or
+    /// `home_queue_capacity` is rejected at build time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_protocol::ProtoParams;
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let proto = ProtoParams {
+    ///     max_outstanding: 2,
+    ///     ..ProtoParams::default()
+    /// };
+    /// let cfg = SystemConfig::builder(16).proto(proto).build()?;
+    /// assert_eq!(cfg.proto.max_outstanding, 2);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn proto(mut self, proto: ProtoParams) -> Self {
+        self.proto = proto;
+        self
+    }
+
+    /// Validates the configuration and produces the [`SystemConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the node count is out of range, the
+    /// MPI bandwidth is zero, or a protocol capacity is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_sim::{ConfigError, SystemConfig};
+    ///
+    /// assert!(SystemConfig::builder(16).build().is_ok());
+    /// assert!(matches!(
+    ///     SystemConfig::builder(1).build(),
+    ///     Err(ConfigError::Size(_))
+    /// ));
+    /// ```
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        let sys = SystemSize::new(self.nodes)?;
+        if self.mpi_bytes_per_us == 0 {
+            return Err(ConfigError::ZeroMpiBandwidth);
+        }
+        if self.proto.max_outstanding == 0 {
+            return Err(ConfigError::ZeroOutstanding);
+        }
+        if self.proto.home_queue_capacity == 0 {
+            return Err(ConfigError::ZeroHomeQueue);
+        }
+        Ok(SystemConfig {
+            sys,
+            net: self.net,
+            proto: self.proto,
+            kind: self.kind,
+            mpi_latency: self.mpi_latency,
+            mpi_bytes_per_us: self.mpi_bytes_per_us,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +374,48 @@ mod tests {
             c.net.multicast,
             cenju4_network::MulticastMode::SinglecastEmulation
         );
+    }
+
+    #[test]
+    fn builder_validates_capacities() {
+        let zero_out = ProtoParams {
+            max_outstanding: 0,
+            ..ProtoParams::default()
+        };
+        assert_eq!(
+            SystemConfig::builder(16)
+                .proto(zero_out)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroOutstanding
+        );
+        let zero_q = ProtoParams {
+            home_queue_capacity: 0,
+            ..ProtoParams::default()
+        };
+        assert_eq!(
+            SystemConfig::builder(16).proto(zero_q).build().unwrap_err(),
+            ConfigError::ZeroHomeQueue
+        );
+        assert_eq!(
+            SystemConfig::builder(16)
+                .mpi_bandwidth(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMpiBandwidth
+        );
+    }
+
+    #[test]
+    fn builder_matches_legacy_constructors() {
+        let a = SystemConfig::new(64).unwrap().without_multicast();
+        let b = SystemConfig::builder(64)
+            .without_multicast()
+            .build()
+            .unwrap();
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.mpi_latency, b.mpi_latency);
     }
 
     #[test]

@@ -277,7 +277,9 @@ impl<P: Program> Driver<P> {
                     Target::Shared(addr) => {
                         self.state[node.as_usize()] = NodeRun::Waiting;
                         self.pending_reuse[node.as_usize()] = reuse.max(1);
-                        self.eng.issue(t, node, op, addr);
+                        self.eng
+                            .try_issue(t, node, op, addr)
+                            .unwrap_or_else(|e| panic!("program step rejected: {e}"));
                         return;
                     }
                     Target::PrivateHit => {

@@ -36,11 +36,12 @@
 
 pub mod config;
 pub mod driver;
+pub mod prelude;
 pub mod probes;
 pub mod report;
 pub mod sweep;
 
-pub use config::SystemConfig;
+pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use driver::{Driver, Program, Step, Target};
 pub use report::{AccessClass, NodeReport, RunReport};
 pub use sweep::{sweep, sweep_on};

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example cg_saturation`
 
-use cenju4::sim::AccessClass;
-use cenju4::workloads::{runner, AppKind, Variant};
+use cenju4::prelude::*;
+use cenju4::workloads::runner;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = 0.5;

@@ -11,10 +11,9 @@
 //! Run with: `cargo run --release --example hybrid`
 
 use cenju4::prelude::*;
-use cenju4::protocol::Notification;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = SystemConfig::new(16)?;
+    let cfg = SystemConfig::builder(16).build()?;
     let mut eng = cfg.build();
     let shared = Addr::new(NodeId::new(0), 0);
 

@@ -7,7 +7,7 @@ use cenju4::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 16-node machine (2 network stages) with the default calibration.
-    let cfg = SystemConfig::new(16)?;
+    let cfg = SystemConfig::builder(16).build()?;
     let mut eng = cfg.build();
     eng.enable_trace(4096);
 

@@ -48,8 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rounds = 10;
     println!("{nodes} nodes store to ONE block, {rounds} rounds\n");
 
-    let queuing = SystemConfig::new(nodes)?;
-    let nack = queuing.with_nack_protocol();
+    let queuing = SystemConfig::builder(nodes).build()?;
+    let nack = SystemConfig::builder(nodes).nack_protocol().build()?;
 
     let (ql, qn, qr, qd, qw) = contend(&queuing, rounds);
     let (nl, nn, nr, _, nw) = contend(&nack, rounds);

@@ -5,7 +5,6 @@
 //! Run with: `cargo run --release --example store_scaling`
 
 use cenju4::prelude::*;
-use cenju4::sim::probes;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("store latency vs sharers (128-node machine, 4 network stages)\n");
@@ -14,8 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "sharers", "multicast (us)", "singlecast (us)", "ratio"
     );
 
-    let with_mc = SystemConfig::new(128)?;
-    let without_mc = with_mc.without_multicast();
+    let with_mc = SystemConfig::builder(128).build()?;
+    let without_mc = SystemConfig::builder(128).without_multicast().build()?;
     for k in [2u16, 4, 8, 16, 32, 64, 128] {
         let a = probes::store_latency(&with_mc, k);
         let b = probes::store_latency(&without_mc, k);
@@ -30,9 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's headline estimate: 1024 sharers on the full machine.
     println!("\nfull 1024-node machine, all nodes sharing:");
-    let big = SystemConfig::new(1024)?;
+    let big = SystemConfig::builder(1024).build()?;
+    let big_sc = SystemConfig::builder(1024).without_multicast().build()?;
     let a = probes::store_latency(&big, 1024);
-    let b = probes::store_latency(&big.without_multicast(), 1024);
+    let b = probes::store_latency(&big_sc, 1024);
     println!(
         "  with multicast+gather : {:>8.1} us   (paper estimate:   6.3 us)",
         a.as_us_f64()

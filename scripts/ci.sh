@@ -1,8 +1,32 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints, and the tier-1 verify (ROADMAP.md).
+# CI gate: formatting, lints, the tier-1 verify (ROADMAP.md), and the
+# schedule-exploring protocol checker's smoke tier.
 # Everything runs offline — the workspace has no external dependencies.
+#
+# Usage: scripts/ci.sh [check-smoke]
+#   (no arg)     run the full gate
+#   check-smoke  run only the time-capped protocol-checker tier
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+check_smoke() {
+    echo "==> protocol checker smoke tier (time-capped)"
+    cargo build --release --offline -p cenju4-check
+    local check=target/release/cenju4-check
+    # Exhaustive 2-node/1-block: the full schedule space, every oracle.
+    "$check" exhaustive --nodes 2 --blocks 1 --ops 2 --max-seconds 120
+    # A capped random walk over a larger scenario.
+    "$check" random --nodes 3 --blocks 2 --ops 2 --seed 1 --walks 200 \
+        --max-seconds 30
+    # Both fault-injection mutants must be killed (counterexample found).
+    "$check" mutants --nodes 2 --blocks 1 --ops 2 --max-seconds 120
+}
+
+if [[ "${1:-}" == "check-smoke" ]]; then
+    check_smoke
+    echo "CI OK (check-smoke)"
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -16,5 +40,7 @@ cargo test -q --offline
 
 echo "==> workspace tests"
 cargo test -q --workspace --offline
+
+check_smoke
 
 echo "CI OK"

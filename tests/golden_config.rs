@@ -1,0 +1,67 @@
+//! Golden-trace regression for the builder API redesign: a machine built
+//! through [`SystemConfig::builder`] must be indistinguishable — down to
+//! the last counter of a full workload run — from one built through the
+//! legacy constructors it wraps.
+
+use cenju4::prelude::*;
+use cenju4::workloads::{runner, AppKind, Variant};
+
+/// Runs one CG iteration set on `cfg` and returns the full report.
+fn report_on(cfg: &SystemConfig) -> RunReport {
+    runner::run_workload_on(cfg, AppKind::Cg, Variant::Dsm2, true, 0.25).expect("run")
+}
+
+#[test]
+fn builder_and_legacy_runs_are_bit_identical() {
+    let legacy = SystemConfig::new(16).unwrap();
+    let built = SystemConfig::builder(16).build().unwrap();
+    assert_eq!(legacy, built, "configs must compare equal field by field");
+    // RunReport derives Eq over every counter, latency and per-node
+    // breakdown; equality here means the two machines executed the same
+    // event sequence.
+    assert_eq!(report_on(&legacy), report_on(&built));
+}
+
+#[test]
+fn builder_matches_legacy_without_multicast() {
+    let legacy = SystemConfig::new(32).unwrap().without_multicast();
+    let built = SystemConfig::builder(32)
+        .without_multicast()
+        .build()
+        .unwrap();
+    assert_eq!(legacy, built);
+    assert_eq!(report_on(&legacy), report_on(&built));
+}
+
+#[test]
+fn builder_matches_legacy_nack_protocol() {
+    let legacy = SystemConfig::new(16).unwrap().with_nack_protocol();
+    let built = SystemConfig::builder(16).nack_protocol().build().unwrap();
+    assert_eq!(legacy, built);
+    assert_eq!(report_on(&legacy), report_on(&built));
+}
+
+#[test]
+fn builder_engine_traces_match_legacy_engine_traces() {
+    // Drive both engines through the same hand-written contention scenario
+    // and require identical protocol event traces for the block.
+    let mk = |cfg: &SystemConfig| {
+        let mut eng = cfg.build();
+        eng.enable_trace(4096);
+        let block = Addr::new(NodeId::new(0), 7);
+        for n in 0..cfg.sys.nodes().min(8) {
+            eng.issue(eng.now(), NodeId::new(n), MemOp::Load, block);
+            eng.run();
+        }
+        let t0 = eng.now();
+        for n in 0..cfg.sys.nodes().min(8) {
+            eng.issue(t0, NodeId::new(n), MemOp::Store, block);
+        }
+        eng.run();
+        eng.trace().dump_block(block)
+    };
+    let legacy = mk(&SystemConfig::new(16).unwrap());
+    let built = mk(&SystemConfig::builder(16).build().unwrap());
+    assert!(!legacy.is_empty());
+    assert_eq!(legacy, built, "traces diverged between builder and legacy");
+}
