@@ -23,6 +23,7 @@ fn bench_unicast(c: &mut Harness) {
                 NodeId::new(900),
                 false,
                 0,
+                WireClass::Request,
             ))
         })
     });
@@ -45,6 +46,7 @@ fn bench_multicast(c: &mut Harness) {
                     false,
                     0,
                     None,
+                    WireClass::Invalidation,
                 ))
             })
         });
@@ -70,6 +72,7 @@ fn bench_gather_round(c: &mut Harness) {
                     false,
                     0,
                     Some(id),
+                    WireClass::Invalidation,
                 );
                 let mut out = None;
                 for d in &dels {

@@ -94,10 +94,10 @@ impl core::fmt::Display for Counterexample {
         writeln!(f, "  violation: {}", self.violation)?;
         let sched: Vec<String> = self.schedule.iter().map(|c| c.to_string()).collect();
         writeln!(f, "  schedule: {}", sched.join(","))?;
-        writeln!(
+        write!(
             f,
             "  replay: cenju4-check replay --nodes {} --blocks {} --ops {} \
-             --protocol {} --fault {} --schedule {}",
+             --protocol {} --fault {}",
             self.config.nodes,
             self.config.blocks,
             self.config.ops_per_node,
@@ -106,6 +106,20 @@ impl core::fmt::Display for Counterexample {
                 cenju4_protocol::ProtocolKind::Nack => "nack",
             },
             self.config.fault,
+        )?;
+        if self.config.recovery {
+            write!(f, " --recovery on")?;
+        }
+        if self.config.drop_permille > 0 {
+            write!(
+                f,
+                " --fault-seed {} --drop-rate {}",
+                self.config.fault_seed, self.config.drop_permille
+            )?;
+        }
+        writeln!(
+            f,
+            " --schedule {}",
             if sched.is_empty() {
                 "-".to_string()
             } else {
@@ -376,7 +390,9 @@ pub fn shrink(
     let mut progress = true;
     while progress {
         progress = false;
-        for i in (0..schedule.len()).rev() {
+        let mut i = schedule.len();
+        while i > 0 {
+            i -= 1;
             if schedule[i] == 0 {
                 continue;
             }
@@ -388,6 +404,10 @@ pub fn shrink(
                 schedule = candidate;
                 best = out;
                 progress = true;
+                // Accepting a stripped candidate can shorten the schedule
+                // past positions this pass has not visited yet; re-clamp
+                // so the scan never indexes out of bounds.
+                i = i.min(schedule.len());
             }
         }
     }

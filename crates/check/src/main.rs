@@ -12,9 +12,11 @@
 //!   oracles failed to distinguish a broken protocol).
 //!
 //! Common flags: `--nodes N --blocks B --ops K --protocol queuing|nack`
-//! `--fault none|no-reservation|drop-spills --max-steps S`
-//! `--max-schedules M --max-seconds T`; `random` adds `--seed`/`--walks`,
-//! `replay` adds `--schedule 1,0,2` (`-` for the empty schedule).
+//! `--fault <name>` (run `cenju4-check` with an unknown fault to list
+//! them), `--recovery on|off --fault-seed S --drop-rate P` (permille)
+//! `--max-steps S --max-schedules M --max-seconds T`; `random` adds
+//! `--seed`/`--walks`, `replay` adds `--schedule 1,0,2` (`-` for the
+//! empty schedule).
 
 use cenju4_check::{exhaustive, random_walks, replay, CheckConfig, Exploration, ExploreLimits};
 use cenju4_protocol::{FaultInjection, ProtocolKind};
@@ -28,14 +30,27 @@ struct Args {
     schedule: Vec<usize>,
 }
 
+/// Every known fault name, straight from [`FaultInjection::ALL`] — the
+/// one source of truth for `--fault` parsing, `--help` text, and the
+/// `mutants` subcommand.
+fn fault_names() -> String {
+    FaultInjection::ALL
+        .iter()
+        .map(|f| f.name())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: cenju4-check <exhaustive|random|replay|mutants> \
          [--nodes N] [--blocks B] [--ops K] [--protocol queuing|nack] \
-         [--fault none|no-reservation|drop-spills] [--max-steps S] \
+         [--fault {}] [--recovery on|off] [--fault-seed S] \
+         [--drop-rate PERMILLE] [--max-steps S] \
          [--max-schedules M] [--max-seconds T] [--seed S] [--walks W] \
-         [--schedule 1,0,2|-]"
+         [--schedule 1,0,2|-]",
+        fault_names()
     );
     ExitCode::from(2)
 }
@@ -69,7 +84,27 @@ fn parse(mut argv: std::env::Args) -> Result<(String, Args), String> {
             }
             "--fault" => {
                 let v = val()?;
-                args.cfg.fault = FaultInjection::parse(&v).ok_or(format!("unknown fault {v:?}"))?
+                args.cfg.fault = FaultInjection::parse(&v).ok_or(format!(
+                    "unknown fault {v:?}; known faults: {}",
+                    fault_names()
+                ))?
+            }
+            "--recovery" => {
+                args.cfg.recovery = match val()?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--recovery wants on|off, got {other:?}")),
+                }
+            }
+            "--fault-seed" => {
+                args.cfg.fault_seed = val()?.parse().map_err(|e| format!("--fault-seed: {e}"))?
+            }
+            "--drop-rate" => {
+                let p: u16 = val()?.parse().map_err(|e| format!("--drop-rate: {e}"))?;
+                if p > 1000 {
+                    return Err(format!("--drop-rate is permille (0..=1000), got {p}"));
+                }
+                args.cfg.drop_permille = p
             }
             "--max-steps" => {
                 args.limits.max_steps = val()?.parse().map_err(|e| format!("--max-steps: {e}"))?
@@ -160,14 +195,36 @@ fn main() -> ExitCode {
         "mutants" => {
             // Each mutant must be *killed*: the oracles must produce a
             // counterexample. A surviving mutant means the checker is
-            // blind to that class of protocol bug.
+            // blind to that class of protocol bug. Recovery is forced off
+            // — an armed recovery layer *tolerates* the fabric mutants,
+            // which is precisely what the recovery tests verify.
             let mut all_killed = true;
-            for fault in [
-                FaultInjection::DisableReservation,
-                FaultInjection::DropSpilledRequests,
-            ] {
-                let cfg = CheckConfig { fault, ..args.cfg };
-                match exhaustive(&cfg, &args.limits) {
+            for fault in FaultInjection::ALL {
+                if fault == FaultInjection::None {
+                    continue;
+                }
+                // delay-inval needs a sharer that is *remote* from the
+                // home — in a 2-node machine the only other sharer is the
+                // home itself and no invalidation ever crosses the fabric.
+                let nodes = if fault == FaultInjection::DelayInval {
+                    args.cfg.nodes.max(3)
+                } else {
+                    args.cfg.nodes
+                };
+                let cfg = CheckConfig {
+                    fault,
+                    recovery: false,
+                    nodes,
+                    ..args.cfg
+                };
+                // Exhaustive search is only tractable on the 2-node
+                // scenario; larger ones use seeded (deterministic) walks.
+                let result = if nodes <= 2 {
+                    exhaustive(&cfg, &args.limits)
+                } else {
+                    random_walks(&cfg, args.seed, args.walks.max(200), &args.limits)
+                };
+                match result {
                     Exploration::Falsified(cx) => {
                         println!("mutant {fault}: killed");
                         print!("{cx}");

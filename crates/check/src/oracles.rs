@@ -16,7 +16,10 @@
 //! * **bounded queues** — the paper's Figure-9 bounds: per-home request
 //!   FIFO and slave spill buffer ≤ `4·nodes`, master input ≤ 4;
 //! * **quiescence** — when no events remain, every issued transaction has
-//!   graduated and every queue is empty (nothing was lost or starved).
+//!   graduated, every queue is empty and no gather is left open (nothing
+//!   was lost or starved);
+//! * **recovery** — the armed recovery layer never exhausts its retry
+//!   budget under the bounded fault schedules the checker drives.
 
 use crate::scenario::CheckConfig;
 use cenju4_directory::{MemState, NodeId};
@@ -65,6 +68,12 @@ impl OracleState {
     /// every completed load returns the last completed store's value.
     pub fn note(&mut self, notes: &[Notification]) -> Option<Violation> {
         for n in notes {
+            if let Notification::RecoveryFailed { error, .. } = n {
+                return Some(Violation {
+                    oracle: "recovery",
+                    detail: format!("recovery layer exhausted its budget: {error}"),
+                });
+            }
             if let Notification::Completed {
                 node,
                 op,
@@ -257,6 +266,16 @@ impl OracleState {
                     detail: format!("home {n} still has {pending} pending transactions"),
                 });
             }
+        }
+        let open = eng.open_gathers();
+        if open != 0 {
+            return Some(Violation {
+                oracle: "quiescence",
+                detail: format!(
+                    "{open} gather(s) still open at quiescence — combining \
+                     state for lost replies was never reclaimed"
+                ),
+            });
         }
         None
     }

@@ -6,12 +6,13 @@
 //! the controlled scheduler (not timing) decides every race.
 
 use cenju4_directory::NodeId;
-use cenju4_protocol::{Addr, Engine, FaultInjection, MemOp, ProtocolKind};
+use cenju4_network::FaultPlan;
+use cenju4_protocol::{Addr, Engine, FaultInjection, MemOp, ProtocolKind, RecoveryParams};
 use cenju4_sim::SystemConfig;
 use core::fmt;
 
 /// One checker scenario: machine shape, workload size, protocol variant,
-/// and the (normally absent) injected fault.
+/// the (normally absent) injected fault, and the recovery-layer switch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CheckConfig {
     /// Machine size (2..=1024; exploration is only tractable to ~4).
@@ -24,6 +25,15 @@ pub struct CheckConfig {
     pub kind: ProtocolKind,
     /// Test-only protocol mutation (mutant runs).
     pub fault: FaultInjection,
+    /// Whether the link-level recovery layer is armed. With a lossless
+    /// fabric this is a no-op (the engine elides the whole layer).
+    pub recovery: bool,
+    /// Seed for the probabilistic fault plan (meaningful with
+    /// `drop_permille > 0`).
+    pub fault_seed: u64,
+    /// Per-message drop probability in permille for the probabilistic
+    /// fabric plan; 0 leaves the fabric lossless (bar `fault` one-shots).
+    pub drop_permille: u16,
 }
 
 impl Default for CheckConfig {
@@ -34,6 +44,9 @@ impl Default for CheckConfig {
             ops_per_node: 2,
             kind: ProtocolKind::Queuing,
             fault: FaultInjection::None,
+            recovery: false,
+            fault_seed: 0,
+            drop_permille: 0,
         }
     }
 }
@@ -42,9 +55,18 @@ impl fmt::Display for CheckConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} nodes x {} blocks x {} ops ({:?}, fault={})",
-            self.nodes, self.blocks, self.ops_per_node, self.kind, self.fault
-        )
+            "{} nodes x {} blocks x {} ops ({:?}, fault={}, recovery={})",
+            self.nodes,
+            self.blocks,
+            self.ops_per_node,
+            self.kind,
+            self.fault,
+            if self.recovery { "on" } else { "off" },
+        )?;
+        if self.drop_permille > 0 {
+            write!(f, " drop={}%o seed={}", self.drop_permille, self.fault_seed)?;
+        }
+        Ok(())
     }
 }
 
@@ -66,13 +88,23 @@ impl CheckConfig {
     /// store when `n + i` is even — every pair of nodes races on every
     /// block, with reads checking the writes.
     pub fn engine(&self) -> Engine {
+        let recovery = if self.recovery {
+            RecoveryParams::default()
+        } else {
+            RecoveryParams::disabled()
+        };
         let cfg = SystemConfig::builder(self.nodes)
             .protocol(self.kind)
+            .recovery(recovery)
             .build()
             .expect("checker scenario configuration invalid");
         let mut eng = cfg.build();
         eng.enable_controlled_schedule();
         eng.enable_trace(4096);
+        if self.drop_permille > 0 {
+            eng.set_fault_plan(FaultPlan::random(self.fault_seed, self.drop_permille));
+        }
+        // A fabric mutant's one-shot plan replaces the probabilistic one.
         eng.inject_fault(self.fault);
         let blocks = self.block_addrs();
         for n in 0..self.nodes {

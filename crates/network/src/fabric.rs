@@ -1,6 +1,8 @@
 //! The network fabric: injection, routing, multicast replication, and
-//! in-switch reply gathering, with per-port time reservations.
+//! in-switch reply gathering, with per-port time reservations — plus
+//! optional deterministic fault injection ([`FaultPlan`]).
 
+use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultState, WireClass};
 use crate::params::{MulticastMode, NetParams};
 use crate::stats::NetStats;
 use crate::topology::Topology;
@@ -99,6 +101,10 @@ pub struct Fabric<P: Payload> {
     gathers: HashMap<GatherId, GatherState<P>>,
     next_gather: GatherId,
     stats: NetStats,
+    /// Fault-injection plan and its deterministic decision state.
+    fault: FaultState,
+    /// Injected faults awaiting collection by the observer layer.
+    fault_events: Vec<FaultEvent>,
 }
 
 impl<P: Payload> Fabric<P> {
@@ -114,6 +120,8 @@ impl<P: Payload> Fabric<P> {
             gathers: HashMap::new(),
             next_gather: 0,
             stats: NetStats::new(),
+            fault: FaultState::default(),
+            fault_events: Vec::new(),
         }
     }
 
@@ -135,6 +143,51 @@ impl<P: Payload> Fabric<P> {
     /// Number of gathers currently open.
     pub fn open_gathers(&self) -> usize {
         self.gathers.len()
+    }
+
+    /// Whether gather `id` is still open.
+    pub fn is_gather_open(&self, id: GatherId) -> bool {
+        self.gathers.contains_key(&id)
+    }
+
+    /// Installs a fault plan, resetting all fault decision state (per-link
+    /// message counters, one-shot hit counters, pending fault events).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = FaultState::new(plan);
+        self.fault_events.clear();
+    }
+
+    /// The fault plan in force ([`FaultPlan::none`] by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.fault.plan()
+    }
+
+    /// Drains the faults injected since the last call, oldest first.
+    pub fn take_fault_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.fault_events)
+    }
+
+    /// Records an injected fault in the stats and the event drain.
+    fn record_fault(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        class: WireClass,
+        kind: FaultKind,
+    ) {
+        match kind {
+            FaultKind::Drop => self.stats.faults_dropped.incr(),
+            FaultKind::Duplicate { .. } => self.stats.faults_duplicated.incr(),
+            FaultKind::Delay { .. } => self.stats.faults_delayed.incr(),
+        }
+        self.fault_events.push(FaultEvent {
+            at,
+            src,
+            dst,
+            class,
+            kind,
+        });
     }
 
     // ----- internal timing helpers -------------------------------------
@@ -193,22 +246,9 @@ impl<P: Payload> Fabric<P> {
 
     // ----- unicast ------------------------------------------------------
 
-    /// Sends a point-to-point message. Returns its delivery.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `src == dst`: node-local traffic does not use the network
-    /// (the paper's "shared local" accesses never touch the fabric).
-    pub fn send_unicast(
-        &mut self,
-        now: SimTime,
-        src: NodeId,
-        dst: NodeId,
-        data: bool,
-        payload: P,
-    ) -> Delivery<P> {
-        assert_ne!(src, dst, "local traffic must not use the network");
-        self.stats.unicasts.incr();
+    /// Walks one message through its unique switch path: injection plus
+    /// every stage crossing. Returns the arrival time at the eject NIC.
+    fn route(&mut self, now: SimTime, src: NodeId, dst: NodeId, data: bool) -> SimTime {
         let mut t = self.inject(now, src);
         let (s, d) = (src.index() as u32, dst.index() as u32);
         for j in 0..self.topo.stages() {
@@ -216,6 +256,21 @@ impl<P: Payload> Fabric<P> {
             let p = self.topo.output_port(d, j);
             t = self.cross(j, sw.label, p, t, data);
         }
+        t
+    }
+
+    /// A fault-free point-to-point delivery (the lossless-fabric path,
+    /// also used by multicast emulation so copy faults apply exactly once).
+    fn unicast_delivery(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        data: bool,
+        payload: P,
+    ) -> Delivery<P> {
+        self.stats.unicasts.incr();
+        let t = self.route(now, src, dst, data);
         let at = self.eject(t, dst);
         self.stats.delivered.incr();
         Delivery {
@@ -228,12 +283,63 @@ impl<P: Payload> Fabric<P> {
         }
     }
 
+    /// Sends a point-to-point message of the given [`WireClass`]. Returns
+    /// its deliveries: exactly one on a lossless fabric, none when the
+    /// fault plan drops the message (it still consumes fabric bandwidth —
+    /// the loss is modeled on the last link into the destination NIC), and
+    /// two when the plan duplicates it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`: node-local traffic does not use the network
+    /// (the paper's "shared local" accesses never touch the fabric).
+    pub fn send_unicast(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        data: bool,
+        payload: P,
+        class: WireClass,
+    ) -> Vec<Delivery<P>> {
+        assert_ne!(src, dst, "local traffic must not use the network");
+        match self.fault.decide(now, src, dst, class) {
+            None => vec![self.unicast_delivery(now, src, dst, data, payload)],
+            Some(FaultKind::Drop) => {
+                self.stats.unicasts.incr();
+                let _ = self.route(now, src, dst, data);
+                self.record_fault(now, src, dst, class, FaultKind::Drop);
+                Vec::new()
+            }
+            Some(k @ FaultKind::Duplicate { after_ns }) => {
+                let d = self.unicast_delivery(now, src, dst, data, payload.clone());
+                let dup = self.unicast_delivery(
+                    now + Duration::from_ns(after_ns),
+                    src,
+                    dst,
+                    data,
+                    payload,
+                );
+                self.record_fault(now, src, dst, class, k);
+                vec![d, dup]
+            }
+            Some(k @ FaultKind::Delay { by_ns }) => {
+                let mut d = self.unicast_delivery(now, src, dst, data, payload);
+                d.at += Duration::from_ns(by_ns);
+                self.record_fault(now, src, dst, class, k);
+                vec![d]
+            }
+        }
+    }
+
     /// Sends a bulk (multi-packet) point-to-point transfer of `bytes`
     /// bytes: the injection NIC is occupied for the full serialization
     /// time (`bytes / bulk_bytes_per_us`), and delivery completes when the
     /// last byte has crossed (header latency + serialization tail).
     /// This models the user-level message-passing hardware, which shares
-    /// the network with DSM traffic.
+    /// the network with DSM traffic. Bulk transfers are never faulted by
+    /// the [`FaultPlan`]: the message-passing DMA engine runs its own
+    /// end-to-end protocol outside this model's scope.
     ///
     /// # Panics
     ///
@@ -341,7 +447,14 @@ impl<P: Payload> Fabric<P> {
     /// bit-pattern destination spec and must acknowledge its own
     /// invalidation).
     ///
+    /// The fault plan applies per copy, on the last link into each
+    /// destination: a dropped copy vanishes from the result, a duplicated
+    /// copy appears twice (same gather identifier — a spurious
+    /// retransmission), a delayed copy arrives late. Loopback copies
+    /// (`dst == src`) never cross a link and are never faulted.
+    ///
     /// Returns all deliveries, in no particular order.
+    #[allow(clippy::too_many_arguments)]
     pub fn send_multicast(
         &mut self,
         now: SimTime,
@@ -350,10 +463,11 @@ impl<P: Payload> Fabric<P> {
         data: bool,
         payload: P,
         gather: Option<GatherId>,
+        class: WireClass,
     ) -> Vec<Delivery<P>> {
         self.stats.multicasts.incr();
         let sys = self.topo.system();
-        match self.params.multicast {
+        let mut out = match self.params.multicast {
             MulticastMode::Hardware => {
                 let mut out = Vec::new();
                 let t0 = self.inject(now, src) + self.params.multicast_setup;
@@ -389,12 +503,55 @@ impl<P: Payload> Fabric<P> {
                             gather: None,
                         }
                     } else {
-                        self.send_unicast(now, src, d, data, payload.clone())
+                        self.unicast_delivery(now, src, d, data, payload.clone())
                     };
                     del.gather = gather;
                     out.push(del);
                 }
                 out
+            }
+        };
+        if !self.fault.is_inert() {
+            self.apply_copy_faults(now, src, class, &mut out);
+        }
+        out
+    }
+
+    /// Applies the fault plan to each multicast copy independently, on the
+    /// (src, destination) link it ends on.
+    fn apply_copy_faults(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        class: WireClass,
+        out: &mut Vec<Delivery<P>>,
+    ) {
+        let mut i = 0;
+        while i < out.len() {
+            let dst = out[i].node;
+            if dst == src {
+                // Node-internal copy: no link to fault.
+                i += 1;
+                continue;
+            }
+            match self.fault.decide(now, src, dst, class) {
+                None => i += 1,
+                Some(FaultKind::Drop) => {
+                    self.record_fault(now, src, dst, class, FaultKind::Drop);
+                    out.remove(i);
+                }
+                Some(k @ FaultKind::Duplicate { after_ns }) => {
+                    let mut dup = out[i].clone();
+                    dup.at += Duration::from_ns(after_ns);
+                    self.record_fault(now, src, dst, class, k);
+                    out.insert(i + 1, dup);
+                    i += 2;
+                }
+                Some(k @ FaultKind::Delay { by_ns }) => {
+                    out[i].at += Duration::from_ns(by_ns);
+                    self.record_fault(now, src, dst, class, k);
+                    i += 1;
+                }
             }
         }
     }
@@ -465,6 +622,13 @@ impl<P: Payload> Fabric<P> {
     /// `None` when it is absorbed by a switch (or, in emulation mode,
     /// counted at the home while earlier replies are still outstanding).
     ///
+    /// The fault plan applies on the slave's first link (class
+    /// [`WireClass::GatherReply`]): a dropped reply never enters the
+    /// gather tree — the gather stays open, waiting — and a delayed reply
+    /// enters late. Duplication is recorded but has no effect: each
+    /// switch's wait pattern accepts one reply per input port, so the
+    /// combining tree absorbs NIC-level duplicates by construction.
+    ///
     /// # Panics
     ///
     /// Panics if `id` is not open, if `slave` is not one of the gather's
@@ -477,6 +641,24 @@ impl<P: Payload> Fabric<P> {
         payload: P,
     ) -> Option<Delivery<P>> {
         self.stats.gather_replies.incr();
+        let mut now = now;
+        let dest = self.gathers.get(&id).expect("gather not open").home;
+        if slave != dest {
+            match self.fault.decide(now, slave, dest, WireClass::GatherReply) {
+                None => {}
+                Some(FaultKind::Drop) => {
+                    self.record_fault(now, slave, dest, WireClass::GatherReply, FaultKind::Drop);
+                    return None;
+                }
+                Some(k @ FaultKind::Duplicate { .. }) => {
+                    self.record_fault(now, slave, dest, WireClass::GatherReply, k);
+                }
+                Some(k @ FaultKind::Delay { by_ns }) => {
+                    self.record_fault(now, slave, dest, WireClass::GatherReply, k);
+                    now += Duration::from_ns(by_ns);
+                }
+            }
+        }
         let sys = self.topo.system();
         let (home, mode) = {
             let st = self.gathers.get_mut(&id).expect("gather not open");
@@ -517,7 +699,7 @@ impl<P: Payload> Fabric<P> {
                 gather: Some(id),
             }
         } else {
-            let mut d = self.send_unicast(now, slave, home, false, payload);
+            let mut d = self.unicast_delivery(now, slave, home, false, payload);
             d.gather = Some(id);
             d
         };
@@ -628,14 +810,17 @@ impl<P: Payload> Fabric<P> {
         })
     }
 
-    /// Abandons an open gather (used by protocol error paths and tests).
+    /// Abandons an open gather (used by protocol recovery paths and
+    /// tests), discarding any per-switch combining state. Returns how many
+    /// expected replies were still outstanding — the callers' leak check.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not open.
-    pub fn cancel_gather(&mut self, id: GatherId) {
-        self.gathers.remove(&id).expect("gather not open");
+    pub fn cancel_gather(&mut self, id: GatherId) -> u32 {
+        let st = self.gathers.remove(&id).expect("gather not open");
         self.stats.gather_concurrency.sub(1);
+        st.expected - st.received
     }
 }
 
@@ -665,11 +850,32 @@ mod tests {
         }
     }
 
+    /// A unicast on a lossless fabric: exactly one delivery.
+    fn uni(
+        f: &mut Fabric<u32>,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        data: bool,
+        payload: u32,
+    ) -> Delivery<u32> {
+        let mut dels = f.send_unicast(now, src, dst, data, payload, WireClass::Other);
+        assert_eq!(dels.len(), 1, "lossless unicast must deliver once");
+        dels.pop().unwrap()
+    }
+
     #[test]
     fn unicast_uncontended_latency() {
         for (n, stages) in [(16u16, 2u64), (128, 4), (1024, 6)] {
             let mut f = fabric(n);
-            let d = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(n - 1), false, 1);
+            let d = uni(
+                &mut f,
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(n - 1),
+                false,
+                1,
+            );
             assert_eq!(d.at.as_ns(), 280 + 130 * stages, "{n} nodes");
         }
     }
@@ -677,9 +883,23 @@ mod tests {
     #[test]
     fn data_messages_slower() {
         let mut f = fabric(128);
-        let a = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(5), false, 1);
+        let a = uni(
+            &mut f,
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(5),
+            false,
+            1,
+        );
         let mut f = fabric(128);
-        let b = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(5), true, 1);
+        let b = uni(
+            &mut f,
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(5),
+            true,
+            1,
+        );
         assert!(b.at > a.at);
         assert_eq!(b.at.as_ns(), 280 + 140 * 4);
     }
@@ -687,8 +907,22 @@ mod tests {
     #[test]
     fn injection_serializes_back_to_back_sends() {
         let mut f = fabric(16);
-        let a = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(1), false, 1);
-        let b = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(2), false, 1);
+        let a = uni(
+            &mut f,
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            false,
+            1,
+        );
+        let b = uni(
+            &mut f,
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(2),
+            false,
+            1,
+        );
         // Second message waits out the injection occupancy (175ns).
         assert_eq!(b.at.as_ns() - a.at.as_ns(), 175);
     }
@@ -698,7 +932,8 @@ mod tests {
         let mut f = fabric(1024);
         let mut last = SimTime::ZERO;
         for i in 0..20 {
-            let d = f.send_unicast(
+            let d = uni(
+                &mut f,
                 SimTime::from_ns(i * 10),
                 NodeId::new(7),
                 NodeId::new(700),
@@ -714,7 +949,14 @@ mod tests {
     fn unicast_to_self_panics() {
         let mut f = fabric(16);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            f.send_unicast(SimTime::ZERO, NodeId::new(3), NodeId::new(3), false, 0)
+            f.send_unicast(
+                SimTime::ZERO,
+                NodeId::new(3),
+                NodeId::new(3),
+                false,
+                0,
+                WireClass::Other,
+            )
         }));
         assert!(result.is_err());
     }
@@ -723,7 +965,15 @@ mod tests {
     fn multicast_reaches_exactly_the_spec() {
         let mut f = fabric(128);
         let spec = spec_of(&[1, 2, 3]);
-        let dels = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 9, None);
+        let dels = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            spec,
+            false,
+            9,
+            None,
+            WireClass::Other,
+        );
         let mut nodes: Vec<u16> = dels.iter().map(|d| d.node.index()).collect();
         nodes.sort_unstable();
         assert_eq!(nodes, vec![1, 2, 3]);
@@ -742,7 +992,15 @@ mod tests {
         let spec = m.to_dest_spec();
         let expected = spec.destinations(s);
         let mut f: Fabric<u32> = Fabric::new(s, NetParams::default());
-        let dels = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 0, None);
+        let dels = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            spec,
+            false,
+            0,
+            None,
+            WireClass::Other,
+        );
         let mut got: Vec<u16> = dels.iter().map(|d| d.node.index()).collect();
         got.sort_unstable();
         assert_eq!(got, expected.iter().map(|n| n.index()).collect::<Vec<_>>());
@@ -760,6 +1018,7 @@ mod tests {
             false,
             0,
             None,
+            WireClass::Other,
         );
         assert_eq!(dels.len(), 1024);
         let worst = dels.iter().map(|d| d.at).max().unwrap();
@@ -780,6 +1039,7 @@ mod tests {
             false,
             0,
             None,
+            WireClass::Other,
         );
         assert_eq!(dels.len(), 1024);
         let worst = dels.iter().map(|d| d.at).max().unwrap();
@@ -800,7 +1060,15 @@ mod tests {
             .collect();
         let id = f.open_gather(home, spec);
         assert_eq!(f.gather_expected(id) as usize, expected.len());
-        let dels = f.send_multicast(SimTime::ZERO, home, spec, false, 0, Some(id));
+        let dels = f.send_multicast(
+            SimTime::ZERO,
+            home,
+            spec,
+            false,
+            0,
+            Some(id),
+            WireClass::Other,
+        );
         assert_eq!(dels.len(), expected.len());
 
         let mut combined = None;
@@ -829,7 +1097,15 @@ mod tests {
         let mut f = fabric(16);
         let spec = DestSpec::single(NodeId::new(5));
         let id = f.open_gather(NodeId::new(0), spec);
-        let dels = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 0, Some(id));
+        let dels = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            spec,
+            false,
+            0,
+            Some(id),
+            WireClass::Other,
+        );
         assert_eq!(dels.len(), 1);
         let r = f.send_gather_reply(dels[0].at, NodeId::new(5), id, 1);
         assert_eq!(r.expect("must complete").payload, 1);
@@ -840,7 +1116,15 @@ mod tests {
         let mut f: Fabric<u32> = Fabric::new(sys(128), NetParams::without_multicast());
         let spec = spec_of(&[1, 2, 3]);
         let id = f.open_gather(NodeId::new(9), spec);
-        let dels = f.send_multicast(SimTime::ZERO, NodeId::new(9), spec, false, 0, Some(id));
+        let dels = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(9),
+            spec,
+            false,
+            0,
+            Some(id),
+            WireClass::Other,
+        );
         let mut done = None;
         for d in &dels {
             if let Some(x) = f.send_gather_reply(d.at, d.node, id, 1) {
@@ -857,7 +1141,15 @@ mod tests {
         let members = [10u16, 500, 900];
         let spec = spec_of(&members);
         let id = f.open_gather(NodeId::new(0), spec);
-        let _ = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 0, Some(id));
+        let _ = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            spec,
+            false,
+            0,
+            Some(id),
+            WireClass::Other,
+        );
         let reply_times = [1_000u64, 50_000, 2_000];
         let mut done = None;
         for (&m, &t) in members.iter().zip(&reply_times) {
@@ -906,14 +1198,29 @@ mod tests {
         let mut f = fabric(128);
         let members = [0u16, 1, 2, 3, 4, 5];
         let spec = spec_of(&members);
-        let dels = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 0, None);
+        let dels = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            spec,
+            false,
+            0,
+            None,
+            WireClass::Other,
+        );
         assert!(dels.iter().any(|d| d.node == NodeId::new(0)));
     }
 
     #[test]
     fn bulk_transfer_is_bandwidth_limited() {
         let mut f = fabric(128);
-        let small = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(5), true, 0);
+        let small = uni(
+            &mut f,
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(5),
+            true,
+            0,
+        );
         let mut f = fabric(128);
         let big = f.send_bulk(SimTime::ZERO, NodeId::new(0), NodeId::new(5), 1 << 20, 0);
         // 1 MB at 169 B/us ~ 6.2 ms, far beyond a single-line message.
@@ -926,7 +1233,14 @@ mod tests {
         let mut f = fabric(128);
         let _ = f.send_bulk(SimTime::ZERO, NodeId::new(0), NodeId::new(5), 64 * 1024, 0);
         // A header message right behind it waits out the serialization.
-        let d = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(9), false, 1);
+        let d = uni(
+            &mut f,
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(9),
+            false,
+            1,
+        );
         assert!(
             d.at.as_ns() > 300_000,
             "64KB at 169B/us ~ 388us must block the NIC: {}",
@@ -947,7 +1261,14 @@ mod tests {
     #[test]
     fn stats_count_messages() {
         let mut f = fabric(16);
-        let _ = f.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(1), false, 0);
+        let _ = uni(
+            &mut f,
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            false,
+            0,
+        );
         let _ = f.send_multicast(
             SimTime::ZERO,
             NodeId::new(0),
@@ -955,10 +1276,267 @@ mod tests {
             false,
             0,
             None,
+            WireClass::Other,
         );
         assert_eq!(f.stats().unicasts.get(), 1);
         assert_eq!(f.stats().multicasts.get(), 1);
         assert_eq!(f.stats().multicast_copies.get(), 2);
         assert_eq!(f.stats().delivered.get(), 3);
+    }
+
+    // ----- fault injection ------------------------------------------------
+
+    use crate::faults::{FaultKind, FaultPlan, LinkDown, OneShotFault};
+
+    fn shot(class: Option<WireClass>, nth: u64, kind: FaultKind) -> OneShotFault {
+        OneShotFault {
+            link: None,
+            class,
+            nth,
+            kind,
+        }
+    }
+
+    #[test]
+    fn dropped_unicast_returns_no_delivery() {
+        let mut f = fabric(16);
+        f.set_fault_plan(FaultPlan::none().with_one_shot(shot(None, 1, FaultKind::Drop)));
+        let dels = f.send_unicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            false,
+            7,
+            WireClass::Reply,
+        );
+        assert!(dels.is_empty());
+        assert_eq!(f.stats().faults_dropped.get(), 1);
+        assert_eq!(f.stats().delivered.get(), 0);
+        let events = f.take_fault_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FaultKind::Drop);
+        assert_eq!(events[0].class, WireClass::Reply);
+        // The one-shot is spent: the next message gets through.
+        let d = uni(
+            &mut f,
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            false,
+            8,
+        );
+        assert_eq!(d.payload, 8);
+        assert!(f.take_fault_events().is_empty());
+    }
+
+    #[test]
+    fn duplicated_unicast_delivers_twice() {
+        let mut f = fabric(16);
+        f.set_fault_plan(FaultPlan::none().with_one_shot(shot(
+            None,
+            1,
+            FaultKind::Duplicate { after_ns: 500 },
+        )));
+        let dels = f.send_unicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            false,
+            7,
+            WireClass::Reply,
+        );
+        assert_eq!(dels.len(), 2);
+        assert!(dels[1].at > dels[0].at, "duplicate must trail the original");
+        assert!(dels.iter().all(|d| d.payload == 7));
+        assert_eq!(f.stats().faults_duplicated.get(), 1);
+    }
+
+    #[test]
+    fn delayed_unicast_arrives_late() {
+        let mut lossless = fabric(16);
+        let base = uni(
+            &mut lossless,
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            false,
+            0,
+        );
+        let mut f = fabric(16);
+        f.set_fault_plan(FaultPlan::none().with_one_shot(shot(
+            None,
+            1,
+            FaultKind::Delay { by_ns: 2_000 },
+        )));
+        let dels = f.send_unicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            false,
+            0,
+            WireClass::Request,
+        );
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].at.as_ns(), base.at.as_ns() + 2_000);
+        assert_eq!(f.stats().faults_delayed.get(), 1);
+    }
+
+    #[test]
+    fn link_down_window_kills_matching_unicasts() {
+        let mut f = fabric(16);
+        f.set_fault_plan(FaultPlan::none().with_link_down(LinkDown {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            from_ns: 0,
+            until_ns: 1_000,
+        }));
+        let inside = f.send_unicast(
+            SimTime::from_ns(500),
+            NodeId::new(0),
+            NodeId::new(1),
+            false,
+            0,
+            WireClass::Other,
+        );
+        assert!(inside.is_empty());
+        let after = f.send_unicast(
+            SimTime::from_ns(1_000),
+            NodeId::new(0),
+            NodeId::new(1),
+            false,
+            0,
+            WireClass::Other,
+        );
+        assert_eq!(after.len(), 1);
+    }
+
+    #[test]
+    fn multicast_copy_faults_hit_one_copy_only() {
+        let mut f = fabric(128);
+        // Drop the first invalidation-class message on link (0, 2) only.
+        f.set_fault_plan(FaultPlan::none().with_one_shot(OneShotFault {
+            link: Some((NodeId::new(0), NodeId::new(2))),
+            class: Some(WireClass::Invalidation),
+            nth: 1,
+            kind: FaultKind::Drop,
+        }));
+        let spec = spec_of(&[1, 2, 3]);
+        let id = f.open_gather(NodeId::new(0), spec);
+        let dels = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            spec,
+            false,
+            0,
+            Some(id),
+            WireClass::Invalidation,
+        );
+        let mut nodes: Vec<u16> = dels.iter().map(|d| d.node.index()).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 3], "copy to node 2 must vanish");
+        assert!(dels.iter().all(|d| d.gather == Some(id)));
+        assert_eq!(f.stats().faults_dropped.get(), 1);
+        assert_eq!(f.cancel_gather(id), 3);
+    }
+
+    #[test]
+    fn multicast_duplicate_keeps_gather_id() {
+        let mut f = fabric(128);
+        f.set_fault_plan(FaultPlan::none().with_one_shot(OneShotFault {
+            link: Some((NodeId::new(0), NodeId::new(3))),
+            class: None,
+            nth: 1,
+            kind: FaultKind::Duplicate { after_ns: 5_000 },
+        }));
+        let spec = spec_of(&[1, 3]);
+        let id = f.open_gather(NodeId::new(0), spec);
+        let dels = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            spec,
+            false,
+            0,
+            Some(id),
+            WireClass::Invalidation,
+        );
+        let to3: Vec<_> = dels.iter().filter(|d| d.node == NodeId::new(3)).collect();
+        assert_eq!(to3.len(), 2, "node 3 must receive the spurious copy");
+        assert!(to3.iter().all(|d| d.gather == Some(id)));
+        let _ = f.cancel_gather(id);
+    }
+
+    #[test]
+    fn dropped_gather_reply_leaves_gather_waiting() {
+        let mut f = fabric(128);
+        let spec = spec_of(&[1, 2]);
+        let id = f.open_gather(NodeId::new(0), spec);
+        let _ = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            spec,
+            false,
+            0,
+            Some(id),
+            WireClass::Invalidation,
+        );
+        f.set_fault_plan(FaultPlan::none().with_one_shot(shot(
+            Some(WireClass::GatherReply),
+            1,
+            FaultKind::Drop,
+        )));
+        let r = f.send_gather_reply(SimTime::from_ns(2_000), NodeId::new(1), id, 1);
+        assert!(r.is_none());
+        assert!(
+            f.is_gather_open(id),
+            "dropped reply must not close the gather"
+        );
+        assert_eq!(f.stats().faults_dropped.get(), 1);
+        // Both replies are still outstanding: the drop never reached the
+        // combining tree.
+        assert_eq!(f.cancel_gather(id), 2);
+    }
+
+    #[test]
+    fn cancel_gather_counts_outstanding_replies() {
+        let mut f = fabric(128);
+        let spec = spec_of(&[1, 2, 3]);
+        let id = f.open_gather(NodeId::new(0), spec);
+        let _ = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            spec,
+            false,
+            0,
+            Some(id),
+            WireClass::Invalidation,
+        );
+        let _ = f.send_gather_reply(SimTime::from_ns(2_000), NodeId::new(1), id, 1);
+        assert_eq!(f.cancel_gather(id), 2);
+        assert_eq!(f.open_gathers(), 0);
+    }
+
+    #[test]
+    fn fault_plan_replays_identically() {
+        let run = || {
+            let mut f = fabric(16);
+            f.set_fault_plan(FaultPlan::random(99, 250));
+            let mut dels = Vec::new();
+            for i in 0..50u64 {
+                dels.extend(f.send_unicast(
+                    SimTime::from_ns(i * 1_000),
+                    NodeId::new((i % 3) as u16),
+                    NodeId::new(5),
+                    false,
+                    i as u32,
+                    WireClass::Request,
+                ));
+            }
+            (dels, f.stats().faults_dropped.get())
+        };
+        let (a, da) = run();
+        let (b, db) = run();
+        assert_eq!(a, b);
+        assert_eq!(da, db);
+        assert!(da > 0, "250 permille over 50 messages never dropped");
     }
 }

@@ -34,23 +34,33 @@
 //! ```
 //! use cenju4_directory::{NodeId, SystemSize};
 //! use cenju4_des::SimTime;
-//! use cenju4_network::{Fabric, NetParams};
+//! use cenju4_network::{Fabric, NetParams, WireClass};
 //!
 //! let sys = SystemSize::new(16)?;
 //! let mut net: Fabric<u32> = Fabric::new(sys, NetParams::default());
-//! let d = net.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(5), false, 7);
+//! let dels = net.send_unicast(SimTime::ZERO, NodeId::new(0), NodeId::new(5),
+//!                             false, 7, WireClass::Request);
+//! // A lossless fabric (the default fault plan) delivers exactly once.
+//! let d = &dels[0];
 //! assert_eq!(d.node, NodeId::new(5));
 //! // 2-stage machine: 280ns endpoint overhead + 2 x 130ns per stage.
 //! assert_eq!(d.at.as_ns(), 280 + 2 * 130);
 //! # Ok::<(), cenju4_directory::SystemSizeError>(())
 //! ```
+//!
+//! The fabric can also misbehave on demand: a seed-driven [`FaultPlan`]
+//! drops, duplicates, or delays messages deterministically (see
+//! [`faults`]), which the protocol layer's recovery machinery must then
+//! survive.
 
 pub mod fabric;
+pub mod faults;
 pub mod params;
 pub mod stats;
 pub mod topology;
 
-pub use fabric::{Delivery, Fabric, Payload};
+pub use fabric::{Delivery, Fabric, GatherId, Payload};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, LinkDown, OneShotFault, WireClass};
 pub use params::{MulticastMode, NetParams};
 pub use stats::NetStats;
 pub use topology::Topology;

@@ -25,6 +25,12 @@ pub struct NetStats {
     pub gather_delivered: Counter,
     /// Messages delivered to endpoints, total.
     pub delivered: Counter,
+    /// Messages dropped by the fault plan (including gather replies).
+    pub faults_dropped: Counter,
+    /// Spurious duplicates created by the fault plan.
+    pub faults_duplicated: Counter,
+    /// Messages delayed by the fault plan.
+    pub faults_delayed: Counter,
     /// Simultaneously open gathers (hardware bound: 1024 table entries).
     pub gather_concurrency: HighWaterMark,
     /// Queueing delay observed at switch output ports (ns).

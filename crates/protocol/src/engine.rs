@@ -11,14 +11,14 @@
 use crate::addr::Addr;
 use crate::cache::CacheState;
 use crate::messages::{ProtoMsg, TxnId};
-use crate::modules::bus::{BusMsg, MessageBus, PendingEvent};
+use crate::modules::bus::{BusMsg, GatherTimerOutcome, LinkTimerOutcome, MessageBus, PendingEvent};
 use crate::modules::{Ctx, HomeModule, MasterModule, SlaveModule};
 use crate::observer::{Observer, ObserverSet, TraceObserver};
-use crate::params::{FaultInjection, ProtoParams, ProtocolKind};
+use crate::params::{FaultInjection, ProtoParams, ProtocolKind, RecoveryError, RecoveryParams};
 use crate::stats::EngineStats;
 use cenju4_des::{Duration, SimTime};
 use cenju4_directory::{MemState, NodeId, NodeMap, SystemSize};
-use cenju4_network::NetParams;
+use cenju4_network::{FaultPlan, NetParams};
 use core::fmt;
 use std::collections::HashSet;
 
@@ -127,6 +127,16 @@ pub enum Notification {
         /// When it fired.
         at: SimTime,
     },
+    /// The recovery layer exhausted a retry budget and gave up: the
+    /// fabric lost something the configured budgets could not paper
+    /// over. The run is no longer trustworthy — drivers should treat
+    /// this as fatal.
+    RecoveryFailed {
+        /// When the budget ran out.
+        at: SimTime,
+        /// What gave up.
+        error: RecoveryError,
+    },
 }
 
 impl Notification {
@@ -139,7 +149,7 @@ impl Notification {
             Notification::MessageDelivered {
                 sent, delivered, ..
             } => Some(delivered.since(*sent)),
-            Notification::Marker { .. } => None,
+            Notification::Marker { .. } | Notification::RecoveryFailed { .. } => None,
         }
     }
 }
@@ -184,6 +194,12 @@ pub struct Engine {
     update_blocks: HashSet<Addr>,
     observers: ObserverSet,
     fault: FaultInjection,
+    /// Stall-watchdog state: the completion count and time of the last
+    /// observed progress, and whether the current stall episode has
+    /// already been reported.
+    last_completed: u64,
+    last_progress: SimTime,
+    stalled: bool,
 }
 
 impl Engine {
@@ -208,15 +224,59 @@ impl Engine {
             update_blocks: HashSet::new(),
             observers: ObserverSet::default(),
             fault: FaultInjection::None,
+            last_completed: 0,
+            last_progress: SimTime::ZERO,
+            stalled: false,
         }
     }
 
-    /// Arms a test-only protocol mutation (see [`FaultInjection`]). Used
-    /// by the `cenju4-check` mutant runs to prove the invariant oracles
-    /// can tell the correct protocol from broken ones; never used by
-    /// production drivers.
+    /// Arms a test-only protocol or fabric mutation (see
+    /// [`FaultInjection`]). Fabric mutants install their targeted
+    /// [`FaultPlan`] on the network; protocol mutants mutate module
+    /// behaviour. Used by the `cenju4-check` mutant runs to prove the
+    /// invariant oracles can tell the correct protocol from broken ones;
+    /// never used by production drivers.
     pub fn inject_fault(&mut self, fault: FaultInjection) {
         self.fault = fault;
+        if let Some(plan) = fault.fabric_plan() {
+            self.bus.set_fault_plan(plan);
+        }
+    }
+
+    /// Installs a fabric [`FaultPlan`], re-deriving whether the recovery
+    /// layer is armed (recovery enabled **and** a non-trivial plan).
+    /// Install plans before issuing work, not mid-run.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.bus.set_fault_plan(plan);
+    }
+
+    /// The installed fabric fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.bus.fault_plan()
+    }
+
+    /// Installs the recovery-layer configuration (see [`RecoveryParams`]).
+    pub fn set_recovery(&mut self, rec: RecoveryParams) {
+        self.bus.set_recovery(rec);
+    }
+
+    /// The recovery-layer configuration in force.
+    pub fn recovery(&self) -> RecoveryParams {
+        self.bus.recovery()
+    }
+
+    /// Whether the link-level recovery layer is armed: recovery enabled
+    /// and the fabric carrying a non-trivial fault plan. Unarmed, the
+    /// layer adds no events, no sequence numbers, and no timers — golden
+    /// traces are bit-identical to a build without the layer.
+    pub fn recovery_armed(&self) -> bool {
+        self.bus.armed()
+    }
+
+    /// Gathers currently open in the fabric. Zero at quiescence unless
+    /// the fabric lost gather replies with recovery off.
+    pub fn open_gathers(&self) -> usize {
+        self.bus.open_gathers()
     }
 
     /// Switches the engine into **controlled-schedule mode**: events are
@@ -585,6 +645,13 @@ impl Engine {
         while let Some(mut n) = self.run_next() {
             out.append(&mut n);
         }
+        // On a reliable (or recovered) fabric every gather must have
+        // closed by quiescence; an open one is a combining-state leak.
+        // With recovery off on a faulty fabric a leak is the *expected*
+        // symptom of a lost reply, so the check is skipped.
+        if self.bus.armed() || self.bus.fault_plan().is_none() {
+            debug_assert_eq!(self.bus.open_gathers(), 0, "gather leaked at quiescence");
+        }
         out
     }
 
@@ -593,8 +660,57 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Notifies observers of the event, then routes it to the module
-    /// that owns the corresponding state.
+    /// that owns the corresponding state. Sequenced frames pass the
+    /// link layer's receiver-side admission first; discarded duplicates
+    /// and gaps never reach observers or modules. Afterwards the fabric's
+    /// fault log is drained and the stall watchdog checked.
     fn dispatch(&mut self, at: SimTime, ev: BusMsg) {
+        self.dispatch_inner(at, ev);
+        for e in self.bus.take_fault_events() {
+            self.observers.on_fault_injected(&e);
+        }
+        self.watchdog(at);
+    }
+
+    fn dispatch_inner(&mut self, at: SimTime, ev: BusMsg) {
+        // Link-layer admission and timers — handled before the protocol
+        // (or any observer) sees anything.
+        match &ev {
+            BusMsg::Recv {
+                dst,
+                src,
+                seq: Some(seq),
+                ..
+            } => {
+                if let Some(reason) = self.bus.accept_frame(*src, *dst, *seq) {
+                    self.observers.on_link_discard(at, *dst, *src, reason);
+                    return;
+                }
+            }
+            BusMsg::LinkTimer { src, dst } => {
+                let (src, dst) = (*src, *dst);
+                match self.bus.link_timer(at, src, dst) {
+                    LinkTimerOutcome::Idle => {}
+                    LinkTimerOutcome::Retransmitted { frames, attempt } => {
+                        self.observers.on_retransmit(at, src, dst, frames, attempt);
+                    }
+                    LinkTimerOutcome::GaveUp(err) => self.recovery_failed(at, err),
+                }
+                return;
+            }
+            BusMsg::GatherTimer { home, id } => {
+                let (home, id) = (*home, *id);
+                match self.bus.gather_timer(at, home, id) {
+                    GatherTimerOutcome::Done => {}
+                    GatherTimerOutcome::Reissued { copies, attempt } => {
+                        self.observers.on_gather_reissue(at, home, copies, attempt);
+                    }
+                    GatherTimerOutcome::GaveUp(err) => self.recovery_failed(at, err),
+                }
+                return;
+            }
+            _ => {}
+        }
         match &ev {
             BusMsg::Access {
                 node,
@@ -612,6 +728,7 @@ impl Engine {
                 ..
             } => self.observers.on_mp_delivered(at, *to, *from, *tag, *bytes),
             BusMsg::Recv { dst, src, msg, .. } => self.observers.on_receive(at, *dst, *src, msg),
+            BusMsg::LinkTimer { .. } | BusMsg::GatherTimer { .. } | BusMsg::TxnTimer { .. } => {}
         }
         let ctx = &mut Ctx {
             params: self.params,
@@ -646,11 +763,20 @@ impl Engine {
                 delivered: at,
             }),
             BusMsg::Retry { node, txn } => self.masters[node.as_usize()].handle_retry(ctx, at, txn),
+            BusMsg::TxnTimer { node, txn } => {
+                if let Some(err) = self.masters[node.as_usize()].handle_txn_timer(ctx, at, txn) {
+                    self.recovery_failed(at, err);
+                }
+            }
+            BusMsg::LinkTimer { .. } | BusMsg::GatherTimer { .. } => {
+                unreachable!("link-layer timers are handled before module routing")
+            }
             BusMsg::Recv {
                 dst,
                 src,
                 msg,
                 gather,
+                ..
             } => match &msg {
                 ProtoMsg::Request { .. } | ProtoMsg::WriteBack { .. } => {
                     self.homes[dst.as_usize()].recv(ctx, at, msg)
@@ -671,6 +797,43 @@ impl Engine {
                     unreachable!("user messages are delivered via MpDeliver")
                 }
             },
+        }
+    }
+
+    /// Reports a recovery-budget exhaustion to observers and the driver.
+    fn recovery_failed(&mut self, at: SimTime, error: RecoveryError) {
+        self.observers.on_recovery_error(at, &error);
+        self.notifications
+            .push(Notification::RecoveryFailed { at, error });
+    }
+
+    /// The stall watchdog: O(1) on the hot path (a counter comparison);
+    /// the outstanding-work scan only runs once the idle threshold is
+    /// crossed. Fires [`Observer::on_stall`] once per stall episode —
+    /// a completion re-arms it. A drained event queue is *not* a stall
+    /// (nothing will ever fire again); that case is the quiescence
+    /// oracle's to catch. The watchdog catches livelock: events still
+    /// flowing, nothing graduating.
+    fn watchdog(&mut self, at: SimTime) {
+        let wd = self.bus.recovery().watchdog;
+        if wd == Duration::ZERO {
+            return;
+        }
+        let completed = self.observers.stats.stats().completed.get();
+        if completed != self.last_completed {
+            self.last_completed = completed;
+            self.last_progress = at;
+            self.stalled = false;
+        } else if !self.stalled && at.since(self.last_progress) >= wd {
+            let outstanding = self.outstanding_txn_count();
+            if outstanding > 0 {
+                self.stalled = true;
+                self.observers
+                    .on_stall(at, outstanding, at.since(self.last_progress));
+            } else {
+                // Nothing is waiting; idle time is not a stall.
+                self.last_progress = at;
+            }
         }
     }
 }

@@ -6,16 +6,65 @@
 //! goes through it as a [`BusMsg`]. The modules never touch the fabric or
 //! the event queue directly, so all scheduling (and therefore the
 //! simulation's deterministic event order) is concentrated here.
+//!
+//! # The link-level recovery layer
+//!
+//! When the fabric carries a non-trivial [`FaultPlan`] *and* recovery is
+//! enabled ([`RecoveryParams::enabled`]), the bus **arms** a link layer
+//! over every remote (src, dst) pair:
+//!
+//! * outgoing unicasts are stamped with a per-link sequence number and a
+//!   copy is parked in the sender's go-back-N window;
+//! * the receiver accepts exactly the next expected sequence number and
+//!   discards duplicates and out-of-order frames
+//!   ([`MessageBus::accept_frame`]); accepting a frame acknowledges it
+//!   (and everything before it) instantly — the ack rides a zero-cost
+//!   control network, modeling the credit-return wires of the real
+//!   machine;
+//! * an unacked window is retransmitted in order when its [`BusMsg::LinkTimer`]
+//!   fires, with exponential backoff, until the
+//!   [`RecoveryParams::max_retransmits`] budget escalates to a
+//!   [`RecoveryError::LinkRetransmitBudget`];
+//! * multicast copies are sequenced on their destination link exactly
+//!   like unicasts — a dropped or delayed invalidation copy can therefore
+//!   never reorder against the sequenced unicast stream it shares a link
+//!   with (retransmitted copies re-attach their gather identifier);
+//! * gather replies ride the combining tree and carry no sequence
+//!   number — their recovery is the gather layer: an open gather that
+//!   misses its [`BusMsg::GatherTimer`] is cancelled and its multicast
+//!   idempotently re-issued under a fresh [`GatherId`], while a
+//!   per-gather replied set absorbs duplicate and stale replies.
+//!
+//! On a lossless fabric ([`FaultPlan::is_none`]) the layer stays unarmed:
+//! no sequence numbers, no timers, no window state — event-for-event the
+//! same schedule as before the layer existed, which is what keeps golden
+//! traces bit-identical.
 
 use crate::addr::Addr;
 use crate::engine::MemOp;
 use crate::messages::{ProtoMsg, TxnId};
+use crate::params::{RecoveryError, RecoveryParams};
 use cenju4_des::{Duration, EventQueue, SimTime, SplitMix64};
 use cenju4_directory::nodemap::DestSpec;
 use cenju4_directory::{NodeId, SystemSize};
 use cenju4_network::fabric::GatherId;
-use cenju4_network::{Delivery, Fabric, NetParams, NetStats};
-use std::collections::HashMap;
+use cenju4_network::{Delivery, Fabric, FaultEvent, FaultPlan, NetParams, NetStats, WireClass};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The wire class the fault plan matches a protocol message against.
+pub(crate) fn wire_class(msg: &ProtoMsg) -> WireClass {
+    match msg {
+        ProtoMsg::Request { .. } | ProtoMsg::Forward { .. } => WireClass::Request,
+        ProtoMsg::DataReply { .. }
+        | ProtoMsg::AckReply { .. }
+        | ProtoMsg::SlaveReply { .. }
+        | ProtoMsg::InvAck { .. }
+        | ProtoMsg::Nack { .. } => WireClass::Reply,
+        ProtoMsg::Invalidate { .. } | ProtoMsg::Update { .. } => WireClass::Invalidation,
+        ProtoMsg::WriteBack { .. } => WireClass::WriteBack,
+        ProtoMsg::UserMessage { .. } => WireClass::Other,
+    }
+}
 
 /// An event carried by the bus.
 #[derive(Debug)]
@@ -41,6 +90,9 @@ pub enum BusMsg {
         msg: ProtoMsg,
         /// The in-network gather this delivery belongs to, if any.
         gather: Option<GatherId>,
+        /// The link-layer sequence number, when the recovery layer is
+        /// armed and this is a sequenced unicast frame.
+        seq: Option<u64>,
     },
     /// A nacked master retries.
     Retry {
@@ -62,6 +114,27 @@ pub enum BusMsg {
         /// When the send was issued.
         sent: SimTime,
     },
+    /// Retransmission timeout of the link-layer window `src -> dst`.
+    LinkTimer {
+        /// The sending side owning the unacked window.
+        src: NodeId,
+        /// The receiving side.
+        dst: NodeId,
+    },
+    /// Re-issue timeout of an open gather at `home`.
+    GatherTimer {
+        /// The home that opened the gather.
+        home: NodeId,
+        /// The gather being watched.
+        id: GatherId,
+    },
+    /// Escalation timeout of an outstanding master transaction.
+    TxnTimer {
+        /// The issuing node.
+        node: NodeId,
+        /// The watched transaction.
+        txn: TxnId,
+    },
     /// A caller-scheduled marker.
     Marker(u64),
 }
@@ -74,6 +147,9 @@ impl BusMsg {
             BusMsg::Recv { msg, .. } => msg.label(),
             BusMsg::Retry { .. } => "proc:retry",
             BusMsg::MpDeliver { .. } => "mp:deliver",
+            BusMsg::LinkTimer { .. } => "timer:link",
+            BusMsg::GatherTimer { .. } => "timer:gather",
+            BusMsg::TxnTimer { .. } => "timer:txn",
             BusMsg::Marker(_) => "marker",
         }
     }
@@ -84,14 +160,38 @@ impl BusMsg {
     /// in-order delivery (which the protocol relies on — e.g. a writeback
     /// must reach the home before the evictor's next request for the same
     /// block), and a processor issues its accesses in program order.
-    /// `None` means the event is unordered and always ready.
+    /// `None` means the event is not bound to a channel; non-timer
+    /// unordered events are always ready, while timers are additionally
+    /// gated (see [`MessageBus::pending`]).
     fn channel(&self) -> Option<Channel> {
         match self {
             BusMsg::Recv { dst, src, .. } if src != dst => Some(Channel::Wire(*src, *dst)),
             BusMsg::Recv { dst, .. } => Some(Channel::Local(*dst)),
             BusMsg::Access { node, .. } => Some(Channel::Proc(*node)),
-            BusMsg::Retry { .. } | BusMsg::MpDeliver { .. } | BusMsg::Marker(_) => None,
+            BusMsg::Retry { .. }
+            | BusMsg::MpDeliver { .. }
+            | BusMsg::LinkTimer { .. }
+            | BusMsg::GatherTimer { .. }
+            | BusMsg::TxnTimer { .. }
+            | BusMsg::Marker(_) => None,
         }
+    }
+
+    /// Whether this is a recovery-layer timer. In controlled-schedule
+    /// mode timers are only ready once *nothing but timers* is parked,
+    /// and then only the earliest-deadline timer is. A real timeout is
+    /// calibrated to exceed any in-flight latency, and real timers fire
+    /// in deadline order — a schedule that fires a timer ahead of a
+    /// deliverable event, or a backoff timer ahead of an earlier link
+    /// retransmission, is one the machine cannot produce. Allowing
+    /// either would let the explorer forge retry-budget exhaustion by
+    /// firing one transaction's escalation timer over and over while
+    /// the retransmission that makes progress sits parked.
+    fn is_timer(&self) -> bool {
+        matches!(
+            self,
+            BusMsg::LinkTimer { .. } | BusMsg::GatherTimer { .. } | BusMsg::TxnTimer { .. }
+        )
     }
 }
 
@@ -144,8 +244,77 @@ struct HeldQueue {
     now: SimTime,
 }
 
+/// A sequenced frame parked in a sender's go-back-N window until its
+/// acknowledgement retires it: a unicast, or one destination's copy of a
+/// multicast (which keeps the gather identifier its retransmissions must
+/// re-attach).
+#[derive(Clone)]
+struct Frame {
+    seq: u64,
+    data: bool,
+    msg: ProtoMsg,
+    gather: Option<GatherId>,
+}
+
+/// The sender side of one armed link.
+#[derive(Default)]
+struct LinkSend {
+    /// Next sequence number to stamp.
+    next_seq: u64,
+    /// Sent-but-unacked frames, in sequence order.
+    unacked: VecDeque<Frame>,
+    /// Consecutive retransmission rounds without progress.
+    attempts: u32,
+    /// Whether a [`BusMsg::LinkTimer`] is currently scheduled.
+    timer_armed: bool,
+}
+
+/// Everything needed to idempotently re-issue a gathered multicast.
+struct GatherRetry {
+    spec: DestSpec,
+    data: bool,
+    msg: ProtoMsg,
+    /// Re-issues performed so far.
+    attempts: u32,
+}
+
+/// What a fired [`BusMsg::LinkTimer`] did.
+pub(crate) enum LinkTimerOutcome {
+    /// The window was already empty (everything acked) — the timer
+    /// self-drains without rescheduling.
+    Idle,
+    /// The unacked window was retransmitted and the timer re-armed.
+    Retransmitted {
+        /// Frames put back on the wire.
+        frames: u32,
+        /// Which retransmission round this was (1-based).
+        attempt: u32,
+    },
+    /// The retransmission budget is exhausted; the window was abandoned.
+    GaveUp(RecoveryError),
+}
+
+/// What a fired [`BusMsg::GatherTimer`] did.
+pub(crate) enum GatherTimerOutcome {
+    /// The gather already completed (or was superseded) — the timer
+    /// self-drains without rescheduling.
+    Done,
+    /// The gather was cancelled and its multicast re-issued under a new
+    /// gather id.
+    Reissued {
+        /// Copies delivered by the re-issued multicast.
+        copies: u32,
+        /// Which re-issue this was (1-based).
+        attempt: u32,
+    },
+    /// The re-issue budget is exhausted; the gather was cancelled for
+    /// good.
+    GaveUp(RecoveryError),
+}
+
 /// The fabric plus the event queue, with optional deterministic delivery
-/// jitter. See the module docs.
+/// jitter and the optional link-level recovery layer. See the module
+/// docs.
 pub struct MessageBus {
     fabric: Fabric<ProtoMsg>,
     queue: EventQueue<BusMsg>,
@@ -160,6 +329,21 @@ pub struct MessageBus {
     /// Controlled-schedule mode (the checker picks the next event).
     /// Mutually exclusive with jitter.
     held: Option<HeldQueue>,
+    /// Recovery-layer configuration.
+    recovery: RecoveryParams,
+    /// Whether the link layer is armed: recovery enabled *and* the fabric
+    /// can actually misbehave. Unarmed, every recovery path below is
+    /// skipped entirely.
+    armed: bool,
+    /// Sender windows of armed links, keyed by (src, dst).
+    links: HashMap<(NodeId, NodeId), LinkSend>,
+    /// Receiver side: next expected sequence number per (src, dst).
+    recv_next: HashMap<(NodeId, NodeId), u64>,
+    /// Re-issue state of every open gather (armed mode only).
+    gather_retries: HashMap<GatherId, GatherRetry>,
+    /// Nodes that already contributed to each open gather, so duplicate
+    /// replies are absorbed before they hit the fabric's combiner.
+    gather_replied: HashMap<GatherId, HashSet<NodeId>>,
 }
 
 impl MessageBus {
@@ -170,6 +354,12 @@ impl MessageBus {
             jitter: None,
             jitter_order: HashMap::new(),
             held: None,
+            recovery: RecoveryParams::default(),
+            armed: false,
+            links: HashMap::new(),
+            recv_next: HashMap::new(),
+            gather_retries: HashMap::new(),
+            gather_replied: HashMap::new(),
         }
     }
 
@@ -213,19 +403,28 @@ impl MessageBus {
 
     /// Snapshots the parked events, sorted by (scheduled time, insertion
     /// sequence) — index 0 is the event the uncontrolled simulation would
-    /// fire next, and it is always ready. Indices returned here are the
-    /// choice indices accepted by [`MessageBus::pop_held`].
+    /// fire next. At least one event is always ready: every channel's
+    /// earliest event is, and the earliest-deadline timer becomes ready
+    /// once only timers remain. Indices returned here are the choice
+    /// indices accepted by [`MessageBus::pop_held`].
     pub(crate) fn pending(&self) -> Vec<PendingEvent> {
         let h = self
             .held
             .as_ref()
             .expect("pending() requires controlled mode");
         let order = Self::sorted_order(h);
+        let only_timers = h.events.iter().all(|(_, _, m)| m.is_timer());
         order
             .iter()
             .map(|&i| {
                 let (at, seq, msg) = &h.events[i];
                 let ready = match msg.channel() {
+                    None if msg.is_timer() => {
+                        // Timers fire in deadline order: ready only when
+                        // nothing but timers remains AND this is the
+                        // earliest one.
+                        only_timers && h.events.iter().all(|(a, s, _)| (*a, *s) >= (*at, *seq))
+                    }
                     None => true,
                     Some(ch) => h
                         .events
@@ -233,16 +432,23 @@ impl MessageBus {
                         .all(|(a, s, m)| m.channel() != Some(ch) || (*a, *s) >= (*at, *seq)),
                 };
                 let (node, src) = match msg {
-                    BusMsg::Access { node, .. } | BusMsg::Retry { node, .. } => (*node, None),
+                    BusMsg::Access { node, .. }
+                    | BusMsg::Retry { node, .. }
+                    | BusMsg::TxnTimer { node, .. } => (*node, None),
                     BusMsg::Recv { dst, src, .. } => (*dst, Some(*src)),
                     BusMsg::MpDeliver { to, from, .. } => (*to, Some(*from)),
+                    BusMsg::LinkTimer { src, dst } => (*src, Some(*dst)),
+                    BusMsg::GatherTimer { home, .. } => (*home, None),
                     BusMsg::Marker(_) => (NodeId::new(0), None),
                 };
                 let (addr, txn) = match msg {
                     BusMsg::Access { addr, txn, .. } => (Some(*addr), Some(*txn)),
                     BusMsg::Recv { msg, .. } => (Some(msg.addr()), msg.txn()),
-                    BusMsg::Retry { txn, .. } => (None, Some(*txn)),
-                    BusMsg::MpDeliver { .. } | BusMsg::Marker(_) => (None, None),
+                    BusMsg::Retry { txn, .. } | BusMsg::TxnTimer { txn, .. } => (None, Some(*txn)),
+                    BusMsg::MpDeliver { .. }
+                    | BusMsg::LinkTimer { .. }
+                    | BusMsg::GatherTimer { .. }
+                    | BusMsg::Marker(_) => (None, None),
                 };
                 PendingEvent {
                     at: *at,
@@ -286,6 +492,14 @@ impl MessageBus {
                 "schedule choice {choice} is not ready: an earlier event \
                  exists on its ordering channel"
             );
+        } else if h.events[idx].2.is_timer() {
+            assert!(
+                h.events
+                    .iter()
+                    .all(|(a, s, m)| m.is_timer() && (*a, *s) >= (at, seq)),
+                "schedule choice {choice} is not ready: timers fire in \
+                 deadline order, after every deliverable event"
+            );
         }
         let (at, _, msg) = h.events.remove(idx);
         let fire = at.max(h.now);
@@ -310,6 +524,59 @@ impl MessageBus {
     /// Network counters.
     pub fn net_stats(&self) -> &NetStats {
         self.fabric.stats()
+    }
+
+    /// Installs a fabric fault plan, re-deriving whether the recovery
+    /// layer is armed. Resets all link-layer state — plans are installed
+    /// before a run, not mid-flight.
+    pub(crate) fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fabric.set_fault_plan(plan);
+        self.rearm();
+    }
+
+    /// The installed fault plan.
+    pub(crate) fn fault_plan(&self) -> &FaultPlan {
+        self.fabric.fault_plan()
+    }
+
+    /// Drains the fault events the fabric recorded since the last call.
+    pub(crate) fn take_fault_events(&mut self) -> Vec<FaultEvent> {
+        self.fabric.take_fault_events()
+    }
+
+    /// Installs the recovery configuration, re-deriving the armed flag.
+    pub(crate) fn set_recovery(&mut self, rec: RecoveryParams) {
+        self.recovery = rec;
+        self.rearm();
+    }
+
+    /// The recovery configuration.
+    pub(crate) fn recovery(&self) -> RecoveryParams {
+        self.recovery
+    }
+
+    /// Whether the link-level recovery layer is armed; see the module
+    /// docs.
+    pub(crate) fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Gathers currently open in the fabric (leak check at quiescence).
+    pub(crate) fn open_gathers(&self) -> usize {
+        self.fabric.open_gathers()
+    }
+
+    fn rearm(&mut self) {
+        self.armed = self.recovery.enabled && !self.fabric.fault_plan().is_none();
+        self.links.clear();
+        self.recv_next.clear();
+        self.gather_retries.clear();
+        self.gather_replied.clear();
+    }
+
+    /// Exponential backoff: `base << attempt`, saturating.
+    fn backoff(base: Duration, attempt: u32) -> Duration {
+        Duration::from_ns(base.as_ns().saturating_mul(1u64 << attempt.min(20)))
     }
 
     pub(crate) fn pop(&mut self) -> Option<(SimTime, BusMsg)> {
@@ -340,7 +607,9 @@ impl MessageBus {
     }
 
     /// Sends `msg` from `src` to `dst` at time `now`, using the network
-    /// for remote pairs and an immediate local hand-off otherwise.
+    /// for remote pairs and an immediate local hand-off otherwise. With
+    /// the recovery layer armed, remote sends are sequenced and parked in
+    /// the link's go-back-N window until acknowledged.
     pub(crate) fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, msg: ProtoMsg) {
         if src == dst {
             self.enqueue(
@@ -350,12 +619,138 @@ impl MessageBus {
                     src,
                     msg,
                     gather: None,
+                    seq: None,
                 },
             );
+            return;
+        }
+        let class = wire_class(&msg);
+        let data = msg.carries_data();
+        if self.armed {
+            let seq = self.park_frame(now, src, dst, data, msg.clone(), None);
+            let dels = self.fabric.send_unicast(now, src, dst, data, msg, class);
+            for d in dels {
+                self.schedule_delivery(d, Some(seq));
+            }
         } else {
-            let data = msg.carries_data();
-            let d = self.fabric.send_unicast(now, src, dst, data, msg);
-            self.schedule_delivery(d);
+            let dels = self.fabric.send_unicast(now, src, dst, data, msg, class);
+            for d in dels {
+                self.schedule_delivery(d, None);
+            }
+        }
+    }
+
+    /// Stamps the next sequence number of the armed link `src -> dst`,
+    /// parks a retransmittable copy of the frame in its go-back-N window,
+    /// and arms the link's retransmission timer if it wasn't already.
+    fn park_frame(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        data: bool,
+        msg: ProtoMsg,
+        gather: Option<GatherId>,
+    ) -> u64 {
+        let link = self.links.entry((src, dst)).or_default();
+        let seq = link.next_seq;
+        link.next_seq += 1;
+        link.unacked.push_back(Frame {
+            seq,
+            data,
+            msg,
+            gather,
+        });
+        let arm_timer = !link.timer_armed;
+        link.timer_armed = true;
+        if arm_timer {
+            self.enqueue(
+                now + self.recovery.link_timeout,
+                BusMsg::LinkTimer { src, dst },
+            );
+        }
+        seq
+    }
+
+    /// Receiver-side link-layer admission of a sequenced frame. Returns
+    /// `None` to deliver the frame, or a discard reason (`"dup-frame"`,
+    /// `"gap-frame"`). Accepting or discarding also acknowledges the
+    /// sender instantly for everything the receiver is known to hold —
+    /// the ack models a zero-cost credit-return control network.
+    pub(crate) fn accept_frame(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        seq: u64,
+    ) -> Option<&'static str> {
+        let expected = self.recv_next.entry((src, dst)).or_insert(0);
+        let verdict = match seq.cmp(expected) {
+            core::cmp::Ordering::Less => Some("dup-frame"),
+            core::cmp::Ordering::Greater => Some("gap-frame"),
+            core::cmp::Ordering::Equal => {
+                *expected += 1;
+                None
+            }
+        };
+        let acked_below = *expected;
+        if let Some(link) = self.links.get_mut(&(src, dst)) {
+            let before = link.unacked.len();
+            while link.unacked.front().is_some_and(|f| f.seq < acked_below) {
+                link.unacked.pop_front();
+            }
+            if link.unacked.len() < before {
+                link.attempts = 0;
+            }
+        }
+        verdict
+    }
+
+    /// Handles a fired [`BusMsg::LinkTimer`]: retransmits the unacked
+    /// window (go-back-N) and re-arms with exponential backoff, or
+    /// self-drains when everything is acked, or gives up when the budget
+    /// is exhausted.
+    pub(crate) fn link_timer(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+    ) -> LinkTimerOutcome {
+        let Some(link) = self.links.get_mut(&(src, dst)) else {
+            return LinkTimerOutcome::Idle;
+        };
+        if link.unacked.is_empty() {
+            link.timer_armed = false;
+            return LinkTimerOutcome::Idle;
+        }
+        link.attempts += 1;
+        if link.attempts > self.recovery.max_retransmits {
+            let seq = link.unacked.front().expect("non-empty window").seq;
+            link.unacked.clear();
+            link.attempts = 0;
+            link.timer_armed = false;
+            return LinkTimerOutcome::GaveUp(RecoveryError::LinkRetransmitBudget { src, dst, seq });
+        }
+        let attempt = link.attempts;
+        let frames: Vec<Frame> = link.unacked.iter().cloned().collect();
+        for f in &frames {
+            let class = wire_class(&f.msg);
+            let dels = self
+                .fabric
+                .send_unicast(now, src, dst, f.data, f.msg.clone(), class);
+            for mut d in dels {
+                // A retransmitted multicast copy must still contribute to
+                // its gather when it finally lands.
+                d.gather = f.gather;
+                self.schedule_delivery(d, Some(f.seq));
+            }
+        }
+        self.enqueue(
+            now + Self::backoff(self.recovery.link_timeout, attempt),
+            BusMsg::LinkTimer { src, dst },
+        );
+        LinkTimerOutcome::Retransmitted {
+            frames: frames.len() as u32,
+            attempt,
         }
     }
 
@@ -364,9 +759,98 @@ impl MessageBus {
         self.fabric.open_gather(home, spec)
     }
 
+    /// Registers the re-issue state of a freshly opened gather and arms
+    /// its timeout. No-op when the recovery layer is unarmed.
+    pub(crate) fn register_gather_recovery(
+        &mut self,
+        now: SimTime,
+        home: NodeId,
+        id: GatherId,
+        spec: DestSpec,
+        data: bool,
+        msg: ProtoMsg,
+    ) {
+        if !self.armed {
+            return;
+        }
+        self.gather_retries.insert(
+            id,
+            GatherRetry {
+                spec,
+                data,
+                msg,
+                attempts: 0,
+            },
+        );
+        self.enqueue(
+            now + self.recovery.gather_timeout,
+            BusMsg::GatherTimer { home, id },
+        );
+    }
+
+    /// Handles a fired [`BusMsg::GatherTimer`]: cancels a still-open
+    /// gather and idempotently re-issues its multicast under a fresh
+    /// gather id (stale replies to the old id are then discarded by
+    /// [`MessageBus::send_gather_reply`]); self-drains when the gather
+    /// already completed; gives up when the re-issue budget is exhausted.
+    /// Re-issued copies are scheduled directly — the retransmission is
+    /// invisible to `on_send` observers, like link retransmits.
+    pub(crate) fn gather_timer(
+        &mut self,
+        now: SimTime,
+        home: NodeId,
+        id: GatherId,
+    ) -> GatherTimerOutcome {
+        if !self.fabric.is_gather_open(id) {
+            self.gather_retries.remove(&id);
+            self.gather_replied.remove(&id);
+            return GatherTimerOutcome::Done;
+        }
+        let Some(mut retry) = self.gather_retries.remove(&id) else {
+            return GatherTimerOutcome::Done;
+        };
+        self.gather_replied.remove(&id);
+        self.fabric.cancel_gather(id);
+        retry.attempts += 1;
+        if retry.attempts > self.recovery.max_gather_reissues {
+            return GatherTimerOutcome::GaveUp(RecoveryError::GatherReissueBudget { home });
+        }
+        let attempt = retry.attempts;
+        let new_id = self.fabric.open_gather(home, retry.spec);
+        let dels = self.send_multicast(
+            now,
+            home,
+            retry.spec,
+            retry.data,
+            retry.msg.clone(),
+            Some(new_id),
+        );
+        let copies = dels.len() as u32;
+        for (d, seq) in dels {
+            self.schedule_delivery(d, seq);
+        }
+        self.enqueue(
+            now + Self::backoff(self.recovery.gather_timeout, attempt),
+            BusMsg::GatherTimer { home, id: new_id },
+        );
+        self.gather_retries.insert(new_id, retry);
+        GatherTimerOutcome::Reissued { copies, attempt }
+    }
+
     /// Fans `msg` out to `spec`'s destinations, returning the per-node
-    /// deliveries (not yet scheduled — the caller schedules each with
-    /// [`MessageBus::schedule_delivery`] after notifying observers).
+    /// deliveries with their link sequence numbers (not yet scheduled —
+    /// the caller schedules each with [`MessageBus::schedule_delivery`]
+    /// after notifying observers).
+    ///
+    /// With the recovery layer armed, every remote copy is sequenced on
+    /// its (src, dst) link and parked in that link's go-back-N window,
+    /// exactly like a unicast: the fabric's per-link FIFO then survives
+    /// drops and delays of individual copies, so an invalidation can
+    /// never overtake (or fall behind) the sequenced unicast stream it
+    /// shares a link with. Frames are parked per *destination* (not per
+    /// surviving delivery), so a copy the fault plan swallows whole is
+    /// still retransmitted. Loopback copies (`dst == src`) never cross a
+    /// link and stay unsequenced.
     pub(crate) fn send_multicast(
         &mut self,
         at: SimTime,
@@ -375,23 +859,67 @@ impl MessageBus {
         data: bool,
         msg: ProtoMsg,
         gather: Option<GatherId>,
-    ) -> Vec<Delivery<ProtoMsg>> {
-        self.fabric.send_multicast(at, src, spec, data, msg, gather)
+    ) -> Vec<(Delivery<ProtoMsg>, Option<u64>)> {
+        let class = wire_class(&msg);
+        let dels = self
+            .fabric
+            .send_multicast(at, src, spec, data, msg.clone(), gather, class);
+        if !self.armed {
+            return dels.into_iter().map(|d| (d, None)).collect();
+        }
+        let sys = self.fabric.topology().system();
+        let mut seqs: HashMap<NodeId, u64> = HashMap::new();
+        for dst in spec.destinations(sys) {
+            if dst == src {
+                continue;
+            }
+            let seq = self.park_frame(at, src, dst, data, msg.clone(), gather);
+            seqs.insert(dst, seq);
+        }
+        dels.into_iter()
+            .map(|d| {
+                let seq = if d.node == src {
+                    None
+                } else {
+                    seqs.get(&d.node).copied()
+                };
+                (d, seq)
+            })
+            .collect()
     }
 
     /// Contributes `msg` to gather `id`; returns the combined delivery
-    /// when this was the last expected contribution.
+    /// when this was the last expected contribution. With the recovery
+    /// layer armed, duplicate contributions from the same node and
+    /// contributions to a gather that is no longer open are absorbed
+    /// here and reported as an `Err` discard reason.
     pub(crate) fn send_gather_reply(
         &mut self,
         at: SimTime,
         node: NodeId,
         id: GatherId,
         msg: ProtoMsg,
-    ) -> Option<Delivery<ProtoMsg>> {
-        self.fabric.send_gather_reply(at, node, id, msg)
+    ) -> Result<Option<Delivery<ProtoMsg>>, &'static str> {
+        if self.armed {
+            if !self.fabric.is_gather_open(id) {
+                return Err("stale-gather-reply");
+            }
+            if !self.gather_replied.entry(id).or_default().insert(node) {
+                return Err("dup-gather-reply");
+            }
+        }
+        let d = self.fabric.send_gather_reply(at, node, id, msg);
+        if d.is_some() {
+            // The gather closed: drop its recovery state so the pending
+            // timer self-drains as `Done`.
+            self.gather_retries.remove(&id);
+            self.gather_replied.remove(&id);
+        }
+        Ok(d)
     }
 
-    /// Sends a bulk (user-level) transfer; no jitter is applied.
+    /// Sends a bulk (user-level) transfer; no jitter is applied and the
+    /// fabric never faults it (the MP library runs its own protocol).
     pub(crate) fn send_bulk(
         &mut self,
         at: SimTime,
@@ -404,8 +932,9 @@ impl MessageBus {
     }
 
     /// Turns a fabric delivery into a scheduled [`BusMsg::Recv`], applying
-    /// the deterministic jitter perturbation when enabled.
-    pub(crate) fn schedule_delivery(&mut self, d: Delivery<ProtoMsg>) {
+    /// the deterministic jitter perturbation when enabled. `seq` is the
+    /// link-layer sequence number of sequenced unicast frames.
+    pub(crate) fn schedule_delivery(&mut self, d: Delivery<ProtoMsg>, seq: Option<u64>) {
         let mut at = d.at;
         if let Some((rng, pct)) = &mut self.jitter {
             let now = self.queue.now();
@@ -433,6 +962,7 @@ impl MessageBus {
                 src: d.src,
                 msg: d.payload,
                 gather: d.gather,
+                seq,
             },
         );
     }

@@ -12,9 +12,9 @@ use crate::messages::{ProtoMsg, ReqKind, TxnId};
 use crate::modules::bus::BusMsg;
 use crate::modules::Ctx;
 use crate::observer::ModuleKind;
-use crate::params::ProtoParams;
+use crate::params::{ProtoParams, RecoveryError};
 use crate::service::ServiceQueue;
-use cenju4_des::SimTime;
+use cenju4_des::{Duration, SimTime};
 use cenju4_directory::NodeId;
 use std::collections::{HashMap, VecDeque};
 
@@ -25,6 +25,8 @@ pub(crate) struct MasterTxn {
     pub addr: Addr,
     pub issued: SimTime,
     pub retries: u32,
+    /// Escalation-timer backoffs taken so far (recovery layer armed).
+    pub backoffs: u32,
     /// The token a store writes (`txn + 1`).
     pub store_value: u64,
 }
@@ -166,9 +168,11 @@ impl MasterModule {
                         addr,
                         issued: at,
                         retries: 0,
+                        backoffs: 0,
                         store_value: txn + 1,
                     },
                 );
+                self.arm_txn_timer(ctx, at, txn, 0);
                 let kind = request_kind(op, state);
                 ctx.obs.on_request_issued(at, self.node, kind, false);
                 ctx.send(
@@ -251,9 +255,11 @@ impl MasterModule {
                         addr,
                         issued: at,
                         retries: 0,
+                        backoffs: 0,
                         store_value: txn + 1,
                     },
                 );
+                self.arm_txn_timer(ctx, at, txn, 0);
                 let kind = match op {
                     MemOp::Load => ReqKind::ReadShared,
                     MemOp::Store => ReqKind::Update,
@@ -309,6 +315,71 @@ impl MasterModule {
     }
 
     // ------------------------------------------------------------------
+    // Recovery escalation
+    // ------------------------------------------------------------------
+
+    /// Schedules the per-transaction escalation timer when the recovery
+    /// layer is armed. The timer *watches* — the link layer does the
+    /// retransmitting — so it self-drains (a no-op, no re-arm) once the
+    /// transaction graduates.
+    fn arm_txn_timer(&mut self, ctx: &mut Ctx, at: SimTime, txn: TxnId, backoffs: u32) {
+        if !ctx.bus.armed() {
+            return;
+        }
+        let base = ctx.bus.recovery().txn_timeout;
+        let timeout = Duration::from_ns(base.as_ns().saturating_mul(1u64 << backoffs.min(20)));
+        ctx.bus.schedule(
+            at + timeout,
+            BusMsg::TxnTimer {
+                node: self.node,
+                txn,
+            },
+        );
+    }
+
+    /// Handles a fired escalation timer: a still-outstanding transaction
+    /// gets another (doubled) timeout until the backoff budget runs out,
+    /// at which point it is abandoned with a typed error.
+    pub(crate) fn handle_txn_timer(
+        &mut self,
+        ctx: &mut Ctx,
+        at: SimTime,
+        txn: TxnId,
+    ) -> Option<RecoveryError> {
+        let budget = ctx.bus.recovery().max_txn_backoffs;
+        let Some(t) = self.outstanding.get_mut(&txn) else {
+            return None; // graduated — the timer self-drains
+        };
+        t.backoffs += 1;
+        if t.backoffs > budget {
+            let addr = t.addr;
+            self.outstanding.remove(&txn);
+            return Some(RecoveryError::TransactionTimeout {
+                node: self.node,
+                txn,
+                addr,
+            });
+        }
+        let backoffs = t.backoffs;
+        self.arm_txn_timer(ctx, at, txn, backoffs);
+        None
+    }
+
+    /// Armed-mode tolerance: a reply for a transaction no longer
+    /// outstanding (e.g. abandoned by the escalation timer, with the
+    /// actual reply arriving late after all) is discarded instead of
+    /// being treated as a protocol bug.
+    fn discard_unknown_txn(&self, ctx: &mut Ctx, at: SimTime) -> bool {
+        if ctx.bus.armed() {
+            ctx.obs
+                .on_link_discard(at, self.node, self.node, "unknown-txn");
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Replies
     // ------------------------------------------------------------------
 
@@ -321,6 +392,9 @@ impl MasterModule {
                 grant,
                 value,
             } => {
+                if !self.outstanding.contains_key(&txn) && self.discard_unknown_txn(ctx, at) {
+                    return;
+                }
                 let done = ctx.begin(
                     &mut self.input_q,
                     self.node,
@@ -356,6 +430,9 @@ impl MasterModule {
                 self.drain_backlog(ctx, done);
             }
             ProtoMsg::AckReply { addr, txn } => {
+                if !self.outstanding.contains_key(&txn) && self.discard_unknown_txn(ctx, at) {
+                    return;
+                }
                 let done = ctx.begin(
                     &mut self.input_q,
                     self.node,
@@ -411,6 +488,9 @@ impl MasterModule {
                 self.drain_backlog(ctx, done);
             }
             ProtoMsg::Nack { txn, .. } => {
+                if !self.outstanding.contains_key(&txn) && self.discard_unknown_txn(ctx, at) {
+                    return;
+                }
                 let t = self
                     .outstanding
                     .get_mut(&txn)

@@ -65,7 +65,8 @@ impl Ctx<'_> {
     }
 
     /// Multicasts `msg` (with an in-network reply gather) and notifies
-    /// observers once per delivered copy.
+    /// observers once per delivered copy. With the recovery layer armed,
+    /// the gather is registered for timeout-driven re-issue.
     pub(crate) fn multicast(
         &mut self,
         at: SimTime,
@@ -75,17 +76,23 @@ impl Ctx<'_> {
         msg: ProtoMsg,
     ) {
         let gather = self.bus.open_gather(src, spec);
+        if self.bus.armed() {
+            self.bus
+                .register_gather_recovery(at, src, gather, spec, data, msg.clone());
+        }
         let dels = self
             .bus
             .send_multicast(at, src, spec, data, msg, Some(gather));
-        for d in dels {
+        for (d, seq) in dels {
             self.obs.on_send(at, src, d.node, &d.payload);
-            self.bus.schedule_delivery(d);
+            self.bus.schedule_delivery(d, seq);
         }
     }
 
     /// Contributes an ack to gather `id`, forwarding the combined message
-    /// when this contribution closes it.
+    /// when this contribution closes it. With the recovery layer armed,
+    /// duplicate and stale contributions are discarded here (and
+    /// reported) instead of corrupting the fabric's combining state.
     pub(crate) fn gather_reply(
         &mut self,
         at: SimTime,
@@ -93,9 +100,13 @@ impl Ctx<'_> {
         id: cenju4_network::fabric::GatherId,
         msg: ProtoMsg,
     ) {
-        if let Some(d) = self.bus.send_gather_reply(at, node, id, msg) {
-            self.obs.on_send(at, node, d.node, &d.payload);
-            self.bus.schedule_delivery(d);
+        match self.bus.send_gather_reply(at, node, id, msg) {
+            Ok(Some(d)) => {
+                self.obs.on_send(at, node, d.node, &d.payload);
+                self.bus.schedule_delivery(d, None);
+            }
+            Ok(None) => {}
+            Err(reason) => self.obs.on_link_discard(at, node, node, reason),
         }
     }
 

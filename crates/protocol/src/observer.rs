@@ -49,10 +49,12 @@ use crate::addr::Addr;
 use crate::cache::CacheState;
 use crate::engine::MemOp;
 use crate::messages::{ProtoMsg, ReqKind, TxnId};
+use crate::params::RecoveryError;
 use crate::stats::EngineStats;
 use crate::trace::{Trace, TraceRecord};
-use cenju4_des::SimTime;
+use cenju4_des::{Duration, SimTime};
 use cenju4_directory::{MemState, NodeId};
+use cenju4_network::FaultEvent;
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -154,6 +156,23 @@ pub trait Observer: AsAny {
     fn on_marker(&mut self, at: SimTime, token: u64) {}
     /// A user-level message finished arriving.
     fn on_mp_delivered(&mut self, at: SimTime, to: NodeId, from: NodeId, tag: u64, bytes: u64) {}
+    /// The fabric injected a fault (drop, duplicate, or delay).
+    fn on_fault_injected(&mut self, event: &FaultEvent) {}
+    /// A link's unacked window was retransmitted (go-back-N), `frames`
+    /// frames on retransmission round `attempt`.
+    fn on_retransmit(&mut self, at: SimTime, src: NodeId, dst: NodeId, frames: u32, attempt: u32) {}
+    /// The receiver-side link layer at `node` discarded a frame or a
+    /// gather reply (`"dup-frame"`, `"gap-frame"`, `"dup-gather-reply"`,
+    /// `"stale-gather-reply"`).
+    fn on_link_discard(&mut self, at: SimTime, node: NodeId, src: NodeId, reason: &'static str) {}
+    /// A timed-out gather was cancelled and its multicast idempotently
+    /// re-issued (`copies` fresh deliveries, re-issue round `attempt`).
+    fn on_gather_reissue(&mut self, at: SimTime, home: NodeId, copies: u32, attempt: u32) {}
+    /// The recovery layer exhausted a retry budget and gave up.
+    fn on_recovery_error(&mut self, at: SimTime, err: &RecoveryError) {}
+    /// The stall watchdog fired: work is outstanding but nothing has
+    /// completed for `idle_for`. Reported once per stall episode.
+    fn on_stall(&mut self, at: SimTime, outstanding: usize, idle_for: Duration) {}
 }
 
 /// The engine's observer slots: the always-on statistics and trace
@@ -197,6 +216,12 @@ fan_out! {
     on_complete(at: SimTime, node: NodeId, txn: TxnId, op: MemOp, addr: Addr, hit: bool, l3: bool);
     on_marker(at: SimTime, token: u64);
     on_mp_delivered(at: SimTime, to: NodeId, from: NodeId, tag: u64, bytes: u64);
+    on_fault_injected(event: &FaultEvent);
+    on_retransmit(at: SimTime, src: NodeId, dst: NodeId, frames: u32, attempt: u32);
+    on_link_discard(at: SimTime, node: NodeId, src: NodeId, reason: &'static str);
+    on_gather_reissue(at: SimTime, home: NodeId, copies: u32, attempt: u32);
+    on_recovery_error(at: SimTime, err: &RecoveryError);
+    on_stall(at: SimTime, outstanding: usize, idle_for: Duration);
 }
 
 /// Maintains [`EngineStats`] from observer callbacks — the counters the
@@ -270,6 +295,30 @@ impl Observer for StatsObserver {
         if hit {
             self.stats.hits.incr();
         }
+    }
+
+    fn on_fault_injected(&mut self, _event: &FaultEvent) {
+        self.stats.faults_injected.incr();
+    }
+
+    fn on_retransmit(&mut self, _at: SimTime, _src: NodeId, _dst: NodeId, frames: u32, _a: u32) {
+        self.stats.retransmits.add(frames as u64);
+    }
+
+    fn on_link_discard(&mut self, _at: SimTime, _node: NodeId, _src: NodeId, _r: &'static str) {
+        self.stats.link_discards.incr();
+    }
+
+    fn on_gather_reissue(&mut self, _at: SimTime, _home: NodeId, _copies: u32, _attempt: u32) {
+        self.stats.gather_reissues.incr();
+    }
+
+    fn on_recovery_error(&mut self, _at: SimTime, _err: &RecoveryError) {
+        self.stats.recovery_errors.incr();
+    }
+
+    fn on_stall(&mut self, _at: SimTime, _outstanding: usize, _idle_for: Duration) {
+        self.stats.stalls.incr();
     }
 }
 

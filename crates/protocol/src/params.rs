@@ -1,6 +1,12 @@
-//! Protocol timing parameters and protocol-variant selection.
+//! Protocol timing parameters, protocol-variant selection, and the
+//! recovery-layer configuration.
 
 use cenju4_des::Duration;
+use cenju4_directory::NodeId;
+use cenju4_network::{FaultKind, FaultPlan, OneShotFault, WireClass};
+
+use crate::addr::Addr;
+use crate::messages::TxnId;
 
 /// Which coherence protocol the homes run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -16,9 +22,14 @@ pub enum ProtocolKind {
     Nack,
 }
 
-/// Test-only protocol mutations used by the schedule-exploring checker
-/// (`cenju4-check`) to prove its oracles can distinguish the correct
-/// protocol from broken ones. Production code paths never set these.
+/// Test-only protocol and fabric mutations used by the schedule-exploring
+/// checker (`cenju4-check`) to prove its oracles can distinguish the
+/// correct protocol from broken ones. Production code paths never set
+/// these.
+///
+/// The first two mutants break the *protocol* (the home's queuing
+/// discipline); the fabric mutants break the *network* via a targeted
+/// [`FaultPlan`] and must be caught unless the recovery layer is armed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum FaultInjection {
     /// The unmodified protocol.
@@ -34,15 +45,76 @@ pub enum FaultInjection {
     /// path). The dropped transaction never completes — again caught by
     /// the quiescence oracle.
     DropSpilledRequests,
+    /// Fabric mutant: the first reply-class unicast in the run is dropped
+    /// on its last link. Without recovery the waiting transaction never
+    /// completes (quiescence oracle); with recovery the link layer
+    /// retransmits it.
+    DropUnicast,
+    /// Fabric mutant: the first reply-class unicast is delivered twice —
+    /// a spurious retransmission. Without recovery the second copy hits a
+    /// module that no longer expects it (panic oracle); with recovery the
+    /// receiver's sequence-number dedup discards it.
+    DupReply,
+    /// Fabric mutant: the first invalidation-class message is *duplicated
+    /// with a delay* (a late spurious copy). A pure finite delay is
+    /// provably harmless — the home serializes per-block and the checker
+    /// already fires events in every legal order — so the killable
+    /// misbehaviour is the stale duplicate arriving after the
+    /// invalidation completed.
+    DelayInval,
 }
 
 impl FaultInjection {
+    /// Every mutant spelling, in display order — the single source of
+    /// truth for CLI parsing, `--help`, and the `mutants` subcommand.
+    pub const ALL: [FaultInjection; 6] = [
+        FaultInjection::None,
+        FaultInjection::DisableReservation,
+        FaultInjection::DropSpilledRequests,
+        FaultInjection::DropUnicast,
+        FaultInjection::DupReply,
+        FaultInjection::DelayInval,
+    ];
+
+    /// The command-line spelling of this mutant.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultInjection::None => "none",
+            FaultInjection::DisableReservation => "no-reservation",
+            FaultInjection::DropSpilledRequests => "drop-spills",
+            FaultInjection::DropUnicast => "drop-unicast",
+            FaultInjection::DupReply => "dup-reply",
+            FaultInjection::DelayInval => "delay-inval",
+        }
+    }
+
     /// Parse the command-line spelling used by the `cenju4-check` binary.
     pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "none" => Some(FaultInjection::None),
-            "no-reservation" => Some(FaultInjection::DisableReservation),
-            "drop-spills" => Some(FaultInjection::DropSpilledRequests),
+        FaultInjection::ALL.into_iter().find(|f| f.name() == s)
+    }
+
+    /// The fabric fault plan this mutant arms, if it is a fabric mutant
+    /// (`None` for the protocol mutants, which mutate module behaviour
+    /// instead).
+    pub fn fabric_plan(self) -> Option<FaultPlan> {
+        let shot = |class, kind| OneShotFault {
+            link: None,
+            class: Some(class),
+            nth: 1,
+            kind,
+        };
+        match self {
+            FaultInjection::DropUnicast => {
+                Some(FaultPlan::none().with_one_shot(shot(WireClass::Reply, FaultKind::Drop)))
+            }
+            FaultInjection::DupReply => Some(
+                FaultPlan::none()
+                    .with_one_shot(shot(WireClass::Reply, FaultKind::Duplicate { after_ns: 0 })),
+            ),
+            FaultInjection::DelayInval => Some(FaultPlan::none().with_one_shot(shot(
+                WireClass::Invalidation,
+                FaultKind::Duplicate { after_ns: 5_000 },
+            ))),
             _ => None,
         }
     }
@@ -50,11 +122,122 @@ impl FaultInjection {
 
 impl core::fmt::Display for FaultInjection {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(match self {
-            FaultInjection::None => "none",
-            FaultInjection::DisableReservation => "no-reservation",
-            FaultInjection::DropSpilledRequests => "drop-spills",
-        })
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of the end-to-end recovery layer: the link-level
+/// ACK/retransmit machinery, the gather re-issue timeout, the
+/// per-transaction escalation timers, and the engine stall watchdog.
+///
+/// The layer only *acts* when the fabric can actually misbehave: the
+/// engine arms it when recovery is enabled **and** the installed
+/// [`FaultPlan`] is not [`FaultPlan::none`]. On a lossless fabric the
+/// link layer is provably quiescent — no message is ever lost, so no
+/// timer can ever fire usefully — and all of its timers and envelopes are
+/// elided, which is what keeps golden traces bit-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryParams {
+    /// Master switch. Disabled means a faulty fabric is fatal (checker
+    /// mutant-kill runs).
+    pub enabled: bool,
+    /// Initial retransmission timeout of an unacked link frame; doubles
+    /// per attempt.
+    pub link_timeout: Duration,
+    /// Retransmission budget per link before the sender gives up with
+    /// [`RecoveryError::LinkRetransmitBudget`].
+    pub max_retransmits: u32,
+    /// Initial timeout before an open gather is cancelled and its
+    /// multicast idempotently re-issued; doubles per re-issue.
+    pub gather_timeout: Duration,
+    /// Re-issue budget per gather before the home gives up with
+    /// [`RecoveryError::GatherReissueBudget`].
+    pub max_gather_reissues: u32,
+    /// Initial per-transaction escalation timeout in the master; doubles
+    /// per backoff.
+    pub txn_timeout: Duration,
+    /// Backoff budget per transaction before the master abandons it with
+    /// [`RecoveryError::TransactionTimeout`].
+    pub max_txn_backoffs: u32,
+    /// Stall watchdog: report (once) via
+    /// [`Observer::on_stall`](crate::observer::Observer::on_stall) when no
+    /// access has completed for this long while work is outstanding.
+    /// `Duration::ZERO` disables the watchdog.
+    pub watchdog: Duration,
+}
+
+impl Default for RecoveryParams {
+    fn default() -> Self {
+        RecoveryParams {
+            enabled: true,
+            link_timeout: Duration::from_us(50),
+            max_retransmits: 8,
+            gather_timeout: Duration::from_us(100),
+            max_gather_reissues: 8,
+            txn_timeout: Duration::from_us(1_000),
+            max_txn_backoffs: 6,
+            watchdog: Duration::from_us(100_000),
+        }
+    }
+}
+
+impl RecoveryParams {
+    /// Recovery switched off: the protocol trusts the fabric absolutely,
+    /// as the paper's lossless-network argument assumes.
+    pub fn disabled() -> Self {
+        RecoveryParams {
+            enabled: false,
+            ..RecoveryParams::default()
+        }
+    }
+}
+
+/// A typed, observable recovery failure: the recovery layer exhausted a
+/// retry budget and gave up instead of hanging. Surfaced as
+/// [`Notification::RecoveryFailed`](crate::engine::Notification) and via
+/// [`Observer::on_recovery_error`](crate::observer::Observer::on_recovery_error).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// A link frame stayed unacknowledged through every retransmission.
+    LinkRetransmitBudget {
+        /// Sending node of the dead link.
+        src: NodeId,
+        /// Receiving node of the dead link.
+        dst: NodeId,
+        /// Sequence number of the oldest lost frame.
+        seq: u64,
+    },
+    /// A gather stayed incomplete through every multicast re-issue.
+    GatherReissueBudget {
+        /// The home whose invalidation/update round failed.
+        home: NodeId,
+    },
+    /// A transaction outlived the master's whole backoff schedule.
+    TransactionTimeout {
+        /// The issuing node.
+        node: NodeId,
+        /// The abandoned transaction.
+        txn: TxnId,
+        /// The block it targeted.
+        addr: Addr,
+    },
+}
+
+impl core::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecoveryError::LinkRetransmitBudget { src, dst, seq } => write!(
+                f,
+                "link {src}->{dst}: frame {seq} unacknowledged after every retransmission"
+            ),
+            RecoveryError::GatherReissueBudget { home } => {
+                write!(f, "home {home}: gather incomplete after every re-issue")
+            }
+            RecoveryError::TransactionTimeout { node, txn, addr } => write!(
+                f,
+                "node {node}: transaction {txn:?} on {addr:?} timed out after every backoff"
+            ),
+        }
     }
 }
 

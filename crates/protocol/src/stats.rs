@@ -36,6 +36,19 @@ pub struct EngineStats {
     pub updates: Counter,
     /// L2 misses satisfied from the local third-level cache.
     pub l3_fills: Counter,
+    /// Faults the fabric injected (drops + duplicates + delays).
+    pub faults_injected: Counter,
+    /// Link frames retransmitted by the recovery layer.
+    pub retransmits: Counter,
+    /// Frames and gather replies discarded by receiver-side dedup
+    /// (duplicate or out-of-sequence frames, stale gather replies).
+    pub link_discards: Counter,
+    /// Gathers cancelled and idempotently re-issued after a timeout.
+    pub gather_reissues: Counter,
+    /// Recovery-budget exhaustions escalated as typed errors.
+    pub recovery_errors: Counter,
+    /// Stall-watchdog reports.
+    pub stalls: Counter,
 }
 
 #[cfg(test)]

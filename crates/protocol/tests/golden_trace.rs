@@ -90,6 +90,34 @@ fn golden_ownership_upgrade() {
     check_golden("ownership_upgrade", &eng.trace().dump_block(a));
 }
 
+/// The recovery layer's hard guarantee: with a lossless fabric
+/// (`FaultPlan::none()`) an *enabled* recovery layer stays disarmed —
+/// no sequence numbers, no timers, no dedup — and reproduces the same
+/// goldens byte-for-byte. No re-bless allowed here.
+#[test]
+fn golden_traces_unchanged_with_recovery_enabled() {
+    use cenju4_network::FaultPlan;
+    use cenju4_protocol::RecoveryParams;
+
+    // The forward path golden, recovery enabled.
+    let mut eng = engine(16);
+    eng.set_recovery(RecoveryParams::default());
+    eng.set_fault_plan(FaultPlan::none());
+    let a = Addr::new(node(0), 1);
+    access(&mut eng, 1, MemOp::Store, a);
+    access(&mut eng, 2, MemOp::Load, a);
+    check_golden("read_shared_forward", &eng.trace().dump_block(a));
+
+    // The multicast/gather golden, recovery enabled.
+    let mut eng = engine(16);
+    eng.set_recovery(RecoveryParams::default());
+    let a = Addr::new(node(0), 2);
+    access(&mut eng, 1, MemOp::Load, a);
+    access(&mut eng, 2, MemOp::Load, a);
+    access(&mut eng, 3, MemOp::Store, a);
+    check_golden("read_exclusive_invalidation", &eng.trace().dump_block(a));
+}
+
 /// §4.2.3 update extension: subscribed readers receive pushed updates
 /// instead of invalidations.
 #[test]

@@ -2,8 +2,8 @@
 
 use cenju4_des::Duration;
 use cenju4_directory::{SystemSize, SystemSizeError};
-use cenju4_network::{MulticastMode, NetParams};
-use cenju4_protocol::{Engine, ProtoParams, ProtocolKind};
+use cenju4_network::{FaultPlan, MulticastMode, NetParams};
+use cenju4_protocol::{Engine, ProtoParams, ProtocolKind, RecoveryParams};
 use core::fmt;
 
 /// Why [`SystemConfigBuilder::build`] rejected a configuration.
@@ -56,7 +56,7 @@ impl From<SystemSizeError> for ConfigError {
 /// assert_eq!(cfg.sys.nodes(), 128);
 /// # Ok::<(), cenju4_directory::SystemSizeError>(())
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SystemConfig {
     /// Machine size.
     pub sys: SystemSize,
@@ -72,6 +72,13 @@ pub struct SystemConfig {
     pub mpi_latency: Duration,
     /// MPI bandwidth in bytes per microsecond (169 MB/s = 169 B/µs).
     pub mpi_bytes_per_us: u64,
+    /// Deterministic fabric fault plan ([`FaultPlan::none`] by default —
+    /// a lossless network, as the paper assumes).
+    pub fault: FaultPlan,
+    /// Recovery-layer configuration. Only acts when `fault` is
+    /// non-trivial; with a lossless fabric the layer is elided entirely
+    /// and traces are bit-identical to a recovery-less build.
+    pub recovery: RecoveryParams,
 }
 
 impl SystemConfig {
@@ -96,6 +103,8 @@ impl SystemConfig {
             kind: ProtocolKind::Queuing,
             mpi_latency: Duration::from_us(9) + Duration::from_ns(100),
             mpi_bytes_per_us: 169,
+            fault: FaultPlan::none(),
+            recovery: RecoveryParams::default(),
         }
     }
 
@@ -113,23 +122,29 @@ impl SystemConfig {
     }
 
     /// The same machine with the multicast/gather hardware disabled.
-    pub fn without_multicast(mut self) -> Self {
-        self.net = NetParams {
+    pub fn without_multicast(&self) -> Self {
+        let mut cfg = self.clone();
+        cfg.net = NetParams {
             multicast: cenju4_network::MulticastMode::SinglecastEmulation,
-            ..self.net
+            ..cfg.net
         };
-        self
+        cfg
     }
 
     /// The same machine running the nack baseline protocol.
-    pub fn with_nack_protocol(mut self) -> Self {
-        self.kind = ProtocolKind::Nack;
-        self
+    pub fn with_nack_protocol(&self) -> Self {
+        let mut cfg = self.clone();
+        cfg.kind = ProtocolKind::Nack;
+        cfg
     }
 
-    /// Builds a fresh engine for this configuration.
+    /// Builds a fresh engine for this configuration, installing the
+    /// fault plan and recovery parameters.
     pub fn build(&self) -> Engine {
-        Engine::new(self.sys, self.proto, self.net, self.kind)
+        let mut eng = Engine::new(self.sys, self.proto, self.net, self.kind);
+        eng.set_recovery(self.recovery);
+        eng.set_fault_plan(self.fault.clone());
+        eng
     }
 
     /// The modeled time to ship `bytes` over MPI: latency + size/bandwidth.
@@ -149,7 +164,7 @@ impl SystemConfig {
 /// Validating builder for [`SystemConfig`], started with
 /// [`SystemConfig::builder`]. Setters never fail; [`SystemConfigBuilder::build`]
 /// validates everything at once and returns a typed [`ConfigError`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SystemConfigBuilder {
     nodes: u16,
     net: NetParams,
@@ -157,6 +172,8 @@ pub struct SystemConfigBuilder {
     kind: ProtocolKind,
     mpi_latency: Duration,
     mpi_bytes_per_us: u64,
+    fault: FaultPlan,
+    recovery: RecoveryParams,
 }
 
 impl SystemConfigBuilder {
@@ -312,6 +329,48 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Installs a deterministic fabric fault plan — the unreliable-fabric
+    /// mode. The default is [`FaultPlan::none`] (lossless, as the paper
+    /// assumes).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_network::FaultPlan;
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::builder(16)
+    ///     .fault_plan(FaultPlan::random(42, 10))
+    ///     .build()?;
+    /// assert!(!cfg.fault.is_none());
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// Configures the recovery layer (link-level ACK/retransmit, gather
+    /// re-issue, transaction escalation, stall watchdog). Only acts when
+    /// a non-trivial fault plan is installed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_protocol::RecoveryParams;
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::builder(16)
+    ///     .recovery(RecoveryParams::disabled())
+    ///     .build()?;
+    /// assert!(!cfg.recovery.enabled);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn recovery(mut self, rec: RecoveryParams) -> Self {
+        self.recovery = rec;
+        self
+    }
+
     /// Validates the configuration and produces the [`SystemConfig`].
     ///
     /// # Errors
@@ -348,6 +407,8 @@ impl SystemConfigBuilder {
             kind: self.kind,
             mpi_latency: self.mpi_latency,
             mpi_bytes_per_us: self.mpi_bytes_per_us,
+            fault: self.fault,
+            recovery: self.recovery,
         })
     }
 }

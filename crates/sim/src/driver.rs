@@ -163,7 +163,7 @@ impl<P: Program> Driver<P> {
         Driver {
             eng: cfg.build(),
             program,
-            cfg: *cfg,
+            cfg: cfg.clone(),
             state: vec![NodeRun::Ready; n],
             reports: vec![NodeReport::default(); n],
             barrier_arrived: 0,
@@ -236,6 +236,12 @@ impl<P: Program> Driver<P> {
                     // Kernel programs do not use the message-passing API;
                     // deliveries would come from driver extensions.
                     Notification::MessageDelivered { .. } => {}
+                    // The recovery layer exhausted its retry budget: some
+                    // access will never complete and the timing report
+                    // would be meaningless. Fail loudly.
+                    Notification::RecoveryFailed { at, error } => {
+                        panic!("recovery failed at {at:?}: {error}")
+                    }
                 }
             }
         }

@@ -21,11 +21,15 @@
 
 pub use cenju4_des::{Duration, SimTime, SplitMix64};
 pub use cenju4_directory::{MemState, NodeId, SystemSize, SystemSizeError};
-pub use cenju4_network::{MulticastMode, NetParams, NetStats};
+pub use cenju4_network::{
+    FaultEvent, FaultKind, FaultPlan, LinkDown, MulticastMode, NetParams, NetStats, OneShotFault,
+    WireClass,
+};
 pub use cenju4_protocol::observer::{Observer, StarvationProbe};
 pub use cenju4_protocol::{
     Addr, CacheState, Engine, EngineStats, FaultInjection, IssueError, MemOp, Notification,
-    PendingEvent, ProtoMsg, ProtoParams, ProtocolKind, ReqKind, TxnId,
+    PendingEvent, ProtoMsg, ProtoParams, ProtocolKind, RecoveryError, RecoveryParams, ReqKind,
+    TxnId,
 };
 
 pub use crate::config::{ConfigError, SystemConfig, SystemConfigBuilder};

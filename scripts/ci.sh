@@ -3,9 +3,10 @@
 # schedule-exploring protocol checker's smoke tier.
 # Everything runs offline — the workspace has no external dependencies.
 #
-# Usage: scripts/ci.sh [check-smoke]
+# Usage: scripts/ci.sh [check-smoke|fault-smoke]
 #   (no arg)     run the full gate
 #   check-smoke  run only the time-capped protocol-checker tier
+#   fault-smoke  run only the time-capped unreliable-fabric recovery tier
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,13 +19,41 @@ check_smoke() {
     # A capped random walk over a larger scenario.
     "$check" random --nodes 3 --blocks 2 --ops 2 --seed 1 --walks 200 \
         --max-seconds 30
-    # Both fault-injection mutants must be killed (counterexample found).
+    # Every fault-injection mutant must be killed (counterexample found).
     "$check" mutants --nodes 2 --blocks 1 --ops 2 --max-seconds 120
+}
+
+fault_smoke() {
+    echo "==> unreliable-fabric recovery tier (time-capped)"
+    cargo build --release --offline -p cenju4-check
+    local check=target/release/cenju4-check
+    local fault
+    # Each fabric mutant must falsify an oracle with recovery off (the
+    # faults are real) and be fully masked with recovery on. Three nodes,
+    # so invalidations actually cross the fabric.
+    for fault in drop-unicast dup-reply delay-inval; do
+        if "$check" random --nodes 3 --ops 2 --fault "$fault" \
+            --recovery off --seed 7 --walks 150 --max-seconds 60; then
+            echo "FAIL: $fault survived with recovery off"
+            exit 1
+        fi
+        "$check" random --nodes 3 --ops 2 --fault "$fault" \
+            --recovery on --seed 7 --walks 150 --max-seconds 60
+    done
+    # Seeded probabilistic loss (10% per message), fully recovered.
+    "$check" random --nodes 2 --ops 2 --recovery on --fault-seed 99 \
+        --drop-rate 100 --seed 7 --walks 100 --max-seconds 60
 }
 
 if [[ "${1:-}" == "check-smoke" ]]; then
     check_smoke
     echo "CI OK (check-smoke)"
+    exit 0
+fi
+
+if [[ "${1:-}" == "fault-smoke" ]]; then
+    fault_smoke
+    echo "CI OK (fault-smoke)"
     exit 0
 fi
 
@@ -42,5 +71,7 @@ echo "==> workspace tests"
 cargo test -q --workspace --offline
 
 check_smoke
+
+fault_smoke
 
 echo "CI OK"

@@ -149,7 +149,15 @@ fn multicast_delivery_set_is_exact() {
         };
         let expected: Vec<u16> = spec.destinations(sys).iter().map(|n| n.index()).collect();
         let mut f: Fabric<u32> = Fabric::new(sys, NetParams::default());
-        let dels = f.send_multicast(SimTime::ZERO, NodeId::new(0), spec, false, 0, None);
+        let dels = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            spec,
+            false,
+            0,
+            None,
+            WireClass::Other,
+        );
         let mut got: Vec<u16> = dels.iter().map(|d| d.node.index()).collect();
         got.sort_unstable();
         assert_eq!(got, expected, "machine={machine} members={members:?}");
@@ -176,15 +184,18 @@ fn fabric_in_order_delivery() {
         let mut last = SimTime::ZERO;
         for i in 0..n_msgs {
             let data = rng.chance(0.5);
-            let d = f.send_unicast(
+            let ds = f.send_unicast(
                 SimTime::from_ns(i),
                 NodeId::new(src),
                 NodeId::new(dst),
                 data,
                 i as u32,
+                WireClass::Other,
             );
-            assert!(d.at > last, "message {i} overtook its predecessor");
-            last = d.at;
+            // No fault plan: exactly one delivery per send.
+            assert_eq!(ds.len(), 1, "message {i} delivered {} times", ds.len());
+            assert!(ds[0].at > last, "message {i} overtook its predecessor");
+            last = ds[0].at;
         }
     }
 }
