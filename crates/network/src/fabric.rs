@@ -5,11 +5,11 @@
 use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultState, WireClass};
 use crate::params::{MulticastMode, NetParams};
 use crate::stats::NetStats;
+use crate::tables::port_index;
 use crate::topology::Topology;
-use cenju4_des::{Duration, SimTime};
+use cenju4_des::{Duration, FxHashMap, SimTime};
 use cenju4_directory::nodemap::DestSpec;
 use cenju4_directory::{NodeId, SystemSize};
-use std::collections::HashMap;
 
 /// A message payload that can be folded together by the gathering hardware.
 ///
@@ -57,6 +57,71 @@ pub struct Delivery<P> {
     pub gather: Option<GatherId>,
 }
 
+/// The deliveries of one point-to-point send: zero (dropped), one
+/// (lossless), or two (fault-duplicated). Inline — a send on the hot
+/// path never touches the heap for its result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Deliveries<P> {
+    /// The fault plan dropped the message.
+    None,
+    /// The lossless (and delayed) case: exactly one delivery.
+    One(Delivery<P>),
+    /// The fault plan duplicated the message: original, then the copy.
+    Two(Delivery<P>, Delivery<P>),
+}
+
+impl<P> Deliveries<P> {
+    /// Number of deliveries.
+    pub fn len(&self) -> usize {
+        match self {
+            Deliveries::None => 0,
+            Deliveries::One(_) => 1,
+            Deliveries::Two(..) => 2,
+        }
+    }
+
+    /// Whether the message was dropped.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Deliveries::None)
+    }
+
+    /// Iterates the deliveries in arrival-independent send order.
+    pub fn iter(&self) -> impl Iterator<Item = &Delivery<P>> {
+        let (a, b) = match self {
+            Deliveries::None => (None, None),
+            Deliveries::One(d) => (Some(d), None),
+            Deliveries::Two(d, e) => (Some(d), Some(e)),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+impl<P> IntoIterator for Deliveries<P> {
+    type Item = Delivery<P>;
+    type IntoIter =
+        std::iter::Chain<std::option::IntoIter<Delivery<P>>, std::option::IntoIter<Delivery<P>>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        let (a, b) = match self {
+            Deliveries::None => (None, None),
+            Deliveries::One(d) => (Some(d), None),
+            Deliveries::Two(d, e) => (Some(d), Some(e)),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+impl<P> std::ops::Index<usize> for Deliveries<P> {
+    type Output = Delivery<P>;
+
+    fn index(&self, i: usize) -> &Delivery<P> {
+        match (self, i) {
+            (Deliveries::One(d), 0) | (Deliveries::Two(d, _), 0) | (Deliveries::Two(_, d), 1) => d,
+            _ => panic!("delivery index {i} out of bounds (len {})", self.len()),
+        }
+    }
+}
+
 /// Per-gather, per-switch table entry: the wait pattern and partial merge.
 #[derive(Clone, Debug)]
 struct SwitchGather<P> {
@@ -78,7 +143,7 @@ struct GatherState<P> {
     /// Replies injected so far.
     received: u32,
     /// Hardware mode: per-switch wait patterns, keyed by (stage, label).
-    switches: HashMap<(u32, u32), SwitchGather<P>>,
+    switches: FxHashMap<(u32, u32), SwitchGather<P>>,
     /// Emulation mode: payload accumulated at the home NIC.
     merged: Option<P>,
 }
@@ -92,13 +157,16 @@ struct GatherState<P> {
 pub struct Fabric<P: Payload> {
     topo: Topology,
     params: NetParams,
-    /// `next_free` reservation per (stage, switch label, output port).
-    port_free: HashMap<(u32, u32, u8), SimTime>,
+    /// `next_free` reservation per output port, a dense flat table
+    /// indexed by [`port_index`] (the geometry is fixed at build time).
+    port_free: Vec<SimTime>,
+    /// Cached `topo.switches_per_stage()`, the port-table row stride.
+    switches_per_stage: u32,
     /// Per-node injection-side NIC reservation.
     inject_free: Vec<SimTime>,
     /// Per-node ejection-side NIC reservation.
     eject_free: Vec<SimTime>,
-    gathers: HashMap<GatherId, GatherState<P>>,
+    gathers: FxHashMap<GatherId, GatherState<P>>,
     next_gather: GatherId,
     stats: NetStats,
     /// Fault-injection plan and its deterministic decision state.
@@ -111,16 +179,20 @@ impl<P: Payload> Fabric<P> {
     /// Creates a fabric for a machine of the given size.
     pub fn new(sys: SystemSize, params: NetParams) -> Self {
         let n = sys.nodes() as usize;
+        let topo = Topology::new(sys);
+        let sps = topo.switches_per_stage();
+        let ports = (topo.stages() * sps) as usize * 4;
         Fabric {
-            topo: Topology::new(sys),
+            topo,
             params,
-            port_free: HashMap::new(),
+            port_free: vec![SimTime::ZERO; ports],
+            switches_per_stage: sps,
             inject_free: vec![SimTime::ZERO; n],
             eject_free: vec![SimTime::ZERO; n],
-            gathers: HashMap::new(),
+            gathers: FxHashMap::default(),
             next_gather: 0,
             stats: NetStats::new(),
-            fault: FaultState::default(),
+            fault: FaultState::empty(),
             fault_events: Vec::new(),
         }
     }
@@ -153,7 +225,7 @@ impl<P: Payload> Fabric<P> {
     /// Installs a fault plan, resetting all fault decision state (per-link
     /// message counters, one-shot hit counters, pending fault events).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault = FaultState::new(plan);
+        self.fault = FaultState::new(plan, self.topo.system().nodes() as usize);
         self.fault_events.clear();
     }
 
@@ -234,10 +306,7 @@ impl<P: Payload> Fabric<P> {
     fn cross(&mut self, stage: u32, label: u32, p: u8, t: SimTime, data: bool) -> SimTime {
         let occ = self.occupancy(data);
         let hop = self.hop(data);
-        let free = self
-            .port_free
-            .entry((stage, label, p))
-            .or_insert(SimTime::ZERO);
+        let free = &mut self.port_free[port_index(self.switches_per_stage, stage, label, p)];
         let depart = t.max(*free);
         self.stats.port_wait.push_duration(depart.since(t));
         *free = depart + occ;
@@ -301,17 +370,19 @@ impl<P: Payload> Fabric<P> {
         data: bool,
         payload: P,
         class: WireClass,
-    ) -> Vec<Delivery<P>> {
+    ) -> Deliveries<P> {
         assert_ne!(src, dst, "local traffic must not use the network");
         match self.fault.decide(now, src, dst, class) {
-            None => vec![self.unicast_delivery(now, src, dst, data, payload)],
+            None => Deliveries::One(self.unicast_delivery(now, src, dst, data, payload)),
             Some(FaultKind::Drop) => {
                 self.stats.unicasts.incr();
                 let _ = self.route(now, src, dst, data);
                 self.record_fault(now, src, dst, class, FaultKind::Drop);
-                Vec::new()
+                Deliveries::None
             }
             Some(k @ FaultKind::Duplicate { after_ns }) => {
+                // `clone` is a pointer bump for `Shared` payloads: the
+                // duplicate aliases the original's allocation.
                 let d = self.unicast_delivery(now, src, dst, data, payload.clone());
                 let dup = self.unicast_delivery(
                     now + Duration::from_ns(after_ns),
@@ -321,13 +392,13 @@ impl<P: Payload> Fabric<P> {
                     payload,
                 );
                 self.record_fault(now, src, dst, class, k);
-                vec![d, dup]
+                Deliveries::Two(d, dup)
             }
             Some(k @ FaultKind::Delay { by_ns }) => {
                 let mut d = self.unicast_delivery(now, src, dst, data, payload);
                 d.at += Duration::from_ns(by_ns);
                 self.record_fault(now, src, dst, class, k);
-                vec![d]
+                Deliveries::One(d)
             }
         }
     }
@@ -418,7 +489,7 @@ impl<P: Payload> Fabric<P> {
                 spec,
                 expected,
                 received: 0,
-                switches: HashMap::new(),
+                switches: FxHashMap::default(),
                 merged: None,
             },
         );
@@ -541,6 +612,9 @@ impl<P: Payload> Fabric<P> {
                     out.remove(i);
                 }
                 Some(k @ FaultKind::Duplicate { after_ns }) => {
+                    // The spurious copy shares the original's payload:
+                    // for `Shared` payloads this clone is a pointer
+                    // bump, not a deep copy of the message.
                     let mut dup = out[i].clone();
                     dup.at += Duration::from_ns(after_ns);
                     self.record_fault(now, src, dst, class, k);
@@ -859,9 +933,9 @@ mod tests {
         data: bool,
         payload: u32,
     ) -> Delivery<u32> {
-        let mut dels = f.send_unicast(now, src, dst, data, payload, WireClass::Other);
+        let dels = f.send_unicast(now, src, dst, data, payload, WireClass::Other);
         assert_eq!(dels.len(), 1, "lossless unicast must deliver once");
-        dels.pop().unwrap()
+        dels.into_iter().next().unwrap()
     }
 
     #[test]
@@ -1437,6 +1511,70 @@ mod tests {
         assert!(dels.iter().all(|d| d.gather == Some(id)));
         assert_eq!(f.stats().faults_dropped.get(), 1);
         assert_eq!(f.cancel_gather(id), 3);
+    }
+
+    /// With a [`Shared`] payload, the faulty duplication path must alias
+    /// the original's allocation — a spurious network copy is a pointer
+    /// bump, never a deep clone. Covers both the unicast dup branch and
+    /// the multicast per-copy dup branch.
+    #[test]
+    fn duplicated_copies_alias_shared_payload() {
+        use crate::shared::Shared;
+
+        // Unicast branch.
+        let mut f: Fabric<Shared<u32>> = Fabric::new(sys(16), NetParams::default());
+        f.set_fault_plan(FaultPlan::none().with_one_shot(OneShotFault {
+            link: Some((NodeId::new(0), NodeId::new(1))),
+            class: None,
+            nth: 1,
+            kind: FaultKind::Duplicate { after_ns: 700 },
+        }));
+        let payload = Shared::new(0xC0FFEEu32);
+        let dels = f.send_unicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            false,
+            payload.clone(),
+            WireClass::Reply,
+        );
+        assert_eq!(dels.len(), 2);
+        assert!(
+            Shared::ptr_eq(&dels[0].payload, &dels[1].payload),
+            "spurious unicast copy must alias, not clone"
+        );
+        assert!(Shared::ptr_eq(&payload, &dels[0].payload));
+
+        // Multicast branch: every fan-out copy plus the dup all alias
+        // the one allocation the caller handed in.
+        let mut f: Fabric<Shared<u32>> = Fabric::new(sys(16), NetParams::default());
+        f.set_fault_plan(FaultPlan::none().with_one_shot(OneShotFault {
+            link: Some((NodeId::new(0), NodeId::new(3))),
+            class: None,
+            nth: 1,
+            kind: FaultKind::Duplicate { after_ns: 5_000 },
+        }));
+        let payload = Shared::new(7u32);
+        let dels = f.send_multicast(
+            SimTime::ZERO,
+            NodeId::new(0),
+            spec_of(&[1, 2, 3]),
+            false,
+            payload.clone(),
+            None,
+            WireClass::Invalidation,
+        );
+        assert_eq!(dels.len(), 4, "3 copies + 1 spurious duplicate");
+        for d in &dels {
+            assert!(
+                Shared::ptr_eq(&payload, &d.payload),
+                "fan-out copy to {:?} must alias the caller's allocation",
+                d.node
+            );
+        }
+        // 3 copies + the dup + the caller's own handle (the handle moved
+        // into `send_multicast` is dropped when the fan-out finishes).
+        assert_eq!(Shared::ref_count(&payload), 5);
     }
 
     #[test]

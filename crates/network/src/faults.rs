@@ -14,6 +14,7 @@
 //! message arrives twice, a delayed message arrives late but in-order
 //! guarantees between other pairs are untouched.
 
+use crate::tables::LinkTable;
 use cenju4_des::{SimTime, SplitMix64};
 use cenju4_directory::NodeId;
 
@@ -172,22 +173,36 @@ pub struct FaultEvent {
 /// Mutable decision state for a [`FaultPlan`]: per-link message counters
 /// and per-one-shot hit counters. Owned by the fabric; reset whenever the
 /// plan is replaced.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub(crate) struct FaultState {
     plan: FaultPlan,
     /// Messages seen so far per (src, dst) link — the deterministic
-    /// per-link sequence the probabilistic decisions key off.
-    link_seen: std::collections::HashMap<(NodeId, NodeId), u64>,
+    /// per-link sequence the probabilistic decisions key off. A dense
+    /// flat table; zero-sized when the plan is inert (`decide` bails
+    /// before touching it).
+    link_seen: LinkTable<u64>,
     /// Matching messages seen so far per one-shot fault.
     one_shot_seen: Vec<u64>,
 }
 
 impl FaultState {
-    pub(crate) fn new(plan: FaultPlan) -> Self {
+    /// The inert state of a lossless fabric: no table is allocated.
+    pub(crate) fn empty() -> Self {
+        FaultState {
+            plan: FaultPlan::none(),
+            link_seen: LinkTable::new(0),
+            one_shot_seen: Vec::new(),
+        }
+    }
+
+    pub(crate) fn new(plan: FaultPlan, nodes: usize) -> Self {
         let shots = plan.one_shot.len();
+        // n² u64 slots: 8 MB at the 1024-node maximum, allocated only
+        // when a plan can actually fault something.
+        let table_nodes = if plan.is_none() { 0 } else { nodes };
         FaultState {
             plan,
-            link_seen: std::collections::HashMap::new(),
+            link_seen: LinkTable::new(table_nodes),
             one_shot_seen: vec![0; shots],
         }
     }
@@ -214,7 +229,7 @@ impl FaultState {
             return None;
         }
         let count = {
-            let c = self.link_seen.entry((src, dst)).or_insert(0);
+            let c = self.link_seen.get_mut(src, dst);
             *c += 1;
             *c
         };
@@ -283,7 +298,7 @@ mod tests {
 
     #[test]
     fn none_plan_is_inert() {
-        let mut st = FaultState::new(FaultPlan::none());
+        let mut st = FaultState::new(FaultPlan::none(), 16);
         for i in 0..100 {
             assert_eq!(
                 st.decide(SimTime::from_ns(i), n(0), n(1), WireClass::Request),
@@ -292,10 +307,67 @@ mod tests {
         }
     }
 
+    /// The flat `LinkTable` per-link counter must be observationally
+    /// identical to the `HashMap<(src, dst), u64>` it replaced: for a
+    /// random interleaved traffic stream, every probabilistic decision
+    /// must equal the one computed from a reference map-keyed count fed
+    /// through the same pure (seed, link, count) roll.
+    #[test]
+    fn flat_counts_match_map_keyed_reference() {
+        use cenju4_des::SplitMix64;
+        use std::collections::HashMap;
+
+        let plan = FaultPlan {
+            seed: 0xFA_1175,
+            drop_permille: 120,
+            dup_permille: 90,
+            delay_permille: 60,
+            max_delay_ns: 500,
+            one_shot: Vec::new(),
+            down: Vec::new(),
+        };
+        let nodes = 64u16;
+        let mut st = FaultState::new(plan.clone(), nodes as usize);
+        let mut reference: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+        let mut rng = SplitMix64::new(0x0DD_BA11);
+        for i in 0..20_000u64 {
+            let src = n(rng.next_below(nodes as u64) as u16);
+            let dst = n(rng.next_below(nodes as u64) as u16);
+            if src == dst {
+                continue;
+            }
+            let got = st.decide(SimTime::from_ns(i), src, dst, WireClass::Other);
+            let count = reference.entry((src, dst)).or_insert(0);
+            *count += 1;
+            // The same pure roll decide() documents: one stream per
+            // (seed, link, per-link count).
+            let mut roll_rng = SplitMix64::new(
+                plan.seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((src.index() as u64) << 32)
+                    .wrapping_add((dst.index() as u64) << 16)
+                    .wrapping_add(*count),
+            );
+            let roll = roll_rng.next_below(1000);
+            let want = if roll < 120 {
+                Some(FaultKind::Drop)
+            } else if roll < 210 {
+                Some(FaultKind::Duplicate { after_ns: 0 })
+            } else if roll < 270 {
+                Some(FaultKind::Delay {
+                    by_ns: 1 + roll_rng.next_below(500),
+                })
+            } else {
+                None
+            };
+            assert_eq!(got, want, "link ({src:?} -> {dst:?}) event {i}");
+        }
+    }
+
     #[test]
     fn decisions_are_deterministic_per_link() {
-        let mut a = FaultState::new(FaultPlan::random(7, 300));
-        let mut b = FaultState::new(FaultPlan::random(7, 300));
+        let mut a = FaultState::new(FaultPlan::random(7, 300), 16);
+        let mut b = FaultState::new(FaultPlan::random(7, 300), 16);
         // Interleave unrelated traffic on another link in `b` only: the
         // (0 -> 1) decisions must be identical anyway.
         let mut da = Vec::new();
@@ -318,7 +390,7 @@ mod tests {
             nth: 2,
             kind: FaultKind::Drop,
         });
-        let mut st = FaultState::new(plan);
+        let mut st = FaultState::new(plan, 16);
         // Non-matching class and link traffic does not advance the count.
         assert_eq!(
             st.decide(SimTime::ZERO, n(0), n(1), WireClass::Request),
@@ -342,7 +414,7 @@ mod tests {
             from_ns: 100,
             until_ns: 200,
         });
-        let mut st = FaultState::new(plan);
+        let mut st = FaultState::new(plan, 16);
         assert_eq!(
             st.decide(SimTime::from_ns(99), n(3), n(0), WireClass::Other),
             None
@@ -368,7 +440,7 @@ mod tests {
 
     #[test]
     fn drop_rate_roughly_matches_permille() {
-        let mut st = FaultState::new(FaultPlan::random(1, 100));
+        let mut st = FaultState::new(FaultPlan::random(1, 100), 16);
         let trials = 10_000;
         let drops = (0..trials)
             .filter(|&i| {

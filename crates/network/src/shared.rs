@@ -1,0 +1,119 @@
+//! Reference-counted copy-on-write message payloads.
+//!
+//! Every fan-out point in the simulator used to deep-clone its payload:
+//! each multicast copy, each fault duplicate, each retransmit buffer.
+//! [`Shared`] makes those clones a pointer bump — `Clone` on a `Shared`
+//! aliases the same allocation — while [`Payload::combine`] and
+//! [`Shared::make_mut`] copy-on-write only when a combiner actually
+//! mutates a payload that is still aliased elsewhere.
+//!
+//! `Rc`, not `Arc`, on purpose: an `Engine` (and thus a `Fabric`) never
+//! crosses a thread boundary — parameter sweeps construct one engine
+//! *inside* each worker — so the cheap non-atomic count is safe, and
+//! `Shared` deliberately stays `!Send` so the compiler enforces that
+//! invariant.
+//!
+//! # Examples
+//!
+//! ```
+//! use cenju4_network::Shared;
+//!
+//! let a = Shared::new(7u32);
+//! let b = a.clone();
+//! assert!(Shared::ptr_eq(&a, &b)); // aliased, not copied
+//! assert_eq!(*b, 7);
+//! ```
+
+use crate::fabric::Payload;
+use std::rc::Rc;
+
+/// A cheaply clonable, copy-on-write handle to a message payload.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Shared<T>(Rc<T>);
+
+impl<T> Shared<T> {
+    /// Wraps a payload in a fresh allocation.
+    pub fn new(value: T) -> Self {
+        Shared(Rc::new(value))
+    }
+
+    /// Whether two handles alias the same allocation.
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Rc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// Number of handles sharing this allocation (for tests/diagnostics).
+    pub fn ref_count(this: &Self) -> usize {
+        Rc::strong_count(&this.0)
+    }
+}
+
+impl<T: Clone> Shared<T> {
+    /// Mutable access, cloning the payload first iff it is aliased.
+    pub fn make_mut(this: &mut Self) -> &mut T {
+        Rc::make_mut(&mut this.0)
+    }
+
+    /// Unwraps the payload, cloning only if other handles still alias it.
+    pub fn into_inner(this: Self) -> T {
+        Rc::try_unwrap(this.0).unwrap_or_else(|rc| (*rc).clone())
+    }
+}
+
+impl<T> std::ops::Deref for Shared<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: Payload> Payload for Shared<T> {
+    /// Folds `other` into `self`, copy-on-write: an unaliased payload is
+    /// combined in place, an aliased one is cloned exactly once first.
+    fn combine(&mut self, other: Self) {
+        Shared::make_mut(self).combine(Shared::into_inner(other));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_aliases() {
+        let a = Shared::new(3u32);
+        let b = a.clone();
+        assert!(Shared::ptr_eq(&a, &b));
+        assert_eq!(Shared::ref_count(&a), 2);
+    }
+
+    #[test]
+    fn combine_copies_on_write_only_when_aliased() {
+        // Unaliased: combined in place, pointer unchanged.
+        let mut a = Shared::new(1u32);
+        let before = Rc::as_ptr(&a.0);
+        a.combine(Shared::new(2));
+        assert_eq!(*a, 3);
+        assert_eq!(Rc::as_ptr(&a.0), before);
+
+        // Aliased: the combiner clones, the alias keeps the old value.
+        let alias = a.clone();
+        a.combine(Shared::new(10));
+        assert_eq!(*a, 13);
+        assert_eq!(*alias, 3, "alias must not see the combine");
+        assert!(!Shared::ptr_eq(&a, &alias));
+    }
+
+    #[test]
+    fn into_inner_avoids_cloning_when_unique() {
+        let a = Shared::new(vec![1u32, 2, 3]);
+        let v = Shared::into_inner(a);
+        assert_eq!(v, vec![1, 2, 3]);
+
+        let a = Shared::new(5u32);
+        let b = a.clone();
+        assert_eq!(Shared::into_inner(a), 5);
+        assert_eq!(*b, 5, "aliased unwrap must leave the alias intact");
+    }
+}

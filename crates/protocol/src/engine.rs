@@ -16,11 +16,11 @@ use crate::modules::{Ctx, HomeModule, MasterModule, SlaveModule};
 use crate::observer::{Observer, ObserverSet, TraceObserver};
 use crate::params::{FaultInjection, ProtoParams, ProtocolKind, RecoveryError, RecoveryParams};
 use crate::stats::EngineStats;
+use cenju4_des::FxHashSet;
 use cenju4_des::{Duration, SimTime};
 use cenju4_directory::{MemState, NodeId, NodeMap, SystemSize};
 use cenju4_network::{FaultPlan, NetParams};
 use core::fmt;
-use std::collections::HashSet;
 
 /// Why [`Engine::try_issue`] rejected an access. The legacy
 /// [`Engine::issue`] panics on these instead of returning them.
@@ -191,7 +191,7 @@ pub struct Engine {
     slaves: Vec<SlaveModule>,
     next_txn: TxnId,
     notifications: Vec<Notification>,
-    update_blocks: HashSet<Addr>,
+    update_blocks: FxHashSet<Addr>,
     observers: ObserverSet,
     fault: FaultInjection,
     /// Stall-watchdog state: the completion count and time of the last
@@ -221,7 +221,7 @@ impl Engine {
                 .collect(),
             next_txn: 0,
             notifications: Vec::new(),
-            update_blocks: HashSet::new(),
+            update_blocks: FxHashSet::default(),
             observers: ObserverSet::default(),
             fault: FaultInjection::None,
             last_completed: 0,

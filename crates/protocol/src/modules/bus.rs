@@ -44,12 +44,15 @@ use crate::addr::Addr;
 use crate::engine::MemOp;
 use crate::messages::{ProtoMsg, TxnId};
 use crate::params::{RecoveryError, RecoveryParams};
-use cenju4_des::{Duration, EventQueue, SimTime, SplitMix64};
+use cenju4_des::{Duration, EventQueue, FxHashMap, FxHashSet, SimTime, SplitMix64};
 use cenju4_directory::nodemap::DestSpec;
 use cenju4_directory::{NodeId, SystemSize};
 use cenju4_network::fabric::GatherId;
-use cenju4_network::{Delivery, Fabric, FaultEvent, FaultPlan, NetParams, NetStats, WireClass};
-use std::collections::{HashMap, HashSet, VecDeque};
+use cenju4_network::tables::LinkTable;
+use cenju4_network::{
+    Delivery, Fabric, FaultEvent, FaultPlan, NetParams, NetStats, Shared, WireClass,
+};
+use std::collections::VecDeque;
 
 /// The wire class the fault plan matches a protocol message against.
 pub(crate) fn wire_class(msg: &ProtoMsg) -> WireClass {
@@ -252,12 +255,14 @@ struct HeldQueue {
 struct Frame {
     seq: u64,
     data: bool,
-    msg: ProtoMsg,
+    /// The parked copy aliases the transmitted message's allocation;
+    /// retransmits clone the handle, never the message.
+    msg: Shared<ProtoMsg>,
     gather: Option<GatherId>,
 }
 
 /// The sender side of one armed link.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct LinkSend {
     /// Next sequence number to stamp.
     next_seq: u64,
@@ -273,7 +278,7 @@ struct LinkSend {
 struct GatherRetry {
     spec: DestSpec,
     data: bool,
-    msg: ProtoMsg,
+    msg: Shared<ProtoMsg>,
     /// Re-issues performed so far.
     attempts: u32,
 }
@@ -316,16 +321,19 @@ pub(crate) enum GatherTimerOutcome {
 /// jitter and the optional link-level recovery layer. See the module
 /// docs.
 pub struct MessageBus {
-    fabric: Fabric<ProtoMsg>,
+    fabric: Fabric<Shared<ProtoMsg>>,
     queue: EventQueue<BusMsg>,
+    /// Number of nodes, the dense link-table dimension.
+    nodes: usize,
     /// Optional deterministic perturbation of message delivery times,
     /// used by race-coverage tests to explore different interleavings.
     jitter: Option<(SplitMix64, u8)>,
-    /// With jitter on: last delivery time per (src, dst), to preserve the
-    /// network's in-order guarantee (which the protocol relies on — e.g.
-    /// a writeback must reach the home before the evictor's next request
-    /// for the same block).
-    jitter_order: HashMap<(NodeId, NodeId), SimTime>,
+    /// With jitter on: last delivery time (ns) per (src, dst), to
+    /// preserve the network's in-order guarantee (which the protocol
+    /// relies on — e.g. a writeback must reach the home before the
+    /// evictor's next request for the same block). Dense; zero-sized
+    /// until jitter is enabled.
+    jitter_order: LinkTable<u64>,
     /// Controlled-schedule mode (the checker picks the next event).
     /// Mutually exclusive with jitter.
     held: Option<HeldQueue>,
@@ -335,15 +343,17 @@ pub struct MessageBus {
     /// can actually misbehave. Unarmed, every recovery path below is
     /// skipped entirely.
     armed: bool,
-    /// Sender windows of armed links, keyed by (src, dst).
-    links: HashMap<(NodeId, NodeId), LinkSend>,
-    /// Receiver side: next expected sequence number per (src, dst).
-    recv_next: HashMap<(NodeId, NodeId), u64>,
+    /// Sender windows of armed links: a dense (src, dst) table,
+    /// zero-sized until the layer arms.
+    links: LinkTable<LinkSend>,
+    /// Receiver side: next expected sequence number per (src, dst),
+    /// dense like `links`.
+    recv_next: LinkTable<u64>,
     /// Re-issue state of every open gather (armed mode only).
-    gather_retries: HashMap<GatherId, GatherRetry>,
+    gather_retries: FxHashMap<GatherId, GatherRetry>,
     /// Nodes that already contributed to each open gather, so duplicate
     /// replies are absorbed before they hit the fabric's combiner.
-    gather_replied: HashMap<GatherId, HashSet<NodeId>>,
+    gather_replied: FxHashMap<GatherId, FxHashSet<NodeId>>,
 }
 
 impl MessageBus {
@@ -351,15 +361,16 @@ impl MessageBus {
         MessageBus {
             fabric: Fabric::new(sys, net),
             queue: EventQueue::new(),
+            nodes: sys.nodes() as usize,
             jitter: None,
-            jitter_order: HashMap::new(),
+            jitter_order: LinkTable::new(0),
             held: None,
             recovery: RecoveryParams::default(),
             armed: false,
-            links: HashMap::new(),
-            recv_next: HashMap::new(),
-            gather_retries: HashMap::new(),
-            gather_replied: HashMap::new(),
+            links: LinkTable::new(0),
+            recv_next: LinkTable::new(0),
+            gather_retries: FxHashMap::default(),
+            gather_replied: FxHashMap::default(),
         }
     }
 
@@ -369,6 +380,7 @@ impl MessageBus {
             "jitter and controlled scheduling are mutually exclusive"
         );
         self.jitter = Some((SplitMix64::new(seed), pct));
+        self.jitter_order = LinkTable::new(self.nodes);
     }
 
     /// Switches the bus into controlled-schedule mode: newly scheduled
@@ -568,8 +580,11 @@ impl MessageBus {
 
     fn rearm(&mut self) {
         self.armed = self.recovery.enabled && !self.fabric.fault_plan().is_none();
-        self.links.clear();
-        self.recv_next.clear();
+        // Dense sender/receiver tables exist only while armed; the
+        // lossless fast path never pays for them.
+        let dim = if self.armed { self.nodes } else { 0 };
+        self.links = LinkTable::new(dim);
+        self.recv_next = LinkTable::new(dim);
         self.gather_retries.clear();
         self.gather_replied.clear();
     }
@@ -626,7 +641,9 @@ impl MessageBus {
         }
         let class = wire_class(&msg);
         let data = msg.carries_data();
+        let msg = Shared::new(msg);
         if self.armed {
+            // The parked frame aliases the transmitted message.
             let seq = self.park_frame(now, src, dst, data, msg.clone(), None);
             let dels = self.fabric.send_unicast(now, src, dst, data, msg, class);
             for d in dels {
@@ -649,10 +666,10 @@ impl MessageBus {
         src: NodeId,
         dst: NodeId,
         data: bool,
-        msg: ProtoMsg,
+        msg: Shared<ProtoMsg>,
         gather: Option<GatherId>,
     ) -> u64 {
-        let link = self.links.entry((src, dst)).or_default();
+        let link = self.links.get_mut(src, dst);
         let seq = link.next_seq;
         link.next_seq += 1;
         link.unacked.push_back(Frame {
@@ -683,7 +700,7 @@ impl MessageBus {
         dst: NodeId,
         seq: u64,
     ) -> Option<&'static str> {
-        let expected = self.recv_next.entry((src, dst)).or_insert(0);
+        let expected = self.recv_next.get_mut(src, dst);
         let verdict = match seq.cmp(expected) {
             core::cmp::Ordering::Less => Some("dup-frame"),
             core::cmp::Ordering::Greater => Some("gap-frame"),
@@ -693,14 +710,13 @@ impl MessageBus {
             }
         };
         let acked_below = *expected;
-        if let Some(link) = self.links.get_mut(&(src, dst)) {
-            let before = link.unacked.len();
-            while link.unacked.front().is_some_and(|f| f.seq < acked_below) {
-                link.unacked.pop_front();
-            }
-            if link.unacked.len() < before {
-                link.attempts = 0;
-            }
+        let link = self.links.get_mut(src, dst);
+        let before = link.unacked.len();
+        while link.unacked.front().is_some_and(|f| f.seq < acked_below) {
+            link.unacked.pop_front();
+        }
+        if link.unacked.len() < before {
+            link.attempts = 0;
         }
         verdict
     }
@@ -715,9 +731,7 @@ impl MessageBus {
         src: NodeId,
         dst: NodeId,
     ) -> LinkTimerOutcome {
-        let Some(link) = self.links.get_mut(&(src, dst)) else {
-            return LinkTimerOutcome::Idle;
-        };
+        let link = self.links.get_mut(src, dst);
         if link.unacked.is_empty() {
             link.timer_armed = false;
             return LinkTimerOutcome::Idle;
@@ -731,6 +745,8 @@ impl MessageBus {
             return LinkTimerOutcome::GaveUp(RecoveryError::LinkRetransmitBudget { src, dst, seq });
         }
         let attempt = link.attempts;
+        // Frame clones alias their parked message — a retransmission
+        // round allocates nothing per frame.
         let frames: Vec<Frame> = link.unacked.iter().cloned().collect();
         for f in &frames {
             let class = wire_class(&f.msg);
@@ -778,7 +794,7 @@ impl MessageBus {
             GatherRetry {
                 spec,
                 data,
-                msg,
+                msg: Shared::new(msg),
                 attempts: 0,
             },
         );
@@ -817,7 +833,7 @@ impl MessageBus {
         }
         let attempt = retry.attempts;
         let new_id = self.fabric.open_gather(home, retry.spec);
-        let dels = self.send_multicast(
+        let dels = self.send_multicast_shared(
             now,
             home,
             retry.spec,
@@ -859,7 +875,22 @@ impl MessageBus {
         data: bool,
         msg: ProtoMsg,
         gather: Option<GatherId>,
-    ) -> Vec<(Delivery<ProtoMsg>, Option<u64>)> {
+    ) -> Vec<(Delivery<Shared<ProtoMsg>>, Option<u64>)> {
+        self.send_multicast_shared(at, src, spec, data, Shared::new(msg), gather)
+    }
+
+    /// [`MessageBus::send_multicast`] over an already-shared message: the
+    /// fan-out copies and every parked per-destination frame alias the
+    /// one allocation.
+    fn send_multicast_shared(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        spec: DestSpec,
+        data: bool,
+        msg: Shared<ProtoMsg>,
+        gather: Option<GatherId>,
+    ) -> Vec<(Delivery<Shared<ProtoMsg>>, Option<u64>)> {
         let class = wire_class(&msg);
         let dels = self
             .fabric
@@ -868,20 +899,20 @@ impl MessageBus {
             return dels.into_iter().map(|d| (d, None)).collect();
         }
         let sys = self.fabric.topology().system();
-        let mut seqs: HashMap<NodeId, u64> = HashMap::new();
+        let mut seqs: Vec<Option<u64>> = vec![None; self.nodes];
         for dst in spec.destinations(sys) {
             if dst == src {
                 continue;
             }
             let seq = self.park_frame(at, src, dst, data, msg.clone(), gather);
-            seqs.insert(dst, seq);
+            seqs[dst.as_usize()] = Some(seq);
         }
         dels.into_iter()
             .map(|d| {
                 let seq = if d.node == src {
                     None
                 } else {
-                    seqs.get(&d.node).copied()
+                    seqs[d.node.as_usize()]
                 };
                 (d, seq)
             })
@@ -899,7 +930,7 @@ impl MessageBus {
         node: NodeId,
         id: GatherId,
         msg: ProtoMsg,
-    ) -> Result<Option<Delivery<ProtoMsg>>, &'static str> {
+    ) -> Result<Option<Delivery<Shared<ProtoMsg>>>, &'static str> {
         if self.armed {
             if !self.fabric.is_gather_open(id) {
                 return Err("stale-gather-reply");
@@ -908,7 +939,9 @@ impl MessageBus {
                 return Err("dup-gather-reply");
             }
         }
-        let d = self.fabric.send_gather_reply(at, node, id, msg);
+        let d = self
+            .fabric
+            .send_gather_reply(at, node, id, Shared::new(msg));
         if d.is_some() {
             // The gather closed: drop its recovery state so the pending
             // timer self-drains as `Done`.
@@ -927,14 +960,14 @@ impl MessageBus {
         dst: NodeId,
         bytes: u64,
         msg: ProtoMsg,
-    ) -> Delivery<ProtoMsg> {
-        self.fabric.send_bulk(at, src, dst, bytes, msg)
+    ) -> Delivery<Shared<ProtoMsg>> {
+        self.fabric.send_bulk(at, src, dst, bytes, Shared::new(msg))
     }
 
     /// Turns a fabric delivery into a scheduled [`BusMsg::Recv`], applying
     /// the deterministic jitter perturbation when enabled. `seq` is the
     /// link-layer sequence number of sequenced unicast frames.
-    pub(crate) fn schedule_delivery(&mut self, d: Delivery<ProtoMsg>, seq: Option<u64>) {
+    pub(crate) fn schedule_delivery(&mut self, d: Delivery<Shared<ProtoMsg>>, seq: Option<u64>) {
         let mut at = d.at;
         if let Some((rng, pct)) = &mut self.jitter {
             let now = self.queue.now();
@@ -945,22 +978,20 @@ impl MessageBus {
                 at = now + Duration::from_ns(delay - span + offset);
             }
             // Never reorder two messages between the same pair of nodes.
-            let floor = self
-                .jitter_order
-                .get(&(d.src, d.node))
-                .copied()
-                .unwrap_or(SimTime::ZERO);
+            let floor = SimTime::from_ns(*self.jitter_order.get(d.src, d.node));
             if at <= floor {
                 at = floor + Duration::from_ns(1);
             }
-            self.jitter_order.insert((d.src, d.node), at);
+            *self.jitter_order.get_mut(d.src, d.node) = at.as_ns();
         }
         self.enqueue(
             at,
             BusMsg::Recv {
                 dst: d.node,
                 src: d.src,
-                msg: d.payload,
+                // Unique in the common unicast case: the unwrap is then
+                // a move, not a clone.
+                msg: Shared::into_inner(d.payload),
                 gather: d.gather,
                 seq,
             },

@@ -12,10 +12,11 @@ use crate::modules::Ctx;
 use crate::observer::ModuleKind;
 use crate::params::ProtocolKind;
 use crate::service::ServiceQueue;
+use cenju4_des::FxHashMap;
 use cenju4_des::SimTime;
 use cenju4_directory::nodemap::DestSpec;
 use cenju4_directory::{DirectoryEntry, MemState, NodeId, NodeMap, SystemSize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// What a home is waiting for on a pending block.
 #[derive(Clone, Debug)]
@@ -49,10 +50,10 @@ pub(crate) struct QueuedReq {
 /// The memory-side protocol module of one node.
 pub struct HomeModule {
     pub(crate) node: NodeId,
-    pub(crate) directory: HashMap<Addr, DirectoryEntry>,
+    pub(crate) directory: FxHashMap<Addr, DirectoryEntry>,
     /// This node's main memory contents (as home), by block.
-    pub(crate) mem: HashMap<Addr, u64>,
-    pub(crate) pending: HashMap<Addr, PendingTxn>,
+    pub(crate) mem: FxHashMap<Addr, u64>,
+    pub(crate) pending: FxHashMap<Addr, PendingTxn>,
     pub(crate) req_queue: VecDeque<QueuedReq>,
     pub(crate) req_queue_hwm: usize,
     pub(crate) input_q: ServiceQueue,
@@ -62,9 +63,9 @@ impl HomeModule {
     pub(crate) fn new(node: NodeId) -> Self {
         HomeModule {
             node,
-            directory: HashMap::new(),
-            mem: HashMap::new(),
-            pending: HashMap::new(),
+            directory: FxHashMap::default(),
+            mem: FxHashMap::default(),
+            pending: FxHashMap::default(),
             req_queue: VecDeque::new(),
             req_queue_hwm: 0,
             input_q: ServiceQueue::new(),

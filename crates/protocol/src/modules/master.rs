@@ -14,9 +14,10 @@ use crate::modules::Ctx;
 use crate::observer::ModuleKind;
 use crate::params::{ProtoParams, RecoveryError};
 use crate::service::ServiceQueue;
+use cenju4_des::FxHashMap;
 use cenju4_des::{Duration, SimTime};
 use cenju4_directory::NodeId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// An in-flight master transaction.
 #[derive(Clone, Debug)]
@@ -38,8 +39,8 @@ pub struct MasterModule {
     /// Blocks whose current value is held in this node's main memory
     /// (third-level cache of the update-protocol extension), with the
     /// cached data.
-    pub(crate) l3: HashMap<Addr, u64>,
-    pub(crate) outstanding: HashMap<TxnId, MasterTxn>,
+    pub(crate) l3: FxHashMap<Addr, u64>,
+    pub(crate) outstanding: FxHashMap<TxnId, MasterTxn>,
     pub(crate) backlog: VecDeque<(MemOp, Addr, TxnId, SimTime)>,
     pub(crate) input_q: ServiceQueue,
 }
@@ -49,8 +50,8 @@ impl MasterModule {
         MasterModule {
             node,
             cache: Cache::new(params.cache_bytes, params.cache_assoc),
-            l3: HashMap::new(),
-            outstanding: HashMap::new(),
+            l3: FxHashMap::default(),
+            outstanding: FxHashMap::default(),
             backlog: VecDeque::new(),
             input_q: ServiceQueue::new(),
         }

@@ -34,10 +34,10 @@ use crate::observer::{ModuleKind, ObserverSet};
 use crate::params::{FaultInjection, ProtoParams, ProtocolKind};
 use crate::service::ServiceQueue;
 use bus::MessageBus;
+use cenju4_des::FxHashSet;
 use cenju4_des::{Duration, SimTime};
 use cenju4_directory::nodemap::DestSpec;
 use cenju4_directory::{NodeId, SystemSize};
-use std::collections::HashSet;
 
 /// Per-event handler context: the shared machine configuration, the bus,
 /// and the observer fan-out. Handed by the engine's dispatcher to every
@@ -51,7 +51,7 @@ pub(crate) struct Ctx<'a> {
     pub obs: &'a mut ObserverSet,
     pub notes: &'a mut Vec<Notification>,
     /// Blocks running the update protocol (Section 4.2.3).
-    pub update_blocks: &'a HashSet<Addr>,
+    pub update_blocks: &'a FxHashSet<Addr>,
     /// Test-only protocol mutation in force (checker mutant runs);
     /// [`FaultInjection::None`] in every production path.
     pub fault: FaultInjection,

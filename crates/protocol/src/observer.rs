@@ -18,10 +18,10 @@
 //! use cenju4_network::NetParams;
 //! use cenju4_protocol::observer::Observer;
 //! use cenju4_protocol::{Addr, Engine, MemOp, ProtoParams, ProtocolKind};
-//! use std::collections::HashMap;
+//! use cenju4_des::FxHashMap;
 //!
 //! #[derive(Default)]
-//! struct InvalidationsPerHome(HashMap<NodeId, u64>);
+//! struct InvalidationsPerHome(FxHashMap<NodeId, u64>);
 //!
 //! impl Observer for InvalidationsPerHome {
 //!     fn on_invalidation(&mut self, _at: SimTime, home: NodeId, _addr: Addr, _copies: u32) {
@@ -52,11 +52,11 @@ use crate::messages::{ProtoMsg, ReqKind, TxnId};
 use crate::params::RecoveryError;
 use crate::stats::EngineStats;
 use crate::trace::{Trace, TraceRecord};
+use cenju4_des::FxHashMap;
 use cenju4_des::{Duration, SimTime};
 use cenju4_directory::{MemState, NodeId};
 use cenju4_network::FaultEvent;
 use std::any::Any;
-use std::collections::HashMap;
 
 /// Which protocol module a queue-depth sample belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -397,7 +397,7 @@ pub struct StarvationProbe {
     retries: u64,
     queued: u64,
     max_queue_depth: usize,
-    retries_by_txn: HashMap<(NodeId, TxnId), u32>,
+    retries_by_txn: FxHashMap<(NodeId, TxnId), u32>,
 }
 
 impl StarvationProbe {

@@ -3,10 +3,11 @@
 # schedule-exploring protocol checker's smoke tier.
 # Everything runs offline — the workspace has no external dependencies.
 #
-# Usage: scripts/ci.sh [check-smoke|fault-smoke]
+# Usage: scripts/ci.sh [check-smoke|fault-smoke|perf-smoke]
 #   (no arg)     run the full gate
 #   check-smoke  run only the time-capped protocol-checker tier
 #   fault-smoke  run only the time-capped unreliable-fabric recovery tier
+#   perf-smoke   run only the hot-path perf regression tier
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +46,16 @@ fault_smoke() {
         --drop-rate 100 --seed 7 --walks 100 --max-seconds 60
 }
 
+perf_smoke() {
+    echo "==> hot-path perf smoke tier (time-capped)"
+    cargo build --release --offline -p cenju4-bench --bin perf
+    # --quick keeps this tier under a minute; the binary fails on a
+    # >25% median regression against the checked-in baseline (and
+    # re-measures once first, to ride out noisy-neighbor bursts on
+    # shared CI hosts).
+    timeout 300 target/release/perf --quick --check benches/BASELINE_hotpath.json
+}
+
 if [[ "${1:-}" == "check-smoke" ]]; then
     check_smoke
     echo "CI OK (check-smoke)"
@@ -54,6 +65,12 @@ fi
 if [[ "${1:-}" == "fault-smoke" ]]; then
     fault_smoke
     echo "CI OK (fault-smoke)"
+    exit 0
+fi
+
+if [[ "${1:-}" == "perf-smoke" ]]; then
+    perf_smoke
+    echo "CI OK (perf-smoke)"
     exit 0
 fi
 
@@ -73,5 +90,7 @@ cargo test -q --workspace --offline
 check_smoke
 
 fault_smoke
+
+perf_smoke
 
 echo "CI OK"

@@ -1,0 +1,222 @@
+//! Bit-identity guard for the hot-path flattening: two traced scenarios
+//! (the paper's Figure 10 store-latency shape and a Figure 12-style mixed
+//! workload) are replayed and their full protocol trace *plus* a
+//! formatted dump of every `EngineStats`/`NetStats` counter is compared
+//! byte-for-byte against goldens blessed on the map-keyed, deep-cloning
+//! hot path. Each scenario also runs with the recovery layer armed
+//! against an inert fault plan, pinning the sequenced-link path.
+//!
+//! **No-re-bless rule:** these goldens were captured *before* the dense
+//! tables / shared payloads landed. An optimization PR may never rewrite
+//! them — a diff here means the "optimization" changed behavior.
+//!
+//! To bless on a genuinely intentional protocol change:
+//!
+//! ```text
+//! CENJU4_BLESS_GOLDEN=1 cargo test --test golden_hotpath
+//! ```
+
+use cenju4::prelude::*;
+
+fn node(n: u16) -> NodeId {
+    NodeId::new(n)
+}
+
+/// A plan that is *not* `FaultPlan::is_none()` — so the go-back-N layer
+/// arms, sequences every frame, and runs its timers — but whose single
+/// one-shot can never fire (`nth` is unreachably large). Deterministic
+/// and fault-free, it exercises the armed hot path without perturbation.
+fn inert_plan() -> FaultPlan {
+    FaultPlan::none().with_one_shot(OneShotFault {
+        link: Some((node(0), node(1))),
+        class: Some(WireClass::Other),
+        nth: u64::MAX,
+        kind: FaultKind::Drop,
+    })
+}
+
+fn engine(nodes: u16, armed: bool) -> Engine {
+    let mut builder = SystemConfig::builder(nodes);
+    if armed {
+        builder = builder
+            .recovery(RecoveryParams::default())
+            .fault_plan(inert_plan());
+    }
+    let cfg = builder.build().expect("valid node count");
+    let mut eng = cfg.build();
+    eng.enable_trace(16384);
+    eng
+}
+
+/// Issues one access and runs the engine to quiescence.
+fn access(eng: &mut Engine, n: u16, op: MemOp, a: Addr) {
+    eng.issue(eng.now(), node(n), op, a);
+    eng.run();
+}
+
+/// Renders every counter of both stats blocks in a fixed order; any
+/// change to message counts, fan-out copies, gather combining, queueing
+/// waits, or recovery bookkeeping shows up here even if the per-block
+/// trace happens to be unchanged.
+fn stats_fingerprint(eng: &Engine) -> String {
+    let s = eng.stats();
+    let n = eng.net_stats();
+    let mut out = String::from("--- engine stats ---\n");
+    for (name, c) in [
+        ("completed", &s.completed),
+        ("hits", &s.hits),
+        ("requests", &s.requests),
+        ("queued_requests", &s.queued_requests),
+        ("nacks", &s.nacks),
+        ("retries", &s.retries),
+        ("writebacks", &s.writebacks),
+        ("invalidations", &s.invalidations),
+        ("invalidation_copies", &s.invalidation_copies),
+        ("forwards", &s.forwards),
+        ("updates", &s.updates),
+        ("l3_fills", &s.l3_fills),
+        ("faults_injected", &s.faults_injected),
+        ("retransmits", &s.retransmits),
+        ("link_discards", &s.link_discards),
+        ("gather_reissues", &s.gather_reissues),
+        ("recovery_errors", &s.recovery_errors),
+        ("stalls", &s.stalls),
+    ] {
+        out.push_str(&format!("{name}: {}\n", c.get()));
+    }
+    out.push_str("--- net stats ---\n");
+    for (name, c) in [
+        ("unicasts", &n.unicasts),
+        ("multicasts", &n.multicasts),
+        ("multicast_copies", &n.multicast_copies),
+        ("gather_replies", &n.gather_replies),
+        ("gather_absorbed", &n.gather_absorbed),
+        ("gather_delivered", &n.gather_delivered),
+        ("delivered", &n.delivered),
+        ("faults_dropped", &n.faults_dropped),
+        ("faults_duplicated", &n.faults_duplicated),
+        ("faults_delayed", &n.faults_delayed),
+    ] {
+        out.push_str(&format!("{name}: {}\n", c.get()));
+    }
+    out.push_str(&format!(
+        "gather_concurrency_peak: {}\n",
+        n.gather_concurrency.peak()
+    ));
+    for (name, w) in [
+        ("port_wait", &n.port_wait),
+        ("endpoint_wait", &n.endpoint_wait),
+    ] {
+        out.push_str(&format!(
+            "{name}: count={} sum_ns={}\n",
+            w.count(),
+            // Mean is exact here: waits are integral ns pushed as f64.
+            (w.mean() * w.count() as f64).round() as u64,
+        ));
+    }
+    out.push_str(&format!("final_time_ns: {}\n", eng.now().as_ns()));
+    out
+}
+
+/// Compares `got` against `tests/golden/<name>.txt`, or rewrites the
+/// golden when `CENJU4_BLESS_GOLDEN` is set.
+fn check_golden(name: &str, got: &str) {
+    let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("CENJU4_BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"))).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e}; bless with CENJU4_BLESS_GOLDEN=1"));
+    assert_eq!(
+        got, want,
+        "{name} diverged from the pre-flattening golden (no re-bless for optimization PRs)"
+    );
+}
+
+/// Figure 10 shape: warm four sharers with loads, then store from a
+/// sharer — one multicast invalidation gathered through the tree.
+fn fig10(armed: bool) -> String {
+    let mut eng = engine(16, armed);
+    let a = Addr::new(node(0), 1);
+    for s in 1..=4 {
+        access(&mut eng, s, MemOp::Load, a);
+    }
+    access(&mut eng, 1, MemOp::Store, a);
+    format!("{}{}", eng.trace().dump_block(a), stats_fingerprint(&eng))
+}
+
+/// Figure 12 shape: a seeded mixed workload on a 64-node machine —
+/// loads, stores, ownership upgrades, writeback victims, and forwards
+/// across eight blocks on two homes.
+fn fig12(armed: bool) -> String {
+    let mut eng = engine(64, armed);
+    let mut rng = SplitMix64::new(0xF1612);
+    let blocks: Vec<Addr> = (0..8)
+        .map(|b| Addr::new(node((b % 2) as u16), 1 + b / 2))
+        .collect();
+    for _ in 0..200 {
+        let n = rng.next_below(64) as u16;
+        let op = if rng.next_below(3) == 0 {
+            MemOp::Store
+        } else {
+            MemOp::Load
+        };
+        let a = blocks[rng.next_below(8) as usize];
+        access(&mut eng, n, op, a);
+    }
+    let mut out = String::new();
+    for a in [blocks[0], blocks[5]] {
+        out.push_str(&eng.trace().dump_block(a));
+    }
+    out.push_str(&stats_fingerprint(&eng));
+    out
+}
+
+#[test]
+fn fig10_trace_and_stats_bit_identical() {
+    check_golden("fig10_hotpath", &fig10(false));
+}
+
+#[test]
+fn fig10_trace_and_stats_bit_identical_armed() {
+    check_golden("fig10_hotpath_armed", &fig10(true));
+}
+
+#[test]
+fn fig12_trace_and_stats_bit_identical() {
+    check_golden("fig12_hotpath", &fig12(false));
+}
+
+#[test]
+fn fig12_trace_and_stats_bit_identical_armed() {
+    check_golden("fig12_hotpath_armed", &fig12(true));
+}
+
+/// The two paper-figure probes themselves, pinned end to end: exact
+/// store latencies for growing sharer sets (the paper's headline claim
+/// that latency scales with stages, not nodes).
+#[test]
+fn fig10_probe_latencies_unchanged() {
+    let cfg = SystemConfig::new(16).unwrap();
+    let lats: Vec<u64> = [2u16, 4, 8, 16]
+        .iter()
+        .map(|&k| probes::store_latency(&cfg, k).as_ns())
+        .collect();
+    assert_eq!(lats, PINNED_STORE_LATENCIES_NS);
+}
+
+/// Store latencies for 2/4/8/16 sharers on 16 nodes, captured from the
+/// pre-flattening engine.
+const PINNED_STORE_LATENCIES_NS: [u64; 4] = [2620, 3135, 3360, 3510];
+
+#[test]
+fn table2_load_latencies_unchanged() {
+    let r = probes::load_latencies(&SystemConfig::new(16).unwrap());
+    assert_eq!(r.private.as_ns(), 470);
+    assert_eq!(r.shared_local_clean.as_ns(), 610);
+    assert_eq!(r.shared_remote_clean.as_ns(), 1710);
+    assert_eq!(r.shared_local_dirty.as_ns(), 1920);
+    assert_eq!(r.shared_remote_dirty.as_ns(), 3020);
+}

@@ -253,3 +253,64 @@ fn protocol_coherence_under_random_traffic() {
         }
     }
 }
+
+/// The dense link index is a bijection with `(src, dst)` over the whole
+/// supported machine range: every pair maps to a distinct in-bounds slot
+/// and maps back exactly. This is the invariant that lets the flat
+/// `LinkTable` replace the `(src, dst)`-keyed maps on the hot path.
+#[test]
+fn link_index_roundtrips_over_full_node_range() {
+    use cenju4::network::tables::{link_index, link_of_index};
+    // Exhaustive at the 1024-node maximum (the largest machine the
+    // butterfly supports), spot-checked at the other legal sizes.
+    let nodes = 1024usize;
+    let mut seen = vec![false; nodes * nodes];
+    for s in 0..nodes as u16 {
+        for d in 0..nodes as u16 {
+            let (src, dst) = (NodeId::new(s), NodeId::new(d));
+            let i = link_index(nodes, src, dst);
+            assert!(i < nodes * nodes, "({s},{d}) out of bounds: {i}");
+            assert!(!seen[i], "collision at ({s},{d}) -> {i}");
+            seen[i] = true;
+            assert_eq!(link_of_index(nodes, i), (src, dst));
+        }
+    }
+    assert!(seen.iter().all(|&b| b), "index space not covered");
+
+    // Random machines of every legal size: round-trip still exact.
+    let mut rng = SplitMix64::new(0x11_0DE);
+    for &nodes in &[16usize, 128, 256, 1024] {
+        for _ in 0..CASES {
+            let s = rng.next_below(nodes as u64) as u16;
+            let d = rng.next_below(nodes as u64) as u16;
+            let i = link_index(nodes, NodeId::new(s), NodeId::new(d));
+            assert_eq!(link_of_index(nodes, i), (NodeId::new(s), NodeId::new(d)));
+        }
+    }
+}
+
+/// The flat port index is injective across the whole switch fabric of
+/// each supported machine size: no two (stage, switch, port) triples
+/// share a slot, and the slots exactly fill `stages * switches * 4`.
+#[test]
+fn port_index_is_injective_per_geometry() {
+    use cenju4::network::tables::port_index;
+    // (nodes, stages): radix-4 butterfly geometries from the paper.
+    for &(nodes, stages) in &[(16u32, 2u32), (128, 4), (256, 4), (1024, 6)] {
+        let sps = nodes / 4; // switches per stage
+        let mut seen = vec![false; (stages * sps * 4) as usize];
+        for stage in 0..stages {
+            for label in 0..sps {
+                for port in 0..4u8 {
+                    let i = port_index(sps, stage, label, port);
+                    assert!(!seen[i], "collision at ({stage},{label},{port})");
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&b| b),
+            "{nodes}-node port space not covered"
+        );
+    }
+}
