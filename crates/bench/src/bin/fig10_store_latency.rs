@@ -3,11 +3,17 @@
 //! with and without the network's multicast and gathering functions.
 //!
 //! Run with: `cargo run --release -p cenju4-bench --bin fig10_store_latency`
+//!
+//! `--trace-out trace.json` additionally replays the figure's golden
+//! scenario with span tracing and writes a Chrome `trace_event` file;
+//! `--metrics-out metrics.txt` dumps its latency histograms and counters.
 
 use cenju4::prelude::*;
 use cenju4_bench::paper::{FIG10_MULTICAST_1024, FIG10_SINGLECAST_1024};
+use cenju4_bench::ObsArgs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = ObsArgs::parse();
     for nodes in [16u16, 128, 1024] {
         let with_mc = SystemConfig::builder(nodes).build()?;
         let without = SystemConfig::builder(nodes).without_multicast().build()?;
@@ -62,5 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nExpected shape: with the hardware functions the latency grows with");
     println!("the number of *network stages*, not with the sharer count; without");
     println!("them it grows linearly with the sharers (NIC serialization).");
+
+    if obs.active() {
+        let run = cenju4_bench::traced::fig10_run();
+        obs.write(run.collector())?;
+    }
     Ok(())
 }

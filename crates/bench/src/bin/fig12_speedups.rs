@@ -3,12 +3,19 @@
 //! paper's headline: BT/FT/SP keep speeding up, CG saturates.
 //!
 //! Run with: `cargo run --release -p cenju4-bench --bin fig12_speedups [scale]`
+//!
+//! `--trace-out trace.json` additionally replays the figure's golden
+//! mixed-workload scenario with span tracing and writes a Chrome
+//! `trace_event` file; `--metrics-out metrics.txt` dumps its latency
+//! histograms and counters.
 
 use cenju4::prelude::*;
 use cenju4::workloads::runner;
 use cenju4_bench::paper::FIG12;
+use cenju4_bench::ObsArgs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = ObsArgs::parse();
     let scale = cenju4_bench::scale_arg(2.0);
     println!("Figure 12: speedups of dsm(2)+mapping programs (scale {scale})\n");
     for app in AppKind::ALL {
@@ -34,5 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nExpected shape: near-linear for BT/FT/SP; CG flattens well below");
     println!("its node count (the whole-vector re-read pattern of Section 4.2.3).");
+
+    if obs.active() {
+        let run = cenju4_bench::traced::fig12_run();
+        obs.write(run.collector())?;
+    }
     Ok(())
 }

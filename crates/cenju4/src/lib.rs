@@ -35,6 +35,7 @@
 pub use cenju4_des as des;
 pub use cenju4_directory as directory;
 pub use cenju4_network as network;
+pub use cenju4_obs as obs;
 pub use cenju4_protocol as protocol;
 pub use cenju4_sim as sim;
 pub use cenju4_workloads as workloads;

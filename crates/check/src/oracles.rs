@@ -23,6 +23,7 @@
 
 use crate::scenario::CheckConfig;
 use cenju4_directory::{MemState, NodeId};
+use cenju4_obs::SpanCollector;
 use cenju4_protocol::{Addr, CacheState, Engine, MemOp, Notification};
 use core::fmt;
 use std::collections::HashMap;
@@ -276,6 +277,32 @@ impl OracleState {
                      state for lost replies was never reclaimed"
                 ),
             });
+        }
+        // Span-leak oracle: the scenario engine carries a SpanCollector,
+        // and a span left open at quiescence is a transaction that
+        // started but never graduated — a leak or a starved request the
+        // counters above could miss (e.g. a lost writeback).
+        if let Some(col) = eng.observer::<SpanCollector>() {
+            let leaked = col.open_span_count();
+            if leaked != 0 {
+                return Some(Violation {
+                    oracle: "span-leak",
+                    detail: format!(
+                        "{leaked} span(s) still open at quiescence — a \
+                         transaction opened a span and never closed it"
+                    ),
+                });
+            }
+            let spans = col.completed_span_count();
+            if spans < issued {
+                return Some(Violation {
+                    oracle: "span-leak",
+                    detail: format!(
+                        "{spans} completed spans for {issued} issued accesses \
+                         — some access never opened a span"
+                    ),
+                });
+            }
         }
         None
     }

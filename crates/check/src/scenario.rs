@@ -5,8 +5,9 @@
 //! with concurrency. Every node issues all its accesses at time zero, so
 //! the controlled scheduler (not timing) decides every race.
 
-use cenju4_directory::NodeId;
+use cenju4_directory::{NodeId, SystemSize};
 use cenju4_network::FaultPlan;
+use cenju4_obs::SpanCollector;
 use cenju4_protocol::{Addr, Engine, FaultInjection, MemOp, ProtocolKind, RecoveryParams};
 use cenju4_sim::SystemConfig;
 use core::fmt;
@@ -101,6 +102,13 @@ impl CheckConfig {
         let mut eng = cfg.build();
         eng.enable_controlled_schedule();
         eng.enable_trace(4096);
+        // Span tracking rides along on every explored schedule: observers
+        // are pure instrumentation (the schedule space is unchanged), and
+        // the quiescence oracle uses the collector as a transaction-leak
+        // detector — every opened span must have closed.
+        eng.add_observer(Box::new(SpanCollector::new(
+            SystemSize::new(self.nodes).expect("checker scenario node count invalid"),
+        )));
         if self.drop_permille > 0 {
             eng.set_fault_plan(FaultPlan::random(self.fault_seed, self.drop_permille));
         }

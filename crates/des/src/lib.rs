@@ -37,4 +37,5 @@ pub mod time;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
+pub use stats::{Histogram, HistogramSummary};
 pub use time::{Duration, SimTime};

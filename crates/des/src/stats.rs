@@ -140,6 +140,23 @@ pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
     sum: u128,
+    max: u64,
+}
+
+/// The latency summary a [`Histogram`] reduces to: approximate quantiles
+/// (bucket midpoints) plus the exact maximum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+    /// The exact largest sample (0 if empty).
+    pub max: u64,
 }
 
 impl Histogram {
@@ -156,6 +173,7 @@ impl Histogram {
             counts: vec![0; buckets],
             total: 0,
             sum: 0,
+            max: 0,
         }
     }
 
@@ -165,11 +183,38 @@ impl Histogram {
         self.counts[idx] += 1;
         self.total += 1;
         self.sum += ns as u128;
+        self.max = self.max.max(ns);
     }
 
     /// Total number of recorded samples.
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// The exact largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The configured bucket width in nanoseconds.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// The per-bucket sample counts, in bucket order.
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Reduces the histogram to its p50/p90/p99/max summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.total,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
     }
 
     /// The mean of all recorded samples (0 if empty).
@@ -383,6 +428,26 @@ mod tests {
     fn quantile_of_empty_is_zero() {
         let h = Histogram::new(10, 4);
         assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_exact_max() {
+        let mut h = Histogram::new(100, 10);
+        for i in 0..100 {
+            h.record(i * 10);
+        }
+        h.record(123_456); // overflow bucket, but max stays exact
+        let s = h.summary();
+        assert_eq!(s.count, 101);
+        assert_eq!(s.max, 123_456);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        let h = Histogram::new(10, 4);
+        assert_eq!(h.summary(), HistogramSummary::default());
     }
 
     #[test]

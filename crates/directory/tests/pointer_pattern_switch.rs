@@ -1,0 +1,191 @@
+//! Property tests for the pointer → bit-pattern representation switch of
+//! [`Cenju4NodeMap`].
+//!
+//! The paper's directory keeps up to four precise pointers and converts
+//! to the 42-bit bit-pattern structure on the fifth distinct sharer.
+//! These tests pin that transition and its precision guarantees over
+//! the full 10-bit node-id range (0..1024):
+//!
+//! * with ≤ 4 distinct sharers the map is exact for *any* node ids;
+//! * the 4 → 5 switch happens exactly at the fifth **distinct** sharer
+//!   (re-adding a pointer never converts);
+//! * the switch never drops a sharer (superset invariant), and on ≤ 32
+//!   node systems it stays exact even as a pattern.
+//!
+//! Driven by the in-repo [`SplitMix64`] generator — fixed seeds, fully
+//! deterministic, no crates.io dependencies.
+
+use cenju4_des::SplitMix64;
+use cenju4_directory::nodemap::Repr;
+use cenju4_directory::{BitPattern, Cenju4NodeMap, NodeId, NodeMap, SystemSize};
+use std::collections::BTreeSet;
+
+/// Number of random cases per property.
+const CASES: u64 = 200;
+
+fn sys(nodes: u16) -> SystemSize {
+    SystemSize::new(nodes).unwrap()
+}
+
+/// `len` *distinct* node ids below `max_node`, in insertion order.
+fn distinct_nodes(rng: &mut SplitMix64, max_node: u16, len: usize) -> Vec<u16> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let n = rng.next_below(max_node as u64) as u16;
+        if seen.insert(n) {
+            out.push(n);
+        }
+    }
+    out
+}
+
+/// Up to four sharers, the pointer phase is exact over the full 10-bit
+/// node range: represents all added ids, no others, in ascending order.
+#[test]
+fn pointer_phase_is_exact_for_any_node_ids() {
+    let s = sys(1024);
+    let mut rng = SplitMix64::new(0xB17_0010);
+    for _ in 0..CASES {
+        let k = 1 + rng.next_below(4) as usize; // 1..=4 sharers
+        let nodes = distinct_nodes(&mut rng, 1024, k);
+        let mut m = Cenju4NodeMap::new(s);
+        for &n in &nodes {
+            m.add(NodeId::new(n));
+        }
+        assert_eq!(m.repr(), Repr::Pointers, "{nodes:?}");
+        assert_eq!(m.count() as usize, k);
+        let mut want: Vec<NodeId> = nodes.iter().map(|&n| NodeId::new(n)).collect();
+        want.sort_unstable();
+        assert_eq!(m.represented(), want, "pointer phase must be exact");
+        // Spot-check absence: ids never added are not represented.
+        for _ in 0..8 {
+            let probe = rng.next_below(1024) as u16;
+            if !nodes.contains(&probe) {
+                assert!(!m.contains(NodeId::new(probe)), "{probe} in {nodes:?}");
+            }
+        }
+    }
+}
+
+/// The representation switches exactly at the fifth *distinct* sharer:
+/// re-adding one of the four pointers never converts, the fifth new id
+/// always does, and no sharer is lost across the switch.
+#[test]
+fn fifth_distinct_sharer_triggers_the_switch() {
+    let s = sys(1024);
+    let mut rng = SplitMix64::new(0xB17_0011);
+    for _ in 0..CASES {
+        let nodes = distinct_nodes(&mut rng, 1024, 5);
+        let mut m = Cenju4NodeMap::new(s);
+        for &n in &nodes[..4] {
+            m.add(NodeId::new(n));
+        }
+        assert_eq!(m.repr(), Repr::Pointers);
+        assert!(m.as_pointers().is_some());
+        // Re-adding existing sharers is idempotent and keeps pointers.
+        for _ in 0..3 {
+            let again = nodes[rng.next_below(4) as usize];
+            m.add(NodeId::new(again));
+            assert_eq!(m.repr(), Repr::Pointers, "re-add of {again} converted");
+            assert_eq!(m.count(), 4);
+        }
+        // The fifth distinct sharer converts — and keeps all five.
+        m.add(NodeId::new(nodes[4]));
+        assert_eq!(m.repr(), Repr::Pattern, "{nodes:?}");
+        assert!(m.as_pattern().is_some());
+        for &n in &nodes {
+            assert!(
+                m.contains(NodeId::new(n)),
+                "sharer {n} lost across the switch ({nodes:?})"
+            );
+        }
+        // The switched pattern is exactly the pattern of the five ids.
+        let want: BitPattern = nodes.iter().map(|&n| NodeId::new(n)).collect();
+        assert_eq!(m.as_pattern().unwrap().to_bits(), want.to_bits());
+        // clear() returns to the pointer phase.
+        m.clear();
+        assert_eq!(m.repr(), Repr::Pointers);
+        assert!(m.is_empty());
+    }
+}
+
+/// After the switch the map stays a superset through arbitrary further
+/// adds, across the full node range.
+#[test]
+fn pattern_phase_is_a_superset_for_any_node_ids() {
+    let s = sys(1024);
+    let mut rng = SplitMix64::new(0xB17_0012);
+    for _ in 0..CASES {
+        let k = 5 + rng.next_below(36) as usize; // 5..=40 sharers
+        let nodes = distinct_nodes(&mut rng, 1024, k);
+        let mut m = Cenju4NodeMap::new(s);
+        for &n in &nodes {
+            m.add(NodeId::new(n));
+        }
+        assert_eq!(m.repr(), Repr::Pattern);
+        for &n in &nodes {
+            assert!(m.contains(NodeId::new(n)), "{n} missing ({nodes:?})");
+        }
+        assert!(m.count() as usize >= k, "count may not undercount sharers");
+        let rep = m.represented();
+        for &n in &nodes {
+            assert!(rep.contains(&NodeId::new(n)));
+        }
+    }
+}
+
+/// On machines of ≤ 32 nodes the pattern is a plain full map, so the
+/// switch costs no precision at all: the represented set stays exactly
+/// the added set at every step.
+#[test]
+fn small_systems_stay_exact_across_the_switch() {
+    let s = sys(32);
+    let mut rng = SplitMix64::new(0xB17_0013);
+    for _ in 0..CASES {
+        let k = 1 + rng.next_below(32) as usize;
+        let nodes = distinct_nodes(&mut rng, 32, k);
+        let mut m = Cenju4NodeMap::new(s);
+        let mut added = BTreeSet::new();
+        for &n in &nodes {
+            m.add(NodeId::new(n));
+            added.insert(NodeId::new(n));
+            let want: Vec<NodeId> = added.iter().copied().collect();
+            assert_eq!(
+                m.represented(),
+                want,
+                "≤32-node map must be exact after adding {n} ({nodes:?})"
+            );
+            assert!(m.is_precise());
+        }
+        assert_eq!(
+            m.repr(),
+            if k <= 4 {
+                Repr::Pointers
+            } else {
+                Repr::Pattern
+            }
+        );
+    }
+}
+
+/// `set_only` (ownership transfer) collapses any representation back to
+/// a single precise pointer — including from the pattern phase.
+#[test]
+fn set_only_returns_to_a_single_pointer() {
+    let s = sys(1024);
+    let mut rng = SplitMix64::new(0xB17_0014);
+    for _ in 0..CASES {
+        let nodes = distinct_nodes(&mut rng, 1024, 6);
+        let mut m = Cenju4NodeMap::new(s);
+        for &n in &nodes[..5] {
+            m.add(NodeId::new(n));
+        }
+        assert_eq!(m.repr(), Repr::Pattern);
+        let owner = NodeId::new(nodes[5]);
+        m.set_only(owner);
+        assert_eq!(m.repr(), Repr::Pointers);
+        assert_eq!(m.represented(), vec![owner]);
+        assert_eq!(m.count(), 1);
+    }
+}

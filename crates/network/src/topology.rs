@@ -148,6 +148,19 @@ impl Topology {
     pub fn endpoint(&self, prefix: u32, p: u8) -> u32 {
         (prefix << 2) | p as u32
     }
+
+    /// Switch hops on the unique path `src → dst`: a remote message
+    /// crosses every stage of the butterfly (there are no partial
+    /// routes), a node-local hand-off crosses none. Instrumentation uses
+    /// this to annotate per-message fabric cost.
+    #[inline]
+    pub fn hop_count(&self, src: u32, dst: u32) -> u32 {
+        if src == dst {
+            0
+        } else {
+            self.stages
+        }
+    }
 }
 
 #[cfg(test)]

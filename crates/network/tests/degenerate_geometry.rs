@@ -1,0 +1,144 @@
+//! Degenerate-geometry unit tests for the flat index math in
+//! `cenju4_network::tables`.
+//!
+//! The `link_index`/`port_index` bijections are spec for the dense
+//! hot-path tables; the interesting places for off-by-one bugs are the
+//! boundaries nothing else exercises:
+//!
+//! * a **1-node** table (the raw index math takes any `nodes`, even
+//!   though `SystemSize` itself starts at 2 — the table must still be a
+//!   bijection over its single link);
+//! * a **single-stage** port-table slice (stage counts come in pairs, so
+//!   the smallest real fabric has 2 stages; stage 0 of the 2-node
+//!   machine is the smallest slice the math sees, plus the degenerate
+//!   `switches_per_stage == 1` label space);
+//! * the **1024-node architectural maximum** (6 stages, 1024 switches
+//!   per stage, 4096 ports, 2²⁰ links) where any index widening bug
+//!   would overflow or alias.
+
+use cenju4_directory::{NodeId, SystemSize};
+use cenju4_network::tables::{link_index, link_of_index, port_index, LinkTable};
+use cenju4_network::Topology;
+
+#[test]
+fn one_node_table_is_a_single_link() {
+    // SystemSize rejects 1 (the machine starts at 2 nodes), but the flat
+    // tables are plain index math over any `nodes` — the degenerate
+    // geometry must still round-trip.
+    let n0 = NodeId::new(0);
+    assert_eq!(link_index(1, n0, n0), 0);
+    assert_eq!(link_of_index(1, 0), (n0, n0));
+
+    let mut t: LinkTable<u32> = LinkTable::new(1);
+    assert_eq!(t.nodes(), 1);
+    *t.get_mut(n0, n0) = 7;
+    assert_eq!(*t.get(n0, n0), 7);
+    assert_eq!(t.iter().count(), 1);
+    t.clear();
+    assert_eq!(*t.get(n0, n0), 0);
+}
+
+#[test]
+fn two_node_minimum_system_round_trips() {
+    // The smallest geometry SystemSize actually accepts. Stage counts
+    // come in pairs (the Cenju-4 network is built from pairs of 4x4
+    // stages), so even 2 nodes ride a 2-stage, 16-port fabric.
+    let sys = SystemSize::new(2).unwrap();
+    assert_eq!(sys.stages(), 2);
+    let topo = Topology::new(sys);
+    assert_eq!(topo.ports(), 16);
+    assert_eq!(topo.switches_per_stage(), 4);
+    for s in 0..2u16 {
+        for d in 0..2u16 {
+            let i = link_index(2, NodeId::new(s), NodeId::new(d));
+            assert!(i < 4);
+            assert_eq!(link_of_index(2, i), (NodeId::new(s), NodeId::new(d)));
+        }
+    }
+}
+
+#[test]
+fn single_stage_port_indices_are_dense_and_distinct() {
+    // The single-stage slice of the smallest machine: stage 0 of the
+    // 2-node fabric has 4 switches x 4 ports, and its indices must fill
+    // [0, 16) exactly — dense, no gaps, no aliasing with stage 1.
+    let topo = Topology::new(SystemSize::new(2).unwrap());
+    let sps = topo.switches_per_stage();
+    let mut seen = [false; 16];
+    for label in 0..sps {
+        for port in 0..4u8 {
+            let i = port_index(sps, 0, label, port);
+            assert!(i < 16, "stage-0 index {i} out of range");
+            assert!(!seen[i], "({label},{port}) aliased index {i}");
+            seen[i] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s));
+    // The first stage-1 index starts exactly where stage 0 ended.
+    assert_eq!(port_index(sps, 1, 0, 0), 16);
+}
+
+#[test]
+fn single_switch_per_stage_still_separates_stages() {
+    // switches_per_stage == 1 is the degenerate label space: stage must
+    // be the only thing separating indices.
+    for stage in 0..6u32 {
+        for port in 0..4u8 {
+            let i = port_index(1, stage, 0, port);
+            assert_eq!(i, (stage * 4 + port as u32) as usize);
+        }
+    }
+}
+
+#[test]
+fn max_machine_link_indices_are_a_bijection() {
+    // 1024 nodes: 2^20 directed links. Check the corners and a stride of
+    // interior points; the inverse must recover every (src, dst) pair.
+    let n = 1024usize;
+    assert_eq!(
+        link_index(n, NodeId::new(1023), NodeId::new(1023)),
+        n * n - 1
+    );
+    assert_eq!(link_index(n, NodeId::new(0), NodeId::new(1023)), 1023);
+    assert_eq!(link_index(n, NodeId::new(1023), NodeId::new(0)), 1023 * n);
+    for s in (0..1024u16).step_by(73) {
+        for d in (0..1024u16).step_by(73) {
+            let (src, dst) = (NodeId::new(s), NodeId::new(d));
+            let i = link_index(n, src, dst);
+            assert!(i < n * n);
+            assert_eq!(link_of_index(n, i), (src, dst));
+        }
+    }
+}
+
+#[test]
+fn max_machine_port_indices_cover_every_slot_once() {
+    // 1024 nodes: 6 stages x 1024 switches x 4 ports = 24576 slots.
+    let sys = SystemSize::new(1024).unwrap();
+    let topo = Topology::new(sys);
+    assert_eq!(topo.stages(), 6);
+    assert_eq!(topo.switches_per_stage(), 1024);
+    let sps = topo.switches_per_stage();
+    let slots = (topo.stages() * sps * 4) as usize;
+    let mut seen = vec![false; slots];
+    for stage in 0..topo.stages() {
+        for label in 0..sps {
+            for port in 0..4u8 {
+                let i = port_index(sps, stage, label, port);
+                assert!(i < slots, "index {i} out of {slots}");
+                assert!(!seen[i], "({stage},{label},{port}) aliased index {i}");
+                seen[i] = true;
+            }
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "port index space has holes");
+}
+
+#[test]
+fn max_machine_hop_counts() {
+    let topo = Topology::new(SystemSize::new(1024).unwrap());
+    assert_eq!(topo.hop_count(0, 0), 0);
+    assert_eq!(topo.hop_count(1023, 1023), 0);
+    assert_eq!(topo.hop_count(0, 1023), 6);
+    assert_eq!(topo.hop_count(1023, 0), 6);
+}

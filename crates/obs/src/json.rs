@@ -1,0 +1,399 @@
+//! A minimal JSON value type and recursive-descent parser.
+//!
+//! The workspace is hermetic (no serde), but the trace exporter writes
+//! JSON and the tests and the `obs-smoke` CI tier must be able to read
+//! it back and check its shape. This module is that reader: full JSON
+//! grammar, no extensions, string escapes limited to what the exporter
+//! emits plus the standard set.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`, which covers every value the
+    /// exporter writes).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object, `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Examples
+///
+/// ```
+/// use cenju4_obs::json::parse;
+///
+/// let v = parse(r#"{"traceEvents":[{"ph":"X","ts":1.5}]}"#).unwrap();
+/// let ev = &v.get("traceEvents").unwrap().as_arr().unwrap()[0];
+/// assert_eq!(ev.get("ph").unwrap().as_str(), Some("X"));
+/// assert_eq!(ev.get("ts").unwrap().as_f64(), Some(1.5));
+/// ```
+///
+/// # Errors
+///
+/// A human-readable message with a byte offset on malformed input or
+/// trailing garbage.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}",
+                b as char,
+                self.pos.saturating_sub(1)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(members)),
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| "non-utf8 \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                        self.pos += 4;
+                        // Surrogate pairs are not emitted by the exporter;
+                        // reject rather than mis-decode.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| "surrogate \\u escape".to_string())?,
+                        );
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.pos)),
+                },
+                Some(c) if c < 0x20 => {
+                    return Err(format!("raw control char at byte {}", self.pos - 1))
+                }
+                Some(c) => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = match c {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        if start + len > self.bytes.len() {
+                            return Err("truncated utf-8 sequence".into());
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..start + len])
+                            .map_err(|_| format!("bad utf-8 at byte {start}"))?;
+                        out.push_str(s);
+                        self.pos = start + len;
+                    }
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
+/// Shape summary returned by [`validate_chrome_trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceShape {
+    /// Total events of any phase.
+    pub events: usize,
+    /// `ph:"X"` complete spans.
+    pub complete_spans: usize,
+    /// `ph:"i"` instant events.
+    pub instants: usize,
+}
+
+/// Checks that `src` is a Chrome `trace_event` document: a top-level
+/// object with a `traceEvents` array whose members all carry a string
+/// `ph`, and whose `"X"` events carry `name`/`pid`/`tid`/`ts`/`dur`.
+///
+/// # Errors
+///
+/// The first shape violation found, as a human-readable message.
+pub fn validate_chrome_trace(src: &str) -> Result<TraceShape, String> {
+    let doc = parse(src)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    let mut shape = TraceShape {
+        events: events.len(),
+        complete_spans: 0,
+        instants: 0,
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string ph"))?;
+        match ph {
+            "X" => {
+                for field in ["name", "pid", "tid", "ts", "dur"] {
+                    if ev.get(field).is_none() {
+                        return Err(format!("event {i}: X event missing {field}"));
+                    }
+                }
+                if ev.get("ts").and_then(Json::as_f64).is_none()
+                    || ev.get("dur").and_then(Json::as_f64).is_none()
+                {
+                    return Err(format!("event {i}: non-numeric ts/dur"));
+                }
+                shape.complete_spans += 1;
+            }
+            "i" => shape.instants += 1,
+            _ => {}
+        }
+    }
+    Ok(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a":[1,2.5,-3e2],"b":{"c":"x\ny"},"d":null,"e":true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        assert_eq!(v.get("e"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse(r#"{"a":1} extra"#).is_err());
+        assert!(parse(r#""unterminated"#).is_err());
+        assert!(parse("01x").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_and_utf8_round_trip() {
+        let v = parse(r#""café — naïve""#).unwrap();
+        assert_eq!(v.as_str(), Some("café — naïve"));
+    }
+
+    #[test]
+    fn validates_trace_shape() {
+        let good = r#"{"traceEvents":[
+            {"ph":"M","name":"process_name","pid":0,"args":{"name":"node0"}},
+            {"ph":"X","name":"load-miss","pid":0,"tid":0,"ts":0.1,"dur":2.62},
+            {"ph":"i","name":"reply","pid":0,"tid":0,"ts":2.0,"s":"t"}
+        ]}"#;
+        let shape = validate_chrome_trace(good).unwrap();
+        assert_eq!(shape.events, 3);
+        assert_eq!(shape.complete_spans, 1);
+        assert_eq!(shape.instants, 1);
+
+        let bad = r#"{"traceEvents":[{"ph":"X","name":"x","pid":0,"tid":0,"ts":0.1}]}"#;
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("dur"));
+        assert!(validate_chrome_trace(r#"{"events":[]}"#).is_err());
+    }
+}

@@ -1,0 +1,518 @@
+//! Per-transaction spans and the observer that collects them.
+
+use crate::metrics::MetricsRegistry;
+use cenju4_des::{FxHashMap, SimTime};
+use cenju4_directory::{NodeId, SystemSize};
+use cenju4_network::Topology;
+use cenju4_protocol::observer::{ModuleKind, Observer, PhaseKind};
+use cenju4_protocol::{Addr, MemOp, ProtoMsg, ReqKind, TxnId};
+use std::collections::VecDeque;
+
+/// The class a closed span lands in — one latency histogram per class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanClass {
+    /// Satisfied in the local L2 (no coherence traffic).
+    Hit,
+    /// A load miss serviced by a read-shared transaction.
+    LoadMiss,
+    /// A store miss serviced by a read-exclusive transaction.
+    StoreMiss,
+    /// A data-less ownership upgrade of a Shared copy.
+    Upgrade,
+    /// A write-through on an update-protocol block (Section 4.2.3).
+    Update,
+    /// An L2 miss refilled from the node's main-memory third-level cache.
+    L3Fill,
+    /// A transaction that suffered at least one nack/retry round before
+    /// graduating (nack-baseline starvation signal).
+    RecoveryRetry,
+    /// A displaced dirty line written back to its home (pseudo-span: no
+    /// transaction id, keyed by evictor and block).
+    Writeback,
+}
+
+impl SpanClass {
+    /// Every class, in the fixed order exporters use.
+    pub const ALL: [SpanClass; 8] = [
+        SpanClass::Hit,
+        SpanClass::LoadMiss,
+        SpanClass::StoreMiss,
+        SpanClass::Upgrade,
+        SpanClass::Update,
+        SpanClass::L3Fill,
+        SpanClass::RecoveryRetry,
+        SpanClass::Writeback,
+    ];
+
+    /// A short stable label, used as histogram key and trace lane name.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanClass::Hit => "hit",
+            SpanClass::LoadMiss => "load-miss",
+            SpanClass::StoreMiss => "store-miss",
+            SpanClass::Upgrade => "upgrade",
+            SpanClass::Update => "update",
+            SpanClass::L3Fill => "l3-fill",
+            SpanClass::RecoveryRetry => "recovery-retry",
+            SpanClass::Writeback => "writeback",
+        }
+    }
+}
+
+/// One typed event inside a span, stamped with simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// When the event fired.
+    pub at: SimTime,
+    /// The node it fired at.
+    pub node: NodeId,
+    /// The event label (a [`PhaseKind::label`] or `"retry"`).
+    pub label: &'static str,
+    /// Phase payload: queue depth, fan-out copies, combined acks — 0
+    /// when the phase carries none.
+    pub detail: u32,
+}
+
+/// The module lane a span event belongs to, for trace export.
+pub(crate) fn event_module(label: &str) -> ModuleKind {
+    match label {
+        "queued-at-home" | "reservation-wait" | "forwarded" | "multicast-fanout"
+        | "gather-combine" => ModuleKind::Home,
+        "gather-contribute" => ModuleKind::Slave,
+        _ => ModuleKind::Master,
+    }
+}
+
+/// One coherence transaction's lifetime: open at the processor access,
+/// closed at graduation, with every phase milestone in between.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Collector-local span id (stable within one run).
+    pub id: u64,
+    /// The transaction id, `None` for writeback pseudo-spans.
+    pub txn: Option<TxnId>,
+    /// The issuing node (evictor, for writebacks).
+    pub node: NodeId,
+    /// The target block.
+    pub addr: Addr,
+    /// The operation, when the span belongs to a processor access.
+    pub op: Option<MemOp>,
+    /// The request kind the master put on the wire, if any.
+    pub kind: Option<ReqKind>,
+    /// When the span opened.
+    pub opened: SimTime,
+    /// When it closed (`None` while in flight).
+    pub closed: Option<SimTime>,
+    /// The class assigned at close.
+    pub class: Option<SpanClass>,
+    /// Phase milestones, in firing order.
+    pub events: Vec<SpanEvent>,
+    /// Nack/retry rounds this transaction suffered.
+    pub retries: u32,
+}
+
+impl Span {
+    /// The span latency, once closed.
+    pub fn latency_ns(&self) -> Option<u64> {
+        self.closed.map(|c| c.since(self.opened).as_ns())
+    }
+}
+
+/// An [`Observer`] that reconstructs per-transaction spans from the
+/// protocol's callback stream and reduces them into a
+/// [`MetricsRegistry`].
+///
+/// Attach with `Engine::add_observer`; retrieve with
+/// `Engine::observer::<SpanCollector>()`. Every opened span must close
+/// by quiescence — [`SpanCollector::open_span_count`] doubles as a
+/// transaction-leak / starvation detector (the checker's quiescence
+/// oracle asserts it is zero).
+pub struct SpanCollector {
+    topo: Topology,
+    spans: Vec<Span>,
+    /// Open processor-access spans by transaction id.
+    open: FxHashMap<TxnId, usize>,
+    /// Open writeback pseudo-spans by (evictor, block), FIFO per key —
+    /// the fabric delivers same-link messages in order, so the first
+    /// writeback sent is the first received.
+    open_writebacks: FxHashMap<(NodeId, Addr), VecDeque<usize>>,
+    /// The transaction whose access/retry dispatch is currently running
+    /// at each node, so the txn-less `on_request_issued` callback can be
+    /// attributed to its span.
+    last_dispatch: FxHashMap<NodeId, TxnId>,
+    metrics: MetricsRegistry,
+    next_id: u64,
+}
+
+impl SpanCollector {
+    /// A collector for a machine of `sys` nodes.
+    pub fn new(sys: SystemSize) -> Self {
+        SpanCollector {
+            topo: Topology::new(sys),
+            spans: Vec::new(),
+            open: FxHashMap::default(),
+            open_writebacks: FxHashMap::default(),
+            last_dispatch: FxHashMap::default(),
+            metrics: MetricsRegistry::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Every span, in open order (closed and still-open alike).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The accumulated histograms and counters.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Spans still open — zero at quiescence, or the protocol leaked a
+    /// transaction (the span-leak oracle).
+    pub fn open_span_count(&self) -> usize {
+        self.open.len()
+            + self
+                .open_writebacks
+                .values()
+                .map(VecDeque::len)
+                .sum::<usize>()
+    }
+
+    /// Spans that opened and closed.
+    pub fn completed_span_count(&self) -> usize {
+        self.spans.iter().filter(|s| s.closed.is_some()).count()
+    }
+
+    /// A deterministic fingerprint of every span's class, timing, and
+    /// event order — what the sweep-thread-invariance test compares.
+    pub fn event_fingerprint(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            out.push_str(&format!(
+                "span txn={:?} node={} addr={} class={} opened={} closed={:?} retries={}\n",
+                s.txn,
+                s.node,
+                s.addr,
+                s.class.map_or("open", SpanClass::label),
+                s.opened.as_ns(),
+                s.closed.map(|c| c.as_ns()),
+                s.retries,
+            ));
+            for e in &s.events {
+                out.push_str(&format!(
+                    "  {} @{} node={} detail={}\n",
+                    e.label,
+                    e.at.as_ns(),
+                    e.node,
+                    e.detail
+                ));
+            }
+        }
+        out
+    }
+
+    fn push_span(&mut self, span: Span) -> usize {
+        let idx = self.spans.len();
+        self.spans.push(span);
+        idx
+    }
+
+    fn close(&mut self, idx: usize, at: SimTime, class: SpanClass) {
+        let span = &mut self.spans[idx];
+        span.closed = Some(at);
+        span.class = Some(class);
+        let ns = at.since(span.opened).as_ns();
+        self.metrics.record_latency(class.label(), ns);
+        self.metrics.incr("span.closed");
+    }
+
+    fn classify(span: &Span, hit: bool, l3: bool) -> SpanClass {
+        if span.retries > 0 {
+            return SpanClass::RecoveryRetry;
+        }
+        if hit {
+            return SpanClass::Hit;
+        }
+        if l3 {
+            return SpanClass::L3Fill;
+        }
+        match (span.kind, span.op) {
+            (Some(ReqKind::Ownership), _) => SpanClass::Upgrade,
+            (Some(ReqKind::Update), _) => SpanClass::Update,
+            (Some(ReqKind::ReadExclusive), _) => SpanClass::StoreMiss,
+            (Some(ReqKind::ReadShared), Some(MemOp::Store)) => SpanClass::StoreMiss,
+            (Some(ReqKind::ReadShared), _) => SpanClass::LoadMiss,
+            (None, Some(MemOp::Store)) => SpanClass::StoreMiss,
+            (None, _) => SpanClass::LoadMiss,
+        }
+    }
+}
+
+impl Observer for SpanCollector {
+    fn on_access(&mut self, at: SimTime, node: NodeId, op: MemOp, addr: Addr, txn: TxnId) {
+        self.last_dispatch.insert(node, txn);
+        if let Some(&idx) = self.open.get(&txn) {
+            // A backlogged access re-dispatching once a request slot
+            // freed up: the span stays open from its first issue.
+            self.spans[idx].events.push(SpanEvent {
+                at,
+                node,
+                label: "backlog-drain",
+                detail: 0,
+            });
+            self.metrics.incr("phase.backlog-drain");
+            return;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let idx = self.push_span(Span {
+            id,
+            txn: Some(txn),
+            node,
+            addr,
+            op: Some(op),
+            kind: None,
+            opened: at,
+            closed: None,
+            class: None,
+            events: Vec::new(),
+            retries: 0,
+        });
+        self.open.insert(txn, idx);
+        self.metrics.incr("span.opened");
+    }
+
+    fn on_request_issued(&mut self, _at: SimTime, node: NodeId, kind: ReqKind, retry: bool) {
+        let Some(&txn) = self.last_dispatch.get(&node) else {
+            return;
+        };
+        if let Some(&idx) = self.open.get(&txn) {
+            let span = &mut self.spans[idx];
+            if span.kind.is_none() || !retry {
+                span.kind = Some(kind);
+            }
+        }
+        self.metrics.incr(&format!("module.master.request.{kind}"));
+    }
+
+    fn on_retry(&mut self, at: SimTime, node: NodeId, txn: TxnId) {
+        self.last_dispatch.insert(node, txn);
+        if let Some(&idx) = self.open.get(&txn) {
+            let span = &mut self.spans[idx];
+            span.retries += 1;
+            span.events.push(SpanEvent {
+                at,
+                node,
+                label: "retry",
+                detail: span.retries,
+            });
+        }
+        self.metrics.incr("phase.retry");
+    }
+
+    fn on_phase(&mut self, at: SimTime, node: NodeId, txn: TxnId, phase: PhaseKind) {
+        let label = phase.label();
+        let detail = match phase {
+            PhaseKind::QueuedAtHome { depth } => depth,
+            PhaseKind::MulticastFanout { copies } => copies,
+            PhaseKind::GatherCombine { acks } => acks,
+            _ => 0,
+        };
+        if let Some(&idx) = self.open.get(&txn) {
+            self.spans[idx].events.push(SpanEvent {
+                at,
+                node,
+                label,
+                detail,
+            });
+        }
+        self.metrics.incr(&format!("phase.{label}"));
+        let module = match event_module(label) {
+            ModuleKind::Master => "master",
+            ModuleKind::Home => "home",
+            ModuleKind::Slave => "slave",
+        };
+        self.metrics.incr(&format!("module.{module}.phases"));
+    }
+
+    fn on_send(&mut self, at: SimTime, src: NodeId, dst: NodeId, msg: &ProtoMsg) {
+        self.metrics.incr("fabric.sends");
+        self.metrics.add(
+            "fabric.hops",
+            self.topo.hop_count(src.index() as u32, dst.index() as u32) as u64,
+        );
+        if let ProtoMsg::WriteBack { addr, from, .. } = *msg {
+            let id = self.next_id;
+            self.next_id += 1;
+            let idx = self.push_span(Span {
+                id,
+                txn: None,
+                node: from,
+                addr,
+                op: None,
+                kind: None,
+                opened: at,
+                closed: None,
+                class: None,
+                events: Vec::new(),
+                retries: 0,
+            });
+            self.open_writebacks
+                .entry((from, addr))
+                .or_default()
+                .push_back(idx);
+            self.metrics.incr("span.opened");
+        }
+    }
+
+    fn on_receive(&mut self, at: SimTime, dst: NodeId, _src: NodeId, msg: &ProtoMsg) {
+        if let ProtoMsg::WriteBack { addr, from, .. } = *msg {
+            debug_assert_eq!(dst, addr.home());
+            if let Some(q) = self.open_writebacks.get_mut(&(from, addr)) {
+                if let Some(idx) = q.pop_front() {
+                    if q.is_empty() {
+                        self.open_writebacks.remove(&(from, addr));
+                    }
+                    self.close(idx, at, SpanClass::Writeback);
+                }
+            }
+        }
+    }
+
+    fn on_complete(
+        &mut self,
+        at: SimTime,
+        _node: NodeId,
+        txn: TxnId,
+        _op: MemOp,
+        _addr: Addr,
+        hit: bool,
+        l3: bool,
+    ) {
+        if let Some(idx) = self.open.remove(&txn) {
+            let class = Self::classify(&self.spans[idx], hit, l3);
+            self.close(idx, at, class);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cenju4_network::NetParams;
+    use cenju4_protocol::{Engine, ProtoParams, ProtocolKind};
+
+    fn engine(nodes: u16) -> Engine {
+        let sys = SystemSize::new(nodes).unwrap();
+        let mut eng = Engine::new(
+            sys,
+            ProtoParams::default(),
+            NetParams::default(),
+            ProtocolKind::Queuing,
+        );
+        eng.add_observer(Box::new(SpanCollector::new(sys)));
+        eng
+    }
+
+    #[test]
+    fn load_miss_then_hit_classified() {
+        let mut eng = engine(16);
+        let a = Addr::new(NodeId::new(1), 0);
+        eng.issue(SimTime::ZERO, NodeId::new(0), MemOp::Load, a);
+        eng.run();
+        eng.issue(eng.now(), NodeId::new(0), MemOp::Load, a);
+        eng.run();
+        let c: &SpanCollector = eng.observer().unwrap();
+        assert_eq!(c.completed_span_count(), 2);
+        assert_eq!(c.open_span_count(), 0);
+        let classes: Vec<_> = c.spans().iter().map(|s| s.class.unwrap()).collect();
+        assert_eq!(classes, vec![SpanClass::LoadMiss, SpanClass::Hit]);
+        assert!(c.spans()[0].latency_ns().unwrap() > 0);
+    }
+
+    #[test]
+    fn store_over_sharers_records_fanout_and_gather() {
+        let mut eng = engine(16);
+        let a = Addr::new(NodeId::new(0), 1);
+        for n in 1..=4u16 {
+            eng.issue(eng.now(), NodeId::new(n), MemOp::Load, a);
+            eng.run();
+        }
+        eng.issue(eng.now(), NodeId::new(1), MemOp::Store, a);
+        eng.run();
+        let c: &SpanCollector = eng.observer().unwrap();
+        assert_eq!(c.open_span_count(), 0);
+        let store = c.spans().last().unwrap();
+        assert_eq!(store.class, Some(SpanClass::Upgrade));
+        let labels: Vec<_> = store.events.iter().map(|e| e.label).collect();
+        assert!(labels.contains(&"multicast-fanout"), "{labels:?}");
+        assert!(labels.contains(&"gather-combine"), "{labels:?}");
+        assert!(labels.contains(&"reply"), "{labels:?}");
+        // Event timestamps are nondecreasing within the span.
+        assert!(store.events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn nack_baseline_retries_classify_as_recovery_retry() {
+        let sys = SystemSize::new(16).unwrap();
+        let mut eng = Engine::new(
+            sys,
+            ProtoParams::default(),
+            NetParams::default(),
+            ProtocolKind::Nack,
+        );
+        eng.add_observer(Box::new(SpanCollector::new(sys)));
+        let a = Addr::new(NodeId::new(0), 1);
+        // Spread the block over several sharers so a store opens a long
+        // invalidation-pending window at the home …
+        for n in 1..=4u16 {
+            eng.issue(eng.now(), NodeId::new(n), MemOp::Load, a);
+            eng.run();
+        }
+        // … then race two stores into that window: the loser is nacked
+        // and must retry.
+        let t = eng.now();
+        eng.issue(t, NodeId::new(5), MemOp::Store, a);
+        eng.issue(t, NodeId::new(6), MemOp::Store, a);
+        eng.run();
+        let c: &SpanCollector = eng.observer().unwrap();
+        assert_eq!(c.open_span_count(), 0);
+        assert!(c
+            .spans()
+            .iter()
+            .any(|s| s.class == Some(SpanClass::RecoveryRetry) && s.retries > 0));
+    }
+
+    #[test]
+    fn writeback_pseudo_spans_close() {
+        let sys = SystemSize::new(16).unwrap();
+        // A one-set, 4-way cache: the fifth distinct dirty block evicts a
+        // Modified victim, which is written back to its home.
+        let params = ProtoParams {
+            cache_bytes: 4 * 128,
+            cache_assoc: 4,
+            ..ProtoParams::default()
+        };
+        let mut eng = Engine::new(sys, params, NetParams::default(), ProtocolKind::Queuing);
+        eng.add_observer(Box::new(SpanCollector::new(sys)));
+        for b in 0..8u32 {
+            eng.issue(
+                eng.now(),
+                NodeId::new(0),
+                MemOp::Store,
+                Addr::new(NodeId::new(1), b),
+            );
+            eng.run();
+        }
+        let c: &SpanCollector = eng.observer().unwrap();
+        assert_eq!(c.open_span_count(), 0, "all writeback spans must close");
+        let wb = c
+            .spans()
+            .iter()
+            .filter(|s| s.class == Some(SpanClass::Writeback))
+            .count();
+        assert!(wb > 0, "expected at least one writeback span");
+        assert_eq!(wb as u64, eng.stats().writebacks.get());
+    }
+}

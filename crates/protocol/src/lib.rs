@@ -75,5 +75,6 @@ pub use cache::{Cache, CacheState, Victim};
 pub use engine::{Engine, IssueError, MemOp, Notification};
 pub use messages::{ProtoMsg, ReqKind, TxnId};
 pub use modules::bus::PendingEvent;
+pub use observer::{ModuleKind, Observer, PhaseKind};
 pub use params::{FaultInjection, ProtoParams, ProtocolKind, RecoveryError, RecoveryParams};
 pub use stats::EngineStats;

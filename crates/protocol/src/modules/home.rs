@@ -9,7 +9,7 @@ use crate::addr::Addr;
 use crate::cache::CacheState;
 use crate::messages::{ProtoMsg, ReqKind, TxnId};
 use crate::modules::Ctx;
-use crate::observer::ModuleKind;
+use crate::observer::{ModuleKind, PhaseKind};
 use crate::params::ProtocolKind;
 use crate::service::ServiceQueue;
 use cenju4_des::FxHashMap;
@@ -200,6 +200,14 @@ impl HomeModule {
         self.req_queue_hwm = self.req_queue_hwm.max(self.req_queue.len());
         ctx.obs
             .on_request_deferred(at, self.node, addr, Some(self.req_queue.len()));
+        ctx.obs.on_phase(
+            at,
+            self.node,
+            txn,
+            PhaseKind::QueuedAtHome {
+                depth: self.req_queue.len() as u32,
+            },
+        );
         assert!(
             self.req_queue.len() <= ctx.params.home_queue_capacity,
             "home request queue overflowed its 32KB bound"
@@ -308,6 +316,7 @@ impl HomeModule {
                             expect: Expect::SlaveReply,
                         },
                     );
+                    ctx.obs.on_phase(done, self.node, txn, PhaseKind::Forwarded);
                     ctx.send(
                         done,
                         self.node,
@@ -374,6 +383,7 @@ impl HomeModule {
                             expect: Expect::SlaveReply,
                         },
                     );
+                    ctx.obs.on_phase(done, self.node, txn, PhaseKind::Forwarded);
                     ctx.send(
                         done,
                         self.node,
@@ -491,6 +501,12 @@ impl HomeModule {
                         expect: Expect::InvAcks { remaining: targets },
                     },
                 );
+                ctx.obs.on_phase(
+                    done,
+                    self.node,
+                    txn,
+                    PhaseKind::MulticastFanout { copies: targets },
+                );
                 if targets <= params.singlecast_threshold.max(1) {
                     for dst in spec.destinations(ctx.sys) {
                         ctx.send(
@@ -561,6 +577,12 @@ impl HomeModule {
         let targets = spec.fanout(ctx.sys);
         debug_assert!(targets > 0, "invalidation with no targets");
         ctx.obs.on_invalidation(at, self.node, addr, targets);
+        ctx.obs.on_phase(
+            at,
+            self.node,
+            txn,
+            PhaseKind::MulticastFanout { copies: targets },
+        );
         self.pending.insert(
             addr,
             PendingTxn {
@@ -672,6 +694,8 @@ impl HomeModule {
                     .get_mut(&addr)
                     .expect("inv ack without pending txn");
                 debug_assert_eq!(p.txn, txn);
+                ctx.obs
+                    .on_phase(at, self.node, txn, PhaseKind::GatherCombine { acks });
                 let finished = match &mut p.expect {
                     Expect::InvAcks { remaining } => {
                         assert!(*remaining >= acks, "more acks than invalidations");
@@ -768,6 +792,8 @@ impl HomeModule {
                 break;
             }
             self.req_queue.pop_front();
+            ctx.obs
+                .on_phase(at, self.node, head.txn, PhaseKind::ReservationWait);
             self.process_request(
                 ctx,
                 at,

@@ -11,7 +11,7 @@ use crate::engine::MemOp;
 use crate::messages::{ProtoMsg, ReqKind, TxnId};
 use crate::modules::bus::BusMsg;
 use crate::modules::Ctx;
-use crate::observer::ModuleKind;
+use crate::observer::{ModuleKind, PhaseKind};
 use crate::params::{ProtoParams, RecoveryError};
 use crate::service::ServiceQueue;
 use cenju4_des::FxHashMap;
@@ -396,6 +396,7 @@ impl MasterModule {
                 if !self.outstanding.contains_key(&txn) && self.discard_unknown_txn(ctx, at) {
                     return;
                 }
+                ctx.obs.on_phase(at, self.node, txn, PhaseKind::Reply);
                 let done = ctx.begin(
                     &mut self.input_q,
                     self.node,
@@ -434,6 +435,7 @@ impl MasterModule {
                 if !self.outstanding.contains_key(&txn) && self.discard_unknown_txn(ctx, at) {
                     return;
                 }
+                ctx.obs.on_phase(at, self.node, txn, PhaseKind::Reply);
                 let done = ctx.begin(
                     &mut self.input_q,
                     self.node,

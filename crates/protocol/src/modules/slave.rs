@@ -9,7 +9,7 @@
 use crate::cache::CacheState;
 use crate::messages::{ProtoMsg, ReqKind};
 use crate::modules::{Ctx, MasterModule};
-use crate::observer::ModuleKind;
+use crate::observer::{ModuleKind, PhaseKind};
 use crate::service::ServiceQueue;
 use cenju4_des::SimTime;
 use cenju4_directory::NodeId;
@@ -111,6 +111,8 @@ impl SlaveModule {
                     ctx.send(done, self.node, addr.home(), ack);
                 } else {
                     let id = gather.expect("multicast update without gather id");
+                    ctx.obs
+                        .on_phase(done, self.node, txn, PhaseKind::GatherContribute);
                     ctx.gather_reply(done, self.node, id, ack);
                 }
             }
@@ -137,6 +139,8 @@ impl SlaveModule {
                     ctx.send(done, self.node, addr.home(), ack);
                 } else {
                     let id = gather.expect("multicast invalidation without gather id");
+                    ctx.obs
+                        .on_phase(done, self.node, txn, PhaseKind::GatherContribute);
                     ctx.gather_reply(done, self.node, id, ack);
                 }
             }

@@ -58,6 +58,57 @@ use cenju4_directory::{MemState, NodeId};
 use cenju4_network::FaultEvent;
 use std::any::Any;
 
+/// A typed milestone inside one coherence transaction's lifetime,
+/// reported through [`Observer::on_phase`]. Phases carry the transaction
+/// id of the request they belong to, so span-based instrumentation can
+/// reconstruct "what did transaction N do, hop by hop" without parsing
+/// message traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// The home found the block pending and parked the request in its
+    /// main-memory queue (`depth` = occupancy after parking).
+    QueuedAtHome {
+        /// Queue occupancy after the request was parked.
+        depth: u32,
+    },
+    /// A parked request's reservation-wait ended: the queue head was
+    /// woken and re-entered directory service.
+    ReservationWait,
+    /// The home forwarded the request to the dirty owner's slave.
+    Forwarded,
+    /// The home fanned an invalidation or update out to `copies` sharers
+    /// (multicast or singlecast loop).
+    MulticastFanout {
+        /// Copies put on the wire.
+        copies: u32,
+    },
+    /// A slave contributed its acknowledgement to an in-network gather.
+    GatherContribute,
+    /// The home absorbed `acks` acknowledgements of an outstanding
+    /// invalidation/update (combined in-switch for multicasts).
+    GatherCombine {
+        /// Acknowledgements carried by this combined reply.
+        acks: u32,
+    },
+    /// The data/ack reply reached the requesting master.
+    Reply,
+}
+
+impl PhaseKind {
+    /// A short stable label, used by exporters and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseKind::QueuedAtHome { .. } => "queued-at-home",
+            PhaseKind::ReservationWait => "reservation-wait",
+            PhaseKind::Forwarded => "forwarded",
+            PhaseKind::MulticastFanout { .. } => "multicast-fanout",
+            PhaseKind::GatherContribute => "gather-contribute",
+            PhaseKind::GatherCombine { .. } => "gather-combine",
+            PhaseKind::Reply => "reply",
+        }
+    }
+}
+
 /// Which protocol module a queue-depth sample belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ModuleKind {
@@ -114,6 +165,9 @@ pub trait Observer: AsAny {
     fn on_invalidation(&mut self, at: SimTime, home: NodeId, addr: Addr, copies: u32) {}
     /// A nacked master scheduled a retry.
     fn on_retry(&mut self, at: SimTime, node: NodeId, txn: TxnId) {}
+    /// A coherence transaction crossed a typed phase milestone at `node`
+    /// (see [`PhaseKind`]).
+    fn on_phase(&mut self, at: SimTime, node: NodeId, txn: TxnId, phase: PhaseKind) {}
     /// A cached copy changed MESI state.
     fn on_cache_transition(
         &mut self,
@@ -209,6 +263,7 @@ fan_out! {
     on_request_deferred(at: SimTime, home: NodeId, addr: Addr, depth: Option<usize>);
     on_invalidation(at: SimTime, home: NodeId, addr: Addr, copies: u32);
     on_retry(at: SimTime, node: NodeId, txn: TxnId);
+    on_phase(at: SimTime, node: NodeId, txn: TxnId, phase: PhaseKind);
     on_cache_transition(at: SimTime, node: NodeId, addr: Addr, from: CacheState, to: CacheState);
     on_mem_transition(at: SimTime, home: NodeId, addr: Addr, from: MemState, to: MemState);
     on_queue_depth(at: SimTime, node: NodeId, module: ModuleKind, depth: u64);

@@ -44,4 +44,4 @@ pub mod sweep;
 pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use driver::{Driver, Program, Step, Target};
 pub use report::{AccessClass, NodeReport, RunReport};
-pub use sweep::{sweep, sweep_on};
+pub use sweep::{sweep, sweep_metrics, sweep_metrics_on, sweep_on, SweepPoint};

@@ -25,6 +25,7 @@ pub use cenju4_network::{
     FaultEvent, FaultKind, FaultPlan, LinkDown, MulticastMode, NetParams, NetStats, OneShotFault,
     WireClass,
 };
+pub use cenju4_obs::{chrome_trace_json, MetricsRegistry, SpanClass, SpanCollector};
 pub use cenju4_protocol::observer::{Observer, StarvationProbe};
 pub use cenju4_protocol::{
     Addr, CacheState, Engine, EngineStats, FaultInjection, IssueError, MemOp, Notification,
@@ -36,4 +37,4 @@ pub use crate::config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use crate::driver::{Driver, Program, Step, Target};
 pub use crate::probes;
 pub use crate::report::{AccessClass, NodeReport, RunReport};
-pub use crate::sweep::{sweep, sweep_on};
+pub use crate::sweep::{sweep, sweep_metrics, sweep_metrics_on, sweep_on, SweepPoint};

@@ -3,11 +3,12 @@
 # schedule-exploring protocol checker's smoke tier.
 # Everything runs offline — the workspace has no external dependencies.
 #
-# Usage: scripts/ci.sh [check-smoke|fault-smoke|perf-smoke]
+# Usage: scripts/ci.sh [check-smoke|fault-smoke|perf-smoke|obs-smoke]
 #   (no arg)     run the full gate
 #   check-smoke  run only the time-capped protocol-checker tier
 #   fault-smoke  run only the time-capped unreliable-fabric recovery tier
 #   perf-smoke   run only the hot-path perf regression tier
+#   obs-smoke    run only the observability export/leak-oracle tier
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +57,29 @@ perf_smoke() {
     timeout 300 target/release/perf --quick --check benches/BASELINE_hotpath.json
 }
 
+obs_smoke() {
+    echo "==> observability smoke tier"
+    cargo build --release --offline -p cenju4-bench --bin obs_smoke
+    local out
+    out=$(mktemp -d)
+    trap 'rm -rf "$out"' RETURN
+    # End-to-end span pipeline: leak oracle, trace-shape validation,
+    # percentile determinism — and the exported artifacts must land.
+    target/release/obs_smoke \
+        --trace-out "$out/fig12_trace.json" \
+        --metrics-out "$out/fig12_metrics.json"
+    local f
+    for f in fig12_trace.json fig12_metrics.json; do
+        [[ -s "$out/$f" ]] || { echo "FAIL: $f missing or empty"; exit 1; }
+    done
+    # The checker attaches a SpanCollector to every explored schedule;
+    # this exhaustive pass exercises the span-leak oracle on the full
+    # 2-node/1-block schedule space.
+    cargo build --release --offline -p cenju4-check
+    target/release/cenju4-check exhaustive --nodes 2 --blocks 1 --ops 2 \
+        --max-seconds 120
+}
+
 if [[ "${1:-}" == "check-smoke" ]]; then
     check_smoke
     echo "CI OK (check-smoke)"
@@ -71,6 +95,12 @@ fi
 if [[ "${1:-}" == "perf-smoke" ]]; then
     perf_smoke
     echo "CI OK (perf-smoke)"
+    exit 0
+fi
+
+if [[ "${1:-}" == "obs-smoke" ]]; then
+    obs_smoke
+    echo "CI OK (obs-smoke)"
     exit 0
 fi
 
@@ -92,5 +122,7 @@ check_smoke
 fault_smoke
 
 perf_smoke
+
+obs_smoke
 
 echo "CI OK"
