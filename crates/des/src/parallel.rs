@@ -1,0 +1,154 @@
+//! Conservative-parallel execution primitives.
+//!
+//! A discrete-event simulation whose cross-shard interactions all carry a
+//! known minimum latency `L` (the *lookahead*) can be windowed: every
+//! event in `[T0, T0 + L)` that is pending at `T0` can only influence
+//! *other* shards at or after `T0 + L`, so shards may process their own
+//! events of the window concurrently and exchange the cross-shard
+//! consequences at a barrier. This module holds the engine-agnostic
+//! pieces: the worker configuration and the node-range decomposition.
+//! The protocol engine layers its deterministic window executor on top
+//! (see DESIGN.md, "Parallel execution model").
+
+use core::ops::Range;
+
+/// Worker configuration of the conservative-parallel executor.
+///
+/// `workers == 1` selects the plain sequential event loop. More workers
+/// split the simulated nodes into contiguous shards, one owner per
+/// worker; results are bit-identical at any worker count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of worker threads (including the coordinating thread).
+    /// Clamped to the node count at run time; `1` means sequential.
+    pub workers: usize,
+    /// Minimum number of pending events before a parallel window is
+    /// opened; below it the executor falls back to sequential stepping,
+    /// which is faster for sparse queues. Purely a performance knob:
+    /// results are identical at any value. Tests set it to `2` to force
+    /// window execution on small scenarios.
+    pub min_batch: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            workers: 1,
+            min_batch: 64,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A sequential configuration (the default).
+    pub fn sequential() -> Self {
+        ParallelConfig::default()
+    }
+
+    /// A configuration with `workers` workers and the default batching
+    /// threshold.
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelConfig {
+            workers,
+            ..ParallelConfig::default()
+        }
+    }
+}
+
+/// Splits `items` (e.g. simulated nodes) into `workers` contiguous,
+/// near-equal ranges — the shard-ownership map of the parallel executor.
+/// The first `items % workers` ranges are one longer, so sizes differ by
+/// at most one. `workers` is clamped to `1..=items` (an empty item set
+/// yields no ranges).
+///
+/// # Examples
+///
+/// ```
+/// use cenju4_des::parallel::shard_ranges;
+///
+/// assert_eq!(shard_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+/// assert_eq!(shard_ranges(2, 8).len(), 2); // clamped to the item count
+/// ```
+pub fn shard_ranges(items: usize, workers: usize) -> Vec<Range<usize>> {
+    if items == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, items);
+    let base = items / workers;
+    let extra = items % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Maps an item index to its owning shard under [`shard_ranges`], in
+/// O(1) and without materializing the ranges.
+pub fn shard_of(items: usize, workers: usize, item: usize) -> usize {
+    debug_assert!(item < items, "item {item} out of range {items}");
+    let workers = workers.clamp(1, items.max(1));
+    let base = items / workers;
+    let extra = items % workers;
+    let fat = (base + 1) * extra; // items covered by the longer ranges
+    if item < fat {
+        item / (base + 1)
+    } else {
+        extra + (item - fat) / base.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        for items in [1usize, 2, 7, 16, 64, 1000] {
+            for workers in [1usize, 2, 3, 4, 7, 8, 16, 2000] {
+                let ranges = shard_ranges(items, workers);
+                assert_eq!(ranges.len(), workers.clamp(1, items));
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, items);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start);
+                }
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "uneven split {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_agrees_with_ranges() {
+        for items in [1usize, 5, 10, 64, 129] {
+            for workers in [1usize, 2, 3, 4, 8, 200] {
+                let ranges = shard_ranges(items, workers);
+                for item in 0..items {
+                    let s = shard_of(items, workers, item);
+                    assert!(
+                        ranges[s].contains(&item),
+                        "item {item} mapped to shard {s} = {:?} ({items} items, {workers} workers)",
+                        ranges[s]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_item_set_has_no_shards() {
+        assert!(shard_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn default_config_is_sequential() {
+        assert_eq!(ParallelConfig::default().workers, 1);
+        assert_eq!(ParallelConfig::with_workers(4).workers, 4);
+        assert_eq!(ParallelConfig::sequential(), ParallelConfig::default());
+    }
+}

@@ -212,6 +212,39 @@ impl SpanCollector {
         out
     }
 
+    /// Absorbs `other` — a collector that watched a *disjoint* slice of
+    /// the same run (a node shard, a sweep slot) — into this one. Spans
+    /// are appended in `other`'s open order with ids and open-table
+    /// indices re-based, and the metrics registries merge bucket-wise,
+    /// so the union reports exactly what one collector watching both
+    /// slices would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the two collectors have an open span for the
+    /// same transaction id — the slices were not disjoint.
+    pub fn merge(&mut self, other: SpanCollector) {
+        let base = self.spans.len();
+        let id_base = self.next_id;
+        for mut span in other.spans {
+            span.id += id_base;
+            self.spans.push(span);
+        }
+        self.next_id += other.next_id;
+        for (txn, idx) in other.open {
+            let prev = self.open.insert(txn, base + idx);
+            debug_assert!(prev.is_none(), "open span collision on txn {txn}");
+        }
+        for ((node, addr), q) in other.open_writebacks {
+            let slot = self.open_writebacks.entry((node, addr)).or_default();
+            slot.extend(q.into_iter().map(|idx| base + idx));
+        }
+        for (node, txn) in other.last_dispatch {
+            self.last_dispatch.insert(node, txn);
+        }
+        self.metrics.merge(&other.metrics);
+    }
+
     fn push_span(&mut self, span: Span) -> usize {
         let idx = self.spans.len();
         self.spans.push(span);
@@ -482,6 +515,58 @@ mod tests {
             .spans()
             .iter()
             .any(|s| s.class == Some(SpanClass::RecoveryRetry) && s.retries > 0));
+    }
+
+    #[test]
+    fn merge_unions_spans_and_metrics() {
+        let run = |seed_node: u16| {
+            let mut eng = engine(16);
+            let a = Addr::new(NodeId::new(seed_node), 0);
+            eng.issue(SimTime::ZERO, NodeId::new(0), MemOp::Load, a);
+            eng.run();
+            eng.issue(eng.now(), NodeId::new(0), MemOp::Load, a);
+            eng.run();
+            eng
+        };
+        let a = run(1);
+        let b = run(2);
+        let (ca, cb) = (
+            a.observer::<SpanCollector>().unwrap(),
+            b.observer::<SpanCollector>().unwrap(),
+        );
+        let total = ca.spans().len() + cb.spans().len();
+        let sends = ca.metrics().counter("fabric.sends") + cb.metrics().counter("fabric.sends");
+        let lat_count = ca.metrics().latency_summary("load-miss").unwrap().count
+            + cb.metrics().latency_summary("load-miss").unwrap().count;
+
+        let mut merged = SpanCollector::new(SystemSize::new(16).unwrap());
+        merged.merge(clone_collector(ca));
+        merged.merge(clone_collector(cb));
+        assert_eq!(merged.spans().len(), total);
+        assert_eq!(merged.open_span_count(), 0);
+        assert_eq!(merged.metrics().counter("fabric.sends"), sends);
+        assert_eq!(
+            merged.metrics().latency_summary("load-miss").unwrap().count,
+            lat_count
+        );
+        // Ids stay unique across the union.
+        let mut ids: Vec<u64> = merged.spans().iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), total);
+    }
+
+    /// Rebuilds an owned collector from a borrowed one (the engine owns
+    /// its observers; merging consumes).
+    fn clone_collector(c: &SpanCollector) -> SpanCollector {
+        let mut out = SpanCollector::new(SystemSize::new(16).unwrap());
+        out.spans = c.spans.clone();
+        out.open = c.open.clone();
+        out.open_writebacks = c.open_writebacks.clone();
+        out.last_dispatch = c.last_dispatch.clone();
+        out.metrics = c.metrics.clone();
+        out.next_id = c.next_id;
+        out
     }
 
     #[test]

@@ -12,15 +12,17 @@ use crate::addr::Addr;
 use crate::cache::CacheState;
 use crate::messages::{ProtoMsg, TxnId};
 use crate::modules::bus::{BusMsg, GatherTimerOutcome, LinkTimerOutcome, MessageBus, PendingEvent};
-use crate::modules::{Ctx, HomeModule, MasterModule, SlaveModule};
+use crate::modules::{Ctx, CtxMode, NodeShard};
 use crate::observer::{Observer, ObserverSet, TraceObserver};
 use crate::params::{FaultInjection, ProtoParams, ProtocolKind, RecoveryError, RecoveryParams};
 use crate::stats::EngineStats;
 use cenju4_des::FxHashSet;
-use cenju4_des::{Duration, SimTime};
+use cenju4_des::{Duration, ParallelConfig, SimTime};
 use cenju4_directory::{MemState, NodeId, NodeMap, SystemSize};
 use cenju4_network::{FaultPlan, NetParams};
 use core::fmt;
+
+pub(crate) mod parallel;
 
 /// Why [`Engine::try_issue`] rejected an access. The legacy
 /// [`Engine::issue`] panics on these instead of returning them.
@@ -186,9 +188,10 @@ pub struct Engine {
     params: ProtoParams,
     kind: ProtocolKind,
     bus: MessageBus,
-    masters: Vec<MasterModule>,
-    homes: Vec<HomeModule>,
-    slaves: Vec<SlaveModule>,
+    /// Per-node protocol state, dense by node id — the unit of ownership
+    /// for the conservative-parallel executor.
+    shards: Vec<NodeShard>,
+    parallel: ParallelConfig,
     next_txn: TxnId,
     notifications: Vec<Notification>,
     update_blocks: FxHashSet<Addr>,
@@ -210,15 +213,10 @@ impl Engine {
             params,
             kind,
             bus: MessageBus::new(sys, net),
-            masters: (0..sys.nodes())
-                .map(|i| MasterModule::new(NodeId::new(i), &params))
+            shards: (0..sys.nodes())
+                .map(|i| NodeShard::new(NodeId::new(i), &params))
                 .collect(),
-            homes: (0..sys.nodes())
-                .map(|i| HomeModule::new(NodeId::new(i)))
-                .collect(),
-            slaves: (0..sys.nodes())
-                .map(|i| SlaveModule::new(NodeId::new(i)))
-                .collect(),
+            parallel: ParallelConfig::default(),
             next_txn: 0,
             notifications: Vec::new(),
             update_blocks: FxHashSet::default(),
@@ -258,6 +256,20 @@ impl Engine {
     /// Installs the recovery-layer configuration (see [`RecoveryParams`]).
     pub fn set_recovery(&mut self, rec: RecoveryParams) {
         self.bus.set_recovery(rec);
+    }
+
+    /// Selects the execution strategy for [`Engine::run`]: with
+    /// `workers > 1` (and a configuration the conservative-parallel
+    /// executor supports — see [`Engine::parallel_eligible`]), one run
+    /// executes across that many worker threads with bit-identical
+    /// results; `workers = 1` is the sequential loop.
+    pub fn set_parallel(&mut self, cfg: ParallelConfig) {
+        self.parallel = cfg;
+    }
+
+    /// The configured execution strategy.
+    pub fn parallel_config(&self) -> ParallelConfig {
+        self.parallel
     }
 
     /// The recovery-layer configuration in force.
@@ -407,7 +419,8 @@ impl Engine {
     /// first use; migrating a live block between protocols is not
     /// modeled).
     pub fn mark_update_block(&mut self, addr: Addr) {
-        let fresh = self.homes[addr.home().as_usize()]
+        let fresh = self.shards[addr.home().as_usize()]
+            .home
             .directory
             .get(&addr)
             .is_none_or(|e| e.state() == MemState::Clean && e.map().is_empty());
@@ -422,29 +435,30 @@ impl Engine {
 
     /// Whether `node`'s third-level cache holds a fresh copy of `addr`.
     pub fn l3_valid(&self, node: NodeId, addr: Addr) -> bool {
-        self.masters[node.as_usize()].l3.contains_key(&addr)
+        self.shards[node.as_usize()].master.l3.contains_key(&addr)
     }
 
     /// The data in `addr`'s home memory (0 if never written).
     pub fn memory_value(&self, addr: Addr) -> u64 {
-        self.homes[addr.home().as_usize()].mem_value(addr)
+        self.shards[addr.home().as_usize()].home.mem_value(addr)
     }
 
     /// The data in `node`'s cached copy of `addr` (0 if absent).
     pub fn cache_value(&self, node: NodeId, addr: Addr) -> u64 {
-        self.masters[node.as_usize()].cache.value(addr)
+        self.shards[node.as_usize()].master.cache.value(addr)
     }
 
     /// The MESI state of `addr` in `node`'s cache (observability for
     /// tests and experiments).
     pub fn cache_state(&self, node: NodeId, addr: Addr) -> CacheState {
-        self.masters[node.as_usize()].cache.state(addr)
+        self.shards[node.as_usize()].master.cache.state(addr)
     }
 
     /// The nodes the directory currently records for `addr` (the
     /// represented set — possibly a superset of the true sharers).
     pub fn directory_sharers(&self, addr: Addr) -> Vec<NodeId> {
-        self.homes[addr.home().as_usize()]
+        self.shards[addr.home().as_usize()]
+            .home
             .directory
             .get(&addr)
             .map(|e| e.map().represented())
@@ -453,7 +467,8 @@ impl Engine {
 
     /// The directory state of `addr` at its home (Clean if never touched).
     pub fn memory_state(&self, addr: Addr) -> MemState {
-        self.homes[addr.home().as_usize()]
+        self.shards[addr.home().as_usize()]
+            .home
             .directory
             .get(&addr)
             .map_or(MemState::Clean, |e| e.state())
@@ -463,9 +478,9 @@ impl Engine {
     /// The paper's starvation-freedom argument bounds this by
     /// `nodes × 4` (4096 entries / 32 KB on the full machine).
     pub fn max_request_queue_depth(&self) -> usize {
-        self.homes
+        self.shards
             .iter()
-            .map(|h| h.req_queue_hwm)
+            .map(|s| s.home.req_queue_hwm)
             .max()
             .unwrap_or(0)
     }
@@ -474,9 +489,9 @@ impl Engine {
     /// paper bounds the slave's main-memory spill buffer by `nodes × 4`
     /// messages (64 KB on the full machine).
     pub fn max_slave_input_depth(&self) -> u64 {
-        self.slaves
+        self.shards
             .iter()
-            .map(|s| s.input_q.depth_high_water())
+            .map(|s| s.slave.input_q.depth_high_water())
             .max()
             .unwrap_or(0)
     }
@@ -484,9 +499,9 @@ impl Engine {
     /// The deepest master-module input backlog seen at any node; bounded
     /// by the four outstanding requests a processor may have.
     pub fn max_master_input_depth(&self) -> u64 {
-        self.masters
+        self.shards
             .iter()
-            .map(|m| m.input_q.depth_high_water())
+            .map(|s| s.master.input_q.depth_high_water())
             .max()
             .unwrap_or(0)
     }
@@ -494,7 +509,8 @@ impl Engine {
     /// Retries performed by the given transaction's master so far
     /// (nack baseline instrumentation).
     pub fn txn_retries(&self, node: NodeId, txn: TxnId) -> Option<u32> {
-        self.masters[node.as_usize()]
+        self.shards[node.as_usize()]
+            .master
             .outstanding
             .get(&txn)
             .map(|t| t.retries)
@@ -509,27 +525,28 @@ impl Engine {
     /// at quiescence — anything else with an empty event set means the
     /// protocol lost a transaction.
     pub fn outstanding_txn_count(&self) -> usize {
-        self.masters
+        self.shards
             .iter()
-            .map(|m| m.outstanding.len() + m.backlog.len())
+            .map(|s| s.master.outstanding.len() + s.master.backlog.len())
             .sum()
     }
 
     /// Requests currently parked in `home`'s main-memory queue.
     pub fn request_queue_len(&self, home: NodeId) -> usize {
-        self.homes[home.as_usize()].req_queue.len()
+        self.shards[home.as_usize()].home.req_queue.len()
     }
 
     /// Transactions `home` is currently waiting on (forwarded requests
     /// and outstanding invalidation gathers).
     pub fn home_pending_count(&self, home: NodeId) -> usize {
-        self.homes[home.as_usize()].pending.len()
+        self.shards[home.as_usize()].home.pending.len()
     }
 
     /// Whether the reservation bit of `addr` is set at its home
     /// (Section 3.3's queue-wakeup mark).
     pub fn reservation_set(&self, addr: Addr) -> bool {
-        self.homes[addr.home().as_usize()]
+        self.shards[addr.home().as_usize()]
+            .home
             .directory
             .get(&addr)
             .is_some_and(|e| e.reservation())
@@ -639,12 +656,20 @@ impl Engine {
         Some(std::mem::take(&mut self.notifications))
     }
 
-    /// Runs to quiescence, returning every notification produced.
+    /// Runs to quiescence, returning every notification produced. With a
+    /// multi-worker [`ParallelConfig`] installed (and an eligible
+    /// configuration — see [`Engine::parallel_eligible`]), the run
+    /// executes across worker threads with bit-identical results.
     pub fn run(&mut self) -> Vec<Notification> {
-        let mut out = Vec::new();
-        while let Some(mut n) = self.run_next() {
-            out.append(&mut n);
-        }
+        let out = if self.parallel_eligible() {
+            self.run_parallel()
+        } else {
+            let mut out = Vec::new();
+            while let Some(mut n) = self.run_next() {
+                out.append(&mut n);
+            }
+            out
+        };
         // On a reliable (or recovered) fabric every gather must have
         // closed by quiescence; an open one is a combining-state leak.
         // With recovery off on a faulty fabric a leak is the *expected*
@@ -734,9 +759,11 @@ impl Engine {
             params: self.params,
             kind: self.kind,
             sys: self.sys,
-            bus: &mut self.bus,
-            obs: &mut self.observers,
-            notes: &mut self.notifications,
+            mode: CtxMode::Direct {
+                bus: &mut self.bus,
+                obs: &mut self.observers,
+                notes: &mut self.notifications,
+            },
             update_blocks: &self.update_blocks,
             fault: self.fault,
         };
@@ -746,15 +773,17 @@ impl Engine {
                 op,
                 addr,
                 txn,
-            } => self.masters[node.as_usize()].handle_access(ctx, at, op, addr, txn),
-            BusMsg::Marker(token) => ctx.notes.push(Notification::Marker { token, at }),
+            } => self.shards[node.as_usize()]
+                .master
+                .handle_access(ctx, at, op, addr, txn),
+            BusMsg::Marker(token) => ctx.note(Notification::Marker { token, at }),
             BusMsg::MpDeliver {
                 to,
                 from,
                 tag,
                 bytes,
                 sent,
-            } => ctx.notes.push(Notification::MessageDelivered {
+            } => ctx.note(Notification::MessageDelivered {
                 to,
                 from,
                 tag,
@@ -762,9 +791,14 @@ impl Engine {
                 sent,
                 delivered: at,
             }),
-            BusMsg::Retry { node, txn } => self.masters[node.as_usize()].handle_retry(ctx, at, txn),
+            BusMsg::Retry { node, txn } => self.shards[node.as_usize()]
+                .master
+                .handle_retry(ctx, at, txn),
             BusMsg::TxnTimer { node, txn } => {
-                if let Some(err) = self.masters[node.as_usize()].handle_txn_timer(ctx, at, txn) {
+                if let Some(err) = self.shards[node.as_usize()]
+                    .master
+                    .handle_txn_timer(ctx, at, txn)
+                {
                     self.recovery_failed(at, err);
                 }
             }
@@ -779,19 +813,21 @@ impl Engine {
                 ..
             } => match &msg {
                 ProtoMsg::Request { .. } | ProtoMsg::WriteBack { .. } => {
-                    self.homes[dst.as_usize()].recv(ctx, at, msg)
+                    self.shards[dst.as_usize()].home.recv(ctx, at, msg)
                 }
                 ProtoMsg::SlaveReply { .. } | ProtoMsg::InvAck { .. } => {
-                    self.homes[dst.as_usize()].reply_recv(ctx, at, msg)
+                    self.shards[dst.as_usize()].home.reply_recv(ctx, at, msg)
                 }
                 ProtoMsg::Forward { .. }
                 | ProtoMsg::Invalidate { .. }
                 | ProtoMsg::Update { .. } => {
-                    let i = dst.as_usize();
-                    self.slaves[i].recv(ctx, at, src, msg, gather, &mut self.masters[i])
+                    let shard = &mut self.shards[dst.as_usize()];
+                    shard
+                        .slave
+                        .recv(ctx, at, src, msg, gather, &mut shard.master)
                 }
                 ProtoMsg::DataReply { .. } | ProtoMsg::AckReply { .. } | ProtoMsg::Nack { .. } => {
-                    self.masters[dst.as_usize()].recv(ctx, at, msg)
+                    self.shards[dst.as_usize()].master.recv(ctx, at, msg)
                 }
                 ProtoMsg::UserMessage { .. } => {
                     unreachable!("user messages are delivered via MpDeliver")

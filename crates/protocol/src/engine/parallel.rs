@@ -1,0 +1,936 @@
+//! The conservative-parallel window executor.
+//!
+//! One large run is split across worker threads by *node shards*:
+//! contiguous ranges of [`NodeShard`]s, each owned by exactly one
+//! worker. Execution alternates between sequential stepping (sparse
+//! queue) and *windows*: the engine pops every pending event earlier
+//! than `T0 + L` — where `L` is the fabric's minimum cross-node latency
+//! ([lookahead](MessageBus::lookahead)) — hands each to its owner
+//! shard, and lets all workers advance concurrently. Inside a window a
+//! handler touches only its own shard's modules; everything else (bus
+//! sends, observer callbacks, notifications) is logged as a typed
+//! [`Intent`].
+//!
+//! The **commit** then merges the per-shard record streams back into
+//! the exact global order the sequential engine would have used —
+//! `(timestamp, source-class, sequence)`, where frontier events carry
+//! their global pop sequence and window-created events are ranked in
+//! the order their creating `schedule` calls replay — and replays every
+//! intent against the real bus, fabric, and observer set. The commit
+//! *is* the sequential event loop with module computation replaced by
+//! log replay: fabric contention state, gather ids, observer fan-out
+//! order, and notification order are all reproduced exactly, which is
+//! what keeps goldens and obs artifacts byte-identical at any worker
+//! count (see DESIGN.md, "Parallel execution model").
+//!
+//! Windows are only safe because no in-window action can affect another
+//! shard before the horizon: cross-node traffic costs at least `L`
+//! (even under fault plans — delays only add), and node-local work
+//! (same-time local sends, retries, backlog wakeups) is executed inside
+//! the window as *created* events. Runs that break these premises —
+//! armed recovery, non-trivial fault plans, controlled schedules,
+//! timing jitter, emulated multicast — fall back to the sequential
+//! loop, which is trivially identical.
+
+use super::{Engine, Notification};
+use crate::addr::Addr;
+use crate::cache::CacheState;
+use crate::engine::MemOp;
+use crate::messages::{ProtoMsg, ReqKind, TxnId};
+use crate::modules::bus::{BusMsg, MessageBus};
+use crate::modules::{gather_reply_direct, multicast_direct, Ctx, CtxMode, NodeShard};
+use crate::observer::{ModuleKind, ObserverSet, PhaseKind};
+use crate::params::{FaultInjection, ProtoParams, ProtocolKind, RecoveryParams};
+use cenju4_des::parallel::shard_of;
+use cenju4_des::{Duration, FxHashSet, SimTime};
+use cenju4_directory::nodemap::DestSpec;
+use cenju4_directory::{MemState, NodeId, SystemSize};
+use cenju4_network::fabric::GatherId;
+use std::cmp::{Ordering as CmpOrdering, Reverse};
+use std::collections::BinaryHeap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// An observer callback recorded inside a window and replayed into the
+/// real [`ObserverSet`] at commit, in exact global order.
+#[derive(Clone, Debug)]
+pub(crate) enum ObsEvent {
+    Access {
+        at: SimTime,
+        node: NodeId,
+        op: MemOp,
+        addr: Addr,
+        txn: TxnId,
+    },
+    Receive {
+        at: SimTime,
+        dst: NodeId,
+        src: NodeId,
+        msg: ProtoMsg,
+    },
+    Send {
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        msg: ProtoMsg,
+    },
+    Retry {
+        at: SimTime,
+        node: NodeId,
+        txn: TxnId,
+    },
+    Marker {
+        at: SimTime,
+        token: u64,
+    },
+    MpDelivered {
+        at: SimTime,
+        to: NodeId,
+        from: NodeId,
+        tag: u64,
+        bytes: u64,
+    },
+    RequestIssued {
+        at: SimTime,
+        node: NodeId,
+        kind: ReqKind,
+        retry: bool,
+    },
+    RequestDeferred {
+        at: SimTime,
+        home: NodeId,
+        addr: Addr,
+        depth: Option<usize>,
+    },
+    Invalidation {
+        at: SimTime,
+        home: NodeId,
+        addr: Addr,
+        copies: u32,
+    },
+    Phase {
+        at: SimTime,
+        node: NodeId,
+        txn: TxnId,
+        phase: PhaseKind,
+    },
+    CacheTransition {
+        at: SimTime,
+        node: NodeId,
+        addr: Addr,
+        from: CacheState,
+        to: CacheState,
+    },
+    MemTransition {
+        at: SimTime,
+        home: NodeId,
+        addr: Addr,
+        from: MemState,
+        to: MemState,
+    },
+    QueueDepth {
+        at: SimTime,
+        node: NodeId,
+        module: ModuleKind,
+        depth: u64,
+    },
+    L3Fill {
+        at: SimTime,
+        node: NodeId,
+        addr: Addr,
+    },
+    LinkDiscard {
+        at: SimTime,
+        node: NodeId,
+        src: NodeId,
+        reason: &'static str,
+    },
+    Complete {
+        at: SimTime,
+        node: NodeId,
+        txn: TxnId,
+        op: MemOp,
+        addr: Addr,
+        hit: bool,
+        l3: bool,
+    },
+}
+
+impl ObsEvent {
+    /// Fans the recorded callback out to the real observer set.
+    pub(crate) fn replay(&self, obs: &mut ObserverSet) {
+        match self {
+            ObsEvent::Access {
+                at,
+                node,
+                op,
+                addr,
+                txn,
+            } => obs.on_access(*at, *node, *op, *addr, *txn),
+            ObsEvent::Receive { at, dst, src, msg } => obs.on_receive(*at, *dst, *src, msg),
+            ObsEvent::Send { at, src, dst, msg } => obs.on_send(*at, *src, *dst, msg),
+            ObsEvent::Retry { at, node, txn } => obs.on_retry(*at, *node, *txn),
+            ObsEvent::Marker { at, token } => obs.on_marker(*at, *token),
+            ObsEvent::MpDelivered {
+                at,
+                to,
+                from,
+                tag,
+                bytes,
+            } => obs.on_mp_delivered(*at, *to, *from, *tag, *bytes),
+            ObsEvent::RequestIssued {
+                at,
+                node,
+                kind,
+                retry,
+            } => obs.on_request_issued(*at, *node, *kind, *retry),
+            ObsEvent::RequestDeferred {
+                at,
+                home,
+                addr,
+                depth,
+            } => obs.on_request_deferred(*at, *home, *addr, *depth),
+            ObsEvent::Invalidation {
+                at,
+                home,
+                addr,
+                copies,
+            } => obs.on_invalidation(*at, *home, *addr, *copies),
+            ObsEvent::Phase {
+                at,
+                node,
+                txn,
+                phase,
+            } => obs.on_phase(*at, *node, *txn, *phase),
+            ObsEvent::CacheTransition {
+                at,
+                node,
+                addr,
+                from,
+                to,
+            } => obs.on_cache_transition(*at, *node, *addr, *from, *to),
+            ObsEvent::MemTransition {
+                at,
+                home,
+                addr,
+                from,
+                to,
+            } => obs.on_mem_transition(*at, *home, *addr, *from, *to),
+            ObsEvent::QueueDepth {
+                at,
+                node,
+                module,
+                depth,
+            } => obs.on_queue_depth(*at, *node, *module, *depth),
+            ObsEvent::L3Fill { at, node, addr } => obs.on_l3_fill(*at, *node, *addr),
+            ObsEvent::LinkDiscard {
+                at,
+                node,
+                src,
+                reason,
+            } => obs.on_link_discard(*at, *node, *src, reason),
+            ObsEvent::Complete {
+                at,
+                node,
+                txn,
+                op,
+                addr,
+                hit,
+                l3,
+            } => obs.on_complete(*at, *node, *txn, *op, *addr, *hit, *l3),
+        }
+    }
+}
+
+/// One externally visible action deferred from a window to its commit.
+#[derive(Debug)]
+pub(crate) enum Intent {
+    /// An observer callback to fan out.
+    Obs(ObsEvent),
+    /// A driver notification to emit.
+    Note(Notification),
+    /// A cross-node protocol send: observer + fabric + delivery.
+    Send {
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        msg: ProtoMsg,
+    },
+    /// A gathered multicast (gather id allocation happens at replay, in
+    /// exact sequential order).
+    Multicast {
+        at: SimTime,
+        src: NodeId,
+        spec: DestSpec,
+        data: bool,
+        msg: ProtoMsg,
+    },
+    /// A gather contribution (fabric combining state mutates at replay).
+    GatherReply {
+        at: SimTime,
+        node: NodeId,
+        id: GatherId,
+        msg: ProtoMsg,
+    },
+    /// A bus event scheduled at or beyond the horizon.
+    Schedule { at: SimTime, msg: BusMsg },
+    /// Rank assignment for the `idx`-th event this shard created inside
+    /// the window: the commit stamps it with the next global sequence
+    /// number when the *creating* record replays, fixing the cross-shard
+    /// order of same-timestamp created events.
+    CreateLocal { idx: u32 },
+}
+
+/// The merge key of one processed event within a window. Derived `Ord`
+/// gives every frontier event (global pop order) priority over every
+/// window-created event at the same timestamp — created events were
+/// scheduled *during* the window, so their queue sequence numbers would
+/// have been larger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum EvKey {
+    /// Popped off the global queue; payload is the pop sequence.
+    Frontier(u64),
+    /// Created inside the window; payload is the shard-local creation
+    /// index (globally ranked at commit via [`Intent::CreateLocal`]).
+    Created(u32),
+}
+
+/// A pending event inside a shard's window heap, ordered by
+/// `(time, key)`.
+struct LocalEv {
+    at: SimTime,
+    key: EvKey,
+    msg: BusMsg,
+}
+
+impl PartialEq for LocalEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.key == other.key
+    }
+}
+impl Eq for LocalEv {}
+impl PartialOrd for LocalEv {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LocalEv {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+
+/// One processed event: its merge position plus the half-open range of
+/// intents it logged.
+#[derive(Clone, Copy)]
+pub(crate) struct Record {
+    at: SimTime,
+    key: EvKey,
+    start: u32,
+    end: u32,
+}
+
+/// Per-shard window state: the event heap, the processed-record stream,
+/// and the intent log. Owned by one worker during a window; drained by
+/// the engine at commit.
+pub(crate) struct ShardExec {
+    horizon: SimTime,
+    heap: BinaryHeap<Reverse<LocalEv>>,
+    created: u32,
+    records: Vec<Record>,
+    intents: Vec<Intent>,
+    recovery: RecoveryParams,
+}
+
+impl ShardExec {
+    fn new(recovery: RecoveryParams) -> Self {
+        ShardExec {
+            horizon: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            created: 0,
+            records: Vec::new(),
+            intents: Vec::new(),
+            recovery,
+        }
+    }
+
+    /// Resets the per-window state (the commit consumed the last one).
+    fn begin_window(&mut self, horizon: SimTime) {
+        debug_assert!(self.heap.is_empty(), "window left unprocessed events");
+        self.horizon = horizon;
+        self.created = 0;
+        self.records.clear();
+        self.intents.clear();
+    }
+
+    /// Seeds one frontier event (global pop sequence `fseq`).
+    fn push_frontier(&mut self, at: SimTime, fseq: u64, msg: BusMsg) {
+        debug_assert!(at < self.horizon);
+        self.heap.push(Reverse(LocalEv {
+            at,
+            key: EvKey::Frontier(fseq),
+            msg,
+        }));
+    }
+
+    /// Enqueues a window-created event and logs its rank slot.
+    fn create_local(&mut self, at: SimTime, msg: BusMsg) {
+        let idx = self.created;
+        self.created += 1;
+        self.intents.push(Intent::CreateLocal { idx });
+        self.heap.push(Reverse(LocalEv {
+            at,
+            key: EvKey::Created(idx),
+            msg,
+        }));
+    }
+
+    /// [`Ctx::send`] in shard mode. Node-local sends deliver at exactly
+    /// `now` (the bus skips the fabric), so when `now` is inside the
+    /// horizon the receive is an in-window event; a local send *beyond*
+    /// the horizon — a service completion late in the window — and every
+    /// cross-node send become commit intents, replayed against the real
+    /// bus at the creator's global position. The `on_send` observer
+    /// callback fires at that position in both paths, exactly as the
+    /// sequential engine fires it during the creating dispatch.
+    pub(crate) fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, msg: ProtoMsg) {
+        if src == dst && now < self.horizon {
+            self.intents.push(Intent::Obs(ObsEvent::Send {
+                at: now,
+                src,
+                dst,
+                msg: msg.clone(),
+            }));
+            self.create_local(
+                now,
+                BusMsg::Recv {
+                    dst,
+                    src,
+                    msg,
+                    gather: None,
+                    seq: None,
+                },
+            );
+        } else {
+            self.intents.push(Intent::Send { now, src, dst, msg });
+        }
+    }
+
+    /// [`Ctx::multicast`] in shard mode.
+    pub(crate) fn multicast(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        spec: DestSpec,
+        data: bool,
+        msg: ProtoMsg,
+    ) {
+        self.intents.push(Intent::Multicast {
+            at,
+            src,
+            spec,
+            data,
+            msg,
+        });
+    }
+
+    /// [`Ctx::gather_reply`] in shard mode.
+    pub(crate) fn gather_reply(&mut self, at: SimTime, node: NodeId, id: GatherId, msg: ProtoMsg) {
+        self.intents.push(Intent::GatherReply { at, node, id, msg });
+    }
+
+    /// [`Ctx::schedule`] in shard mode: inside the horizon the event is
+    /// processed in this window (modules only self-schedule, so it is
+    /// shard-local); beyond it, the commit puts it on the real queue.
+    pub(crate) fn schedule(&mut self, at: SimTime, msg: BusMsg) {
+        if at < self.horizon {
+            self.create_local(at, msg);
+        } else {
+            self.intents.push(Intent::Schedule { at, msg });
+        }
+    }
+
+    /// Records an observer callback.
+    pub(crate) fn obs(&mut self, e: ObsEvent) {
+        self.intents.push(Intent::Obs(e));
+    }
+
+    /// Records a driver notification.
+    pub(crate) fn note(&mut self, n: Notification) {
+        self.intents.push(Intent::Note(n));
+    }
+
+    /// The recovery configuration (parallel windows only run unarmed,
+    /// but modules still read timer parameters through the context).
+    pub(crate) fn recovery(&self) -> RecoveryParams {
+        self.recovery
+    }
+
+    /// Processes every event of the current window against this
+    /// worker's shard chunk (`chunk[n - base]` owns node `n`).
+    #[allow(clippy::too_many_arguments)]
+    fn run_window(
+        &mut self,
+        chunk: &mut [NodeShard],
+        base: usize,
+        params: ProtoParams,
+        kind: ProtocolKind,
+        sys: SystemSize,
+        fault: FaultInjection,
+        update_blocks: &FxHashSet<Addr>,
+    ) {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            let (at, key, msg) = (ev.at, ev.key, ev.msg);
+            debug_assert!(at < self.horizon);
+            let start = self.intents.len() as u32;
+            {
+                let mut ctx = Ctx {
+                    params,
+                    kind,
+                    sys,
+                    mode: CtxMode::Shard(self),
+                    update_blocks,
+                    fault,
+                };
+                dispatch_shard(&mut ctx, chunk, base, at, msg);
+            }
+            let end = self.intents.len() as u32;
+            self.records.push(Record {
+                at,
+                key,
+                start,
+                end,
+            });
+        }
+    }
+}
+
+/// The shard-mode mirror of the engine's `dispatch_inner`: the same
+/// observer stage and module routing, minus the link-layer admission and
+/// recovery timers (unreachable — the parallel gate requires an unarmed,
+/// lossless run).
+fn dispatch_shard(ctx: &mut Ctx, chunk: &mut [NodeShard], base: usize, at: SimTime, ev: BusMsg) {
+    match ev {
+        BusMsg::Access {
+            node,
+            op,
+            addr,
+            txn,
+        } => {
+            ctx.obs(ObsEvent::Access {
+                at,
+                node,
+                op,
+                addr,
+                txn,
+            });
+            chunk[node.as_usize() - base]
+                .master
+                .handle_access(ctx, at, op, addr, txn);
+        }
+        BusMsg::Retry { node, txn } => {
+            ctx.obs(ObsEvent::Retry { at, node, txn });
+            chunk[node.as_usize() - base]
+                .master
+                .handle_retry(ctx, at, txn);
+        }
+        BusMsg::Marker(token) => {
+            ctx.obs(ObsEvent::Marker { at, token });
+            ctx.note(Notification::Marker { token, at });
+        }
+        BusMsg::MpDeliver {
+            to,
+            from,
+            tag,
+            bytes,
+            sent,
+        } => {
+            ctx.obs(ObsEvent::MpDelivered {
+                at,
+                to,
+                from,
+                tag,
+                bytes,
+            });
+            ctx.note(Notification::MessageDelivered {
+                to,
+                from,
+                tag,
+                bytes,
+                sent,
+                delivered: at,
+            });
+        }
+        BusMsg::Recv {
+            dst,
+            src,
+            msg,
+            gather,
+            seq,
+        } => {
+            debug_assert!(
+                seq.is_none(),
+                "sequenced frames require the sequential loop"
+            );
+            ctx.obs(ObsEvent::Receive {
+                at,
+                dst,
+                src,
+                msg: msg.clone(),
+            });
+            let shard = &mut chunk[dst.as_usize() - base];
+            match &msg {
+                ProtoMsg::Request { .. } | ProtoMsg::WriteBack { .. } => {
+                    shard.home.recv(ctx, at, msg)
+                }
+                ProtoMsg::SlaveReply { .. } | ProtoMsg::InvAck { .. } => {
+                    shard.home.reply_recv(ctx, at, msg)
+                }
+                ProtoMsg::Forward { .. }
+                | ProtoMsg::Invalidate { .. }
+                | ProtoMsg::Update { .. } => {
+                    shard
+                        .slave
+                        .recv(ctx, at, src, msg, gather, &mut shard.master)
+                }
+                ProtoMsg::DataReply { .. } | ProtoMsg::AckReply { .. } | ProtoMsg::Nack { .. } => {
+                    shard.master.recv(ctx, at, msg)
+                }
+                ProtoMsg::UserMessage { .. } => {
+                    unreachable!("user messages are delivered via MpDeliver")
+                }
+            }
+        }
+        BusMsg::TxnTimer { .. } | BusMsg::LinkTimer { .. } | BusMsg::GatherTimer { .. } => {
+            unreachable!("recovery timers require the sequential loop")
+        }
+    }
+}
+
+/// The node that owns a bus event — the shard-ingress routing map.
+fn owner(msg: &BusMsg) -> NodeId {
+    match msg {
+        BusMsg::Access { node, .. }
+        | BusMsg::Retry { node, .. }
+        | BusMsg::TxnTimer { node, .. } => *node,
+        BusMsg::Recv { dst, .. } => *dst,
+        BusMsg::MpDeliver { to, .. } => *to,
+        // Markers touch no module state; shard 0 hosts them so their
+        // observer/notification order is reproduced.
+        BusMsg::Marker(_) => NodeId::new(0),
+        BusMsg::LinkTimer { src, .. } => *src,
+        BusMsg::GatherTimer { home, .. } => *home,
+    }
+}
+
+impl Engine {
+    /// Whether the configured run can execute in parallel windows with
+    /// bit-identical results. Anything that violates the window premises
+    /// falls back to the (trivially identical) sequential loop.
+    pub fn parallel_eligible(&self) -> bool {
+        self.parallel.workers > 1
+            && !self.bus.armed()
+            && self.bus.fault_plan().is_none()
+            && !self.bus.is_controlled()
+            && !self.bus.jitter_enabled()
+            && self.bus.hardware_multicast()
+    }
+
+    /// Runs to quiescence using the conservative-parallel executor.
+    /// Only called from [`Engine::run`] when
+    /// [`Engine::parallel_eligible`] holds.
+    pub(crate) fn run_parallel(&mut self) -> Vec<Notification> {
+        let lookahead = self.bus.lookahead();
+        let nodes = self.sys.nodes() as usize;
+        let workers = self.parallel.workers.clamp(1, nodes);
+        let min_batch = self.parallel.min_batch.max(2);
+        let ranges = cenju4_des::parallel::shard_ranges(nodes, workers);
+        let recovery = self.bus.recovery();
+        let mut out = Vec::new();
+
+        loop {
+            // Sequential stepping while the queue is sparse, or while a
+            // window could cross the stall-watchdog threshold (the
+            // commit-time watchdog replay is only exact below it).
+            loop {
+                if self.window_ready(lookahead, min_batch, &recovery) {
+                    break;
+                }
+                match self.run_next() {
+                    Some(mut n) => out.append(&mut n),
+                    None => return out,
+                }
+            }
+            self.parallel_phase(&ranges, lookahead, min_batch, &recovery, &mut out);
+        }
+    }
+
+    /// Whether the queue is dense enough — and the watchdog far enough
+    /// from its threshold — to open a parallel window now.
+    fn window_ready(
+        &self,
+        lookahead: Duration,
+        min_batch: usize,
+        recovery: &RecoveryParams,
+    ) -> bool {
+        if self.bus.queue_len() < min_batch {
+            return false;
+        }
+        let t0 = match self.bus.peek_time() {
+            Some(t) => t,
+            None => return false,
+        };
+        let wd = recovery.watchdog;
+        wd == Duration::ZERO || (t0 + lookahead).since(self.last_progress) < wd
+    }
+
+    /// One parallel phase: a persistent worker pool (spawned once) that
+    /// executes windows until the queue thins out again.
+    fn parallel_phase(
+        &mut self,
+        ranges: &[Range<usize>],
+        lookahead: Duration,
+        min_batch: usize,
+        recovery: &RecoveryParams,
+        out: &mut Vec<Notification>,
+    ) {
+        let workers = ranges.len();
+        let nodes = self.sys.nodes() as usize;
+        let (params, kind, sys, fault) = (self.params, self.kind, self.sys, self.fault);
+        let Engine {
+            bus,
+            shards,
+            observers,
+            notifications,
+            update_blocks,
+            last_completed,
+            last_progress,
+            stalled,
+            ..
+        } = self;
+        let update_blocks: &FxHashSet<Addr> = update_blocks;
+
+        // Carve the shard vector into one contiguous chunk per worker.
+        let mut chunks: Vec<&mut [NodeShard]> = Vec::with_capacity(workers);
+        let mut rest: &mut [NodeShard] = shards.as_mut_slice();
+        for r in ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            chunks.push(head);
+            rest = tail;
+        }
+
+        let mut main_exec = ShardExec::new(*recovery);
+        let cells: Vec<Mutex<ShardExec>> = (1..workers)
+            .map(|_| Mutex::new(ShardExec::new(*recovery)))
+            .collect();
+        let barrier = Barrier::new(workers);
+        let stop = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            let mut chunk_iter = chunks.into_iter();
+            let chunk0 = chunk_iter.next().expect("at least one shard range");
+            for (w, chunk) in chunk_iter.enumerate() {
+                let cell = &cells[w];
+                let barrier = &barrier;
+                let stop = &stop;
+                let base = ranges[w + 1].start;
+                s.spawn(move || loop {
+                    barrier.wait();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    // Uncontended: the engine only touches this cell
+                    // between the end barrier and the next start barrier.
+                    let mut exec = cell.lock().expect("worker cell poisoned");
+                    exec.run_window(chunk, base, params, kind, sys, fault, update_blocks);
+                    drop(exec);
+                    barrier.wait();
+                });
+            }
+
+            loop {
+                // Re-check the density/watchdog conditions per window.
+                let dense = bus.queue_len() >= min_batch;
+                let ready = dense
+                    && match bus.peek_time() {
+                        Some(t0) => {
+                            recovery.watchdog == Duration::ZERO
+                                || (t0 + lookahead).since(*last_progress) < recovery.watchdog
+                        }
+                        None => false,
+                    };
+                if !ready {
+                    break;
+                }
+                let t0 = bus.peek_time().expect("non-empty queue");
+                let horizon = t0 + lookahead;
+
+                // Distribute the frontier: every event below the horizon
+                // goes to its owner shard, stamped with its global pop
+                // sequence.
+                main_exec.begin_window(horizon);
+                let mut guards: Vec<_> = cells
+                    .iter()
+                    .map(|c| c.lock().expect("worker cell poisoned"))
+                    .collect();
+                for g in &mut guards {
+                    g.begin_window(horizon);
+                }
+                let mut fseq = 0u64;
+                while let Some(t) = bus.peek_time() {
+                    if t >= horizon {
+                        break;
+                    }
+                    let (at, msg) = bus.pop().expect("peeked event vanished");
+                    let w = shard_of(nodes, workers, owner(&msg).as_usize());
+                    if w == 0 {
+                        main_exec.push_frontier(at, fseq, msg);
+                    } else {
+                        guards[w - 1].push_frontier(at, fseq, msg);
+                    }
+                    fseq += 1;
+                }
+                drop(guards);
+
+                barrier.wait(); // workers start
+                main_exec.run_window(
+                    chunk0,
+                    ranges[0].start,
+                    params,
+                    kind,
+                    sys,
+                    fault,
+                    update_blocks,
+                );
+                barrier.wait(); // workers done (locks released)
+
+                // Commit: merge the record streams in global order and
+                // replay every intent against the real engine state.
+                let mut guards: Vec<_> = cells
+                    .iter()
+                    .map(|c| c.lock().expect("worker cell poisoned"))
+                    .collect();
+                {
+                    let mut execs: Vec<&mut ShardExec> = Vec::with_capacity(workers);
+                    execs.push(&mut main_exec);
+                    execs.extend(guards.iter_mut().map(|g| &mut **g));
+                    commit(
+                        &mut execs,
+                        bus,
+                        observers,
+                        notifications,
+                        recovery,
+                        last_completed,
+                        last_progress,
+                        stalled,
+                    );
+                }
+                drop(guards);
+                out.append(notifications);
+            }
+
+            stop.store(true, Ordering::Release);
+            barrier.wait(); // release the workers to exit
+        });
+    }
+}
+
+/// Merges the per-shard record streams into exact global order and
+/// replays their intents. `execs[i]` is shard `i`'s window output.
+#[allow(clippy::too_many_arguments)]
+fn commit(
+    execs: &mut [&mut ShardExec],
+    bus: &mut MessageBus,
+    observers: &mut ObserverSet,
+    notifications: &mut Vec<Notification>,
+    recovery: &RecoveryParams,
+    last_completed: &mut u64,
+    last_progress: &mut SimTime,
+    stalled: &mut bool,
+) {
+    let mut cursors = vec![0usize; execs.len()];
+    // Global ranks of window-created events, filled in as their creating
+    // records replay (a creator always commits before its creation can
+    // reach the head of the same stream).
+    let mut ranks: Vec<Vec<u64>> = execs
+        .iter()
+        .map(|e| vec![u64::MAX; e.created as usize])
+        .collect();
+    let mut next_rank = 0u64;
+    loop {
+        // Pick the stream whose head has the smallest (time, class,
+        // sequence) — frontier events (class 0) carry their global pop
+        // sequence, created events (class 1) their commit-time rank.
+        let mut best: Option<((SimTime, u8, u64), usize)> = None;
+        for (i, e) in execs.iter().enumerate() {
+            let Some(r) = e.records.get(cursors[i]) else {
+                continue;
+            };
+            let key = match r.key {
+                EvKey::Frontier(f) => (r.at, 0u8, f),
+                EvKey::Created(c) => {
+                    let rank = ranks[i][c as usize];
+                    debug_assert_ne!(rank, u64::MAX, "created event outran its creator");
+                    (r.at, 1u8, rank)
+                }
+            };
+            if best.is_none_or(|(bk, _)| key < bk) {
+                best = Some((key, i));
+            }
+        }
+        let Some((_, i)) = best else { break };
+        let r = execs[i].records[cursors[i]];
+        cursors[i] += 1;
+        bus.advance_now(r.at);
+        for k in r.start as usize..r.end as usize {
+            match &execs[i].intents[k] {
+                Intent::Obs(e) => e.replay(observers),
+                Intent::Note(n) => notifications.push(n.clone()),
+                Intent::Send { now, src, dst, msg } => {
+                    observers.on_send(*now, *src, *dst, msg);
+                    bus.send(*now, *src, *dst, msg.clone());
+                }
+                Intent::Multicast {
+                    at,
+                    src,
+                    spec,
+                    data,
+                    msg,
+                } => multicast_direct(bus, observers, *at, *src, *spec, *data, msg.clone()),
+                Intent::GatherReply { at, node, id, msg } => {
+                    gather_reply_direct(bus, observers, *at, *node, *id, msg.clone())
+                }
+                Intent::Schedule { at, msg } => bus.schedule(*at, msg.clone()),
+                Intent::CreateLocal { idx } => {
+                    ranks[i][*idx as usize] = next_rank;
+                    next_rank += 1;
+                }
+            }
+        }
+        // The eligible configurations are fault-free, so the sequential
+        // loop's fault-event drain is a guaranteed no-op here.
+        debug_assert!(bus.fault_plan().is_none());
+
+        // Watchdog bookkeeping, replayed per committed event exactly as
+        // the sequential loop runs it after each dispatch. The window
+        // guard in `window_ready` keeps the idle threshold uncrossable
+        // inside a window, so the scan branch never fires.
+        let wd = recovery.watchdog;
+        if wd != Duration::ZERO {
+            let completed = observers.stats.stats().completed.get();
+            if completed != *last_completed {
+                *last_completed = completed;
+                *last_progress = r.at;
+                *stalled = false;
+            } else {
+                debug_assert!(
+                    *stalled || r.at.since(*last_progress) < wd,
+                    "watchdog threshold crossed inside a window"
+                );
+            }
+        }
+    }
+}

@@ -72,6 +72,7 @@ pub mod trace;
 
 pub use addr::{Addr, BLOCK_BYTES};
 pub use cache::{Cache, CacheState, Victim};
+pub use cenju4_des::ParallelConfig;
 pub use engine::{Engine, IssueError, MemOp, Notification};
 pub use messages::{ProtoMsg, ReqKind, TxnId};
 pub use modules::bus::PendingEvent;

@@ -90,7 +90,7 @@ impl HomeModule {
         let from = e.state();
         e.set_state(to);
         if from != to {
-            ctx.obs.on_mem_transition(at, node, addr, from, to);
+            ctx.on_mem_transition(at, node, addr, from, to);
         }
     }
 
@@ -157,7 +157,7 @@ impl HomeModule {
                                 params.home_fwd,
                             );
                             // Counted as deflected.
-                            ctx.obs.on_request_deferred(at, self.node, addr, None);
+                            ctx.on_request_deferred(at, self.node, addr, None);
                             ctx.send(done, self.node, master, ProtoMsg::Nack { addr, txn, kind });
                         }
                     }
@@ -198,9 +198,8 @@ impl HomeModule {
             value,
         });
         self.req_queue_hwm = self.req_queue_hwm.max(self.req_queue.len());
-        ctx.obs
-            .on_request_deferred(at, self.node, addr, Some(self.req_queue.len()));
-        ctx.obs.on_phase(
+        ctx.on_request_deferred(at, self.node, addr, Some(self.req_queue.len()));
+        ctx.on_phase(
             at,
             self.node,
             txn,
@@ -316,7 +315,7 @@ impl HomeModule {
                             expect: Expect::SlaveReply,
                         },
                     );
-                    ctx.obs.on_phase(done, self.node, txn, PhaseKind::Forwarded);
+                    ctx.on_phase(done, self.node, txn, PhaseKind::Forwarded);
                     ctx.send(
                         done,
                         self.node,
@@ -383,7 +382,7 @@ impl HomeModule {
                             expect: Expect::SlaveReply,
                         },
                     );
-                    ctx.obs.on_phase(done, self.node, txn, PhaseKind::Forwarded);
+                    ctx.on_phase(done, self.node, txn, PhaseKind::Forwarded);
                     ctx.send(
                         done,
                         self.node,
@@ -501,7 +500,7 @@ impl HomeModule {
                         expect: Expect::InvAcks { remaining: targets },
                     },
                 );
-                ctx.obs.on_phase(
+                ctx.on_phase(
                     done,
                     self.node,
                     txn,
@@ -576,8 +575,8 @@ impl HomeModule {
         let spec = self.push_spec(ctx.sys, addr, master);
         let targets = spec.fanout(ctx.sys);
         debug_assert!(targets > 0, "invalidation with no targets");
-        ctx.obs.on_invalidation(at, self.node, addr, targets);
-        ctx.obs.on_phase(
+        ctx.on_invalidation(at, self.node, addr, targets);
+        ctx.on_phase(
             at,
             self.node,
             txn,
@@ -694,8 +693,7 @@ impl HomeModule {
                     .get_mut(&addr)
                     .expect("inv ack without pending txn");
                 debug_assert_eq!(p.txn, txn);
-                ctx.obs
-                    .on_phase(at, self.node, txn, PhaseKind::GatherCombine { acks });
+                ctx.on_phase(at, self.node, txn, PhaseKind::GatherCombine { acks });
                 let finished = match &mut p.expect {
                     Expect::InvAcks { remaining } => {
                         assert!(*remaining >= acks, "more acks than invalidations");
@@ -792,8 +790,7 @@ impl HomeModule {
                 break;
             }
             self.req_queue.pop_front();
-            ctx.obs
-                .on_phase(at, self.node, head.txn, PhaseKind::ReservationWait);
+            ctx.on_phase(at, self.node, head.txn, PhaseKind::ReservationWait);
             self.process_request(
                 ctx,
                 at,

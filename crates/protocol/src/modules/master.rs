@@ -71,7 +71,7 @@ impl MasterModule {
         let from = self.cache.state(addr);
         self.cache.set_state(addr, to);
         if from != to {
-            ctx.obs.on_cache_transition(at, self.node, addr, from, to);
+            ctx.on_cache_transition(at, self.node, addr, from, to);
         }
     }
 
@@ -83,8 +83,7 @@ impl MasterModule {
     ) -> CacheState {
         let from = self.cache.invalidate(addr);
         if from != CacheState::Invalid {
-            ctx.obs
-                .on_cache_transition(at, self.node, addr, from, CacheState::Invalid);
+            ctx.on_cache_transition(at, self.node, addr, from, CacheState::Invalid);
         }
         from
     }
@@ -100,8 +99,7 @@ impl MasterModule {
         value: u64,
     ) -> Option<Victim> {
         let victim = self.cache.fill_value(addr, state, value);
-        ctx.obs
-            .on_cache_transition(at, self.node, addr, CacheState::Invalid, state);
+        ctx.on_cache_transition(at, self.node, addr, CacheState::Invalid, state);
         victim
     }
 
@@ -142,18 +140,26 @@ impl MasterModule {
         let state = self.cache.touch(addr);
         let hit_done = at + params.hit;
         match (op, state) {
+            // Hits drain the backlog too: a backlogged access re-issued
+            // by a completion often hits the line that completion just
+            // filled, and if it didn't pass the drain token along the
+            // chain would stall with accesses still queued (the engine
+            // would go idle with transactions outstanding).
             (MemOp::Load, s) if s.readable() => {
                 let v = self.cache.value(addr);
                 ctx.complete(self.node, txn, op, addr, at, hit_done, true, false, v);
+                self.drain_backlog(ctx, hit_done);
             }
             (MemOp::Store, CacheState::Modified) => {
                 self.cache.set_value(addr, txn + 1);
                 ctx.complete(self.node, txn, op, addr, at, hit_done, true, false, txn + 1);
+                self.drain_backlog(ctx, hit_done);
             }
             (MemOp::Store, CacheState::Exclusive) => {
                 self.set_cache_state(ctx, at, addr, CacheState::Modified);
                 self.cache.set_value(addr, txn + 1);
                 ctx.complete(self.node, txn, op, addr, at, hit_done, true, false, txn + 1);
+                self.drain_backlog(ctx, hit_done);
             }
             _ => {
                 // Miss (or upgrade): a coherence request is needed.
@@ -175,7 +181,7 @@ impl MasterModule {
                 );
                 self.arm_txn_timer(ctx, at, txn, 0);
                 let kind = request_kind(op, state);
-                ctx.obs.on_request_issued(at, self.node, kind, false);
+                ctx.on_request_issued(at, self.node, kind, false);
                 ctx.send(
                     at + params.issue,
                     self.node,
@@ -219,6 +225,7 @@ impl MasterModule {
                     false,
                     v,
                 );
+                self.drain_backlog(ctx, at + params.hit);
             }
             MemOp::Load if self.l3.contains_key(&addr) => {
                 // L2 miss satisfied from the node's own main memory.
@@ -229,7 +236,7 @@ impl MasterModule {
                     None
                 };
                 self.writeback_victim(ctx, at + params.hit, victim);
-                ctx.obs.on_l3_fill(at, self.node, addr);
+                ctx.on_l3_fill(at, self.node, addr);
                 ctx.complete(
                     self.node,
                     txn,
@@ -241,6 +248,7 @@ impl MasterModule {
                     true,
                     v,
                 );
+                self.drain_backlog(ctx, at + params.l3_fill);
             }
             _ => {
                 // Cold load (subscribe) or write-through store.
@@ -265,7 +273,7 @@ impl MasterModule {
                     MemOp::Load => ReqKind::ReadShared,
                     MemOp::Store => ReqKind::Update,
                 };
-                ctx.obs.on_request_issued(at, self.node, kind, false);
+                ctx.on_request_issued(at, self.node, kind, false);
                 ctx.send(
                     at + params.issue,
                     self.node,
@@ -299,7 +307,7 @@ impl MasterModule {
         } else {
             request_kind(op, state)
         };
-        ctx.obs.on_request_issued(at, self.node, kind, true);
+        ctx.on_request_issued(at, self.node, kind, true);
         let value = if kind == ReqKind::Update { txn + 1 } else { 0 };
         ctx.send(
             at + params.issue,
@@ -324,12 +332,12 @@ impl MasterModule {
     /// retransmitting — so it self-drains (a no-op, no re-arm) once the
     /// transaction graduates.
     fn arm_txn_timer(&mut self, ctx: &mut Ctx, at: SimTime, txn: TxnId, backoffs: u32) {
-        if !ctx.bus.armed() {
+        if !ctx.armed() {
             return;
         }
-        let base = ctx.bus.recovery().txn_timeout;
+        let base = ctx.recovery().txn_timeout;
         let timeout = Duration::from_ns(base.as_ns().saturating_mul(1u64 << backoffs.min(20)));
-        ctx.bus.schedule(
+        ctx.schedule(
             at + timeout,
             BusMsg::TxnTimer {
                 node: self.node,
@@ -347,7 +355,7 @@ impl MasterModule {
         at: SimTime,
         txn: TxnId,
     ) -> Option<RecoveryError> {
-        let budget = ctx.bus.recovery().max_txn_backoffs;
+        let budget = ctx.recovery().max_txn_backoffs;
         let Some(t) = self.outstanding.get_mut(&txn) else {
             return None; // graduated — the timer self-drains
         };
@@ -355,6 +363,10 @@ impl MasterModule {
         if t.backoffs > budget {
             let addr = t.addr;
             self.outstanding.remove(&txn);
+            // The freed request slot must pass the drain token along,
+            // or accesses backlogged behind the abandoned transaction
+            // would never re-issue.
+            self.drain_backlog(ctx, at);
             return Some(RecoveryError::TransactionTimeout {
                 node: self.node,
                 txn,
@@ -371,9 +383,8 @@ impl MasterModule {
     /// actual reply arriving late after all) is discarded instead of
     /// being treated as a protocol bug.
     fn discard_unknown_txn(&self, ctx: &mut Ctx, at: SimTime) -> bool {
-        if ctx.bus.armed() {
-            ctx.obs
-                .on_link_discard(at, self.node, self.node, "unknown-txn");
+        if ctx.armed() {
+            ctx.on_link_discard(at, self.node, self.node, "unknown-txn");
             true
         } else {
             false
@@ -396,7 +407,7 @@ impl MasterModule {
                 if !self.outstanding.contains_key(&txn) && self.discard_unknown_txn(ctx, at) {
                     return;
                 }
-                ctx.obs.on_phase(at, self.node, txn, PhaseKind::Reply);
+                ctx.on_phase(at, self.node, txn, PhaseKind::Reply);
                 let done = ctx.begin(
                     &mut self.input_q,
                     self.node,
@@ -435,7 +446,7 @@ impl MasterModule {
                 if !self.outstanding.contains_key(&txn) && self.discard_unknown_txn(ctx, at) {
                     return;
                 }
-                ctx.obs.on_phase(at, self.node, txn, PhaseKind::Reply);
+                ctx.on_phase(at, self.node, txn, PhaseKind::Reply);
                 let done = ctx.begin(
                     &mut self.input_q,
                     self.node,
@@ -499,7 +510,7 @@ impl MasterModule {
                     .get_mut(&txn)
                     .expect("nack for unknown txn");
                 t.retries += 1;
-                ctx.bus.schedule(
+                ctx.schedule(
                     at + params.nack_retry,
                     BusMsg::Retry {
                         node: self.node,
@@ -513,7 +524,7 @@ impl MasterModule {
 
     fn drain_backlog(&mut self, ctx: &mut Ctx, at: SimTime) {
         if let Some((op, addr, txn, _issued)) = self.backlog.pop_front() {
-            ctx.bus.schedule(
+            ctx.schedule(
                 at,
                 BusMsg::Access {
                     node: self.node,

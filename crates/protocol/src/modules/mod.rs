@@ -17,6 +17,13 @@
 //! network directly: all communication flows through the typed
 //! [`MessageBus`](bus::MessageBus) as [`BusMsg`](bus::BusMsg) events, and
 //! all instrumentation is routed to the engine's observers via [`Ctx`].
+//!
+//! One node's three modules live together in a [`NodeShard`] — the unit
+//! of ownership for the conservative-parallel executor: a shard is owned
+//! by exactly one worker, and everything a handler touches beyond it
+//! (bus, observers, notifications) goes through [`Ctx`], which either
+//! acts directly (sequential mode) or logs typed intents for the
+//! commit-time replay (shard mode).
 
 pub mod bus;
 mod home;
@@ -28,28 +35,63 @@ pub use master::MasterModule;
 pub use slave::SlaveModule;
 
 use crate::addr::Addr;
+use crate::cache::CacheState;
+use crate::engine::parallel::{ObsEvent, ShardExec};
 use crate::engine::{MemOp, Notification};
-use crate::messages::{ProtoMsg, TxnId};
-use crate::observer::{ModuleKind, ObserverSet};
-use crate::params::{FaultInjection, ProtoParams, ProtocolKind};
+use crate::messages::{ProtoMsg, ReqKind, TxnId};
+use crate::observer::{ModuleKind, ObserverSet, PhaseKind};
+use crate::params::{FaultInjection, ProtoParams, ProtocolKind, RecoveryParams};
 use crate::service::ServiceQueue;
-use bus::MessageBus;
+use bus::{BusMsg, MessageBus};
 use cenju4_des::FxHashSet;
 use cenju4_des::{Duration, SimTime};
 use cenju4_directory::nodemap::DestSpec;
-use cenju4_directory::{NodeId, SystemSize};
+use cenju4_directory::{MemState, NodeId, SystemSize};
 
-/// Per-event handler context: the shared machine configuration, the bus,
-/// and the observer fan-out. Handed by the engine's dispatcher to every
-/// module handler, so the modules themselves own nothing but their
-/// paper-mandated state.
+/// One simulated node's complete protocol state: its master, home, and
+/// slave modules. The engine owns a dense `Vec<NodeShard>` indexed by
+/// node; under the parallel executor each shard is advanced by exactly
+/// one worker, and cross-shard traffic flows only through the bus.
+pub(crate) struct NodeShard {
+    pub master: MasterModule,
+    pub home: HomeModule,
+    pub slave: SlaveModule,
+}
+
+impl NodeShard {
+    pub(crate) fn new(node: NodeId, params: &ProtoParams) -> Self {
+        NodeShard {
+            master: MasterModule::new(node, params),
+            home: HomeModule::new(node),
+            slave: SlaveModule::new(node),
+        }
+    }
+}
+
+/// How a [`Ctx`] reaches the world outside the current node's modules.
+pub(crate) enum CtxMode<'a> {
+    /// The sequential engine: act on the bus and observers immediately.
+    Direct {
+        bus: &'a mut MessageBus,
+        obs: &'a mut ObserverSet,
+        notes: &'a mut Vec<Notification>,
+    },
+    /// A parallel-window worker: log every externally visible action as
+    /// a typed intent on the shard executor; the engine replays them in
+    /// exact global event order at the window commit.
+    Shard(&'a mut ShardExec),
+}
+
+/// Per-event handler context: the shared machine configuration plus the
+/// engine seam ([`CtxMode`]). Handed by the dispatcher to every module
+/// handler, so the modules themselves own nothing but their
+/// paper-mandated state — and never observe whether they are running
+/// sequentially or inside a parallel window.
 pub(crate) struct Ctx<'a> {
     pub params: ProtoParams,
     pub kind: ProtocolKind,
     pub sys: SystemSize,
-    pub bus: &'a mut MessageBus,
-    pub obs: &'a mut ObserverSet,
-    pub notes: &'a mut Vec<Notification>,
+    pub mode: CtxMode<'a>,
     /// Blocks running the update protocol (Section 4.2.3).
     pub update_blocks: &'a FxHashSet<Addr>,
     /// Test-only protocol mutation in force (checker mutant runs);
@@ -60,8 +102,13 @@ pub(crate) struct Ctx<'a> {
 impl Ctx<'_> {
     /// Sends a protocol message and notifies observers.
     pub(crate) fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, msg: ProtoMsg) {
-        self.obs.on_send(now, src, dst, &msg);
-        self.bus.send(now, src, dst, msg);
+        match &mut self.mode {
+            CtxMode::Direct { bus, obs, .. } => {
+                obs.on_send(now, src, dst, &msg);
+                bus.send(now, src, dst, msg);
+            }
+            CtxMode::Shard(ex) => ex.send(now, src, dst, msg),
+        }
     }
 
     /// Multicasts `msg` (with an in-network reply gather) and notifies
@@ -75,17 +122,11 @@ impl Ctx<'_> {
         data: bool,
         msg: ProtoMsg,
     ) {
-        let gather = self.bus.open_gather(src, spec);
-        if self.bus.armed() {
-            self.bus
-                .register_gather_recovery(at, src, gather, spec, data, msg.clone());
-        }
-        let dels = self
-            .bus
-            .send_multicast(at, src, spec, data, msg, Some(gather));
-        for (d, seq) in dels {
-            self.obs.on_send(at, src, d.node, &d.payload);
-            self.bus.schedule_delivery(d, seq);
+        match &mut self.mode {
+            CtxMode::Direct { bus, obs, .. } => {
+                multicast_direct(bus, obs, at, src, spec, data, msg);
+            }
+            CtxMode::Shard(ex) => ex.multicast(at, src, spec, data, msg),
         }
     }
 
@@ -100,13 +141,39 @@ impl Ctx<'_> {
         id: cenju4_network::fabric::GatherId,
         msg: ProtoMsg,
     ) {
-        match self.bus.send_gather_reply(at, node, id, msg) {
-            Ok(Some(d)) => {
-                self.obs.on_send(at, node, d.node, &d.payload);
-                self.bus.schedule_delivery(d, None);
+        match &mut self.mode {
+            CtxMode::Direct { bus, obs, .. } => {
+                gather_reply_direct(bus, obs, at, node, id, msg);
             }
-            Ok(None) => {}
-            Err(reason) => self.obs.on_link_discard(at, node, node, reason),
+            CtxMode::Shard(ex) => ex.gather_reply(at, node, id, msg),
+        }
+    }
+
+    /// Schedules a bus event — always targeting the *current* node
+    /// (retries, backlog wakeups, transaction timers); modules never
+    /// schedule work on other nodes directly.
+    pub(crate) fn schedule(&mut self, at: SimTime, msg: BusMsg) {
+        match &mut self.mode {
+            CtxMode::Direct { bus, .. } => bus.schedule(at, msg),
+            CtxMode::Shard(ex) => ex.schedule(at, msg),
+        }
+    }
+
+    /// Whether the link-level recovery layer is armed. Always `false`
+    /// in shard mode: the parallel gate falls back to the sequential
+    /// loop whenever recovery is armed.
+    pub(crate) fn armed(&self) -> bool {
+        match &self.mode {
+            CtxMode::Direct { bus, .. } => bus.armed(),
+            CtxMode::Shard(_) => false,
+        }
+    }
+
+    /// The recovery-layer configuration in force.
+    pub(crate) fn recovery(&self) -> RecoveryParams {
+        match &self.mode {
+            CtxMode::Direct { bus, .. } => bus.recovery(),
+            CtxMode::Shard(ex) => ex.recovery(),
         }
     }
 
@@ -124,7 +191,12 @@ impl Ctx<'_> {
         let done = q.begin(arrival, service);
         let after = q.depth_high_water();
         if after > before {
-            self.obs.on_queue_depth(arrival, node, module, after);
+            self.obs(ObsEvent::QueueDepth {
+                at: arrival,
+                node,
+                module,
+                depth: after,
+            });
         }
         done
     }
@@ -143,8 +215,16 @@ impl Ctx<'_> {
         l3: bool,
         value: u64,
     ) {
-        self.obs.on_complete(finished, node, txn, op, addr, hit, l3);
-        self.notes.push(Notification::Completed {
+        self.obs(ObsEvent::Complete {
+            at: finished,
+            node,
+            txn,
+            op,
+            addr,
+            hit,
+            l3,
+        });
+        self.note(Notification::Completed {
             node,
             txn,
             op,
@@ -155,5 +235,170 @@ impl Ctx<'_> {
             l3,
             value,
         });
+    }
+
+    // ---- observer forwarding ------------------------------------------
+    //
+    // Modules report through these instead of holding the observer set,
+    // so the same handler code runs under both execution modes.
+
+    pub(crate) fn on_request_issued(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        kind: ReqKind,
+        retry: bool,
+    ) {
+        self.obs(ObsEvent::RequestIssued {
+            at,
+            node,
+            kind,
+            retry,
+        });
+    }
+
+    pub(crate) fn on_request_deferred(
+        &mut self,
+        at: SimTime,
+        home: NodeId,
+        addr: Addr,
+        depth: Option<usize>,
+    ) {
+        self.obs(ObsEvent::RequestDeferred {
+            at,
+            home,
+            addr,
+            depth,
+        });
+    }
+
+    pub(crate) fn on_invalidation(&mut self, at: SimTime, home: NodeId, addr: Addr, copies: u32) {
+        self.obs(ObsEvent::Invalidation {
+            at,
+            home,
+            addr,
+            copies,
+        });
+    }
+
+    pub(crate) fn on_phase(&mut self, at: SimTime, node: NodeId, txn: TxnId, phase: PhaseKind) {
+        self.obs(ObsEvent::Phase {
+            at,
+            node,
+            txn,
+            phase,
+        });
+    }
+
+    pub(crate) fn on_cache_transition(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        addr: Addr,
+        from: CacheState,
+        to: CacheState,
+    ) {
+        self.obs(ObsEvent::CacheTransition {
+            at,
+            node,
+            addr,
+            from,
+            to,
+        });
+    }
+
+    pub(crate) fn on_mem_transition(
+        &mut self,
+        at: SimTime,
+        home: NodeId,
+        addr: Addr,
+        from: MemState,
+        to: MemState,
+    ) {
+        self.obs(ObsEvent::MemTransition {
+            at,
+            home,
+            addr,
+            from,
+            to,
+        });
+    }
+
+    pub(crate) fn on_l3_fill(&mut self, at: SimTime, node: NodeId, addr: Addr) {
+        self.obs(ObsEvent::L3Fill { at, node, addr });
+    }
+
+    pub(crate) fn on_link_discard(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        src: NodeId,
+        reason: &'static str,
+    ) {
+        self.obs(ObsEvent::LinkDiscard {
+            at,
+            node,
+            src,
+            reason,
+        });
+    }
+
+    /// Routes one observer event: immediate fan-out in direct mode, an
+    /// intent in shard mode.
+    pub(crate) fn obs(&mut self, e: ObsEvent) {
+        match &mut self.mode {
+            CtxMode::Direct { obs, .. } => e.replay(obs),
+            CtxMode::Shard(ex) => ex.obs(e),
+        }
+    }
+
+    /// Routes one driver notification.
+    pub(crate) fn note(&mut self, n: Notification) {
+        match &mut self.mode {
+            CtxMode::Direct { notes, .. } => notes.push(n),
+            CtxMode::Shard(ex) => ex.note(n),
+        }
+    }
+}
+
+/// The sequential multicast path, shared by [`Ctx::multicast`] and the
+/// window commit's intent replay.
+pub(crate) fn multicast_direct(
+    bus: &mut MessageBus,
+    obs: &mut ObserverSet,
+    at: SimTime,
+    src: NodeId,
+    spec: DestSpec,
+    data: bool,
+    msg: ProtoMsg,
+) {
+    let gather = bus.open_gather(src, spec);
+    if bus.armed() {
+        bus.register_gather_recovery(at, src, gather, spec, data, msg.clone());
+    }
+    let dels = bus.send_multicast(at, src, spec, data, msg, Some(gather));
+    for (d, seq) in dels {
+        obs.on_send(at, src, d.node, &d.payload);
+        bus.schedule_delivery(d, seq);
+    }
+}
+
+/// The sequential gather-contribution path, shared by
+/// [`Ctx::gather_reply`] and the window commit's intent replay.
+pub(crate) fn gather_reply_direct(
+    bus: &mut MessageBus,
+    obs: &mut ObserverSet,
+    at: SimTime,
+    node: NodeId,
+    id: cenju4_network::fabric::GatherId,
+    msg: ProtoMsg,
+) {
+    match bus.send_gather_reply(at, node, id, msg) {
+        Ok(Some(d)) => {
+            obs.on_send(at, node, d.node, &d.payload);
+            bus.schedule_delivery(d, None);
+        }
+        Ok(None) => {}
+        Err(reason) => obs.on_link_discard(at, node, node, reason),
     }
 }

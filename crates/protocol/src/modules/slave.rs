@@ -111,8 +111,7 @@ impl SlaveModule {
                     ctx.send(done, self.node, addr.home(), ack);
                 } else {
                     let id = gather.expect("multicast update without gather id");
-                    ctx.obs
-                        .on_phase(done, self.node, txn, PhaseKind::GatherContribute);
+                    ctx.on_phase(done, self.node, txn, PhaseKind::GatherContribute);
                     ctx.gather_reply(done, self.node, id, ack);
                 }
             }
@@ -139,8 +138,7 @@ impl SlaveModule {
                     ctx.send(done, self.node, addr.home(), ack);
                 } else {
                     let id = gather.expect("multicast invalidation without gather id");
-                    ctx.obs
-                        .on_phase(done, self.node, txn, PhaseKind::GatherContribute);
+                    ctx.on_phase(done, self.node, txn, PhaseKind::GatherContribute);
                     ctx.gather_reply(done, self.node, id, ack);
                 }
             }

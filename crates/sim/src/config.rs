@@ -3,7 +3,7 @@
 use cenju4_des::Duration;
 use cenju4_directory::{SystemSize, SystemSizeError};
 use cenju4_network::{FaultPlan, MulticastMode, NetParams};
-use cenju4_protocol::{Engine, ProtoParams, ProtocolKind, RecoveryParams};
+use cenju4_protocol::{Engine, ParallelConfig, ProtoParams, ProtocolKind, RecoveryParams};
 use core::fmt;
 
 /// Why [`SystemConfigBuilder::build`] rejected a configuration.
@@ -19,6 +19,9 @@ pub enum ConfigError {
     /// The home main-memory request queue has no capacity — the queuing
     /// protocol could not park a single request.
     ZeroHomeQueue,
+    /// The parallel executor was configured with zero worker threads —
+    /// nothing could ever advance the simulation.
+    ZeroWorkers,
 }
 
 impl fmt::Display for ConfigError {
@@ -32,6 +35,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroHomeQueue => {
                 f.write_str("home request-queue capacity must be non-zero")
             }
+            ConfigError::ZeroWorkers => f.write_str("worker count must be non-zero"),
         }
     }
 }
@@ -79,6 +83,10 @@ pub struct SystemConfig {
     /// non-trivial; with a lossless fabric the layer is elided entirely
     /// and traces are bit-identical to a recovery-less build.
     pub recovery: RecoveryParams,
+    /// Execution strategy: `workers = 1` (the default) is the sequential
+    /// event loop; more workers select the conservative-parallel
+    /// executor, with bit-identical results at any worker count.
+    pub parallel: ParallelConfig,
 }
 
 impl SystemConfig {
@@ -105,6 +113,7 @@ impl SystemConfig {
             mpi_bytes_per_us: 169,
             fault: FaultPlan::none(),
             recovery: RecoveryParams::default(),
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -144,6 +153,7 @@ impl SystemConfig {
         let mut eng = Engine::new(self.sys, self.proto, self.net, self.kind);
         eng.set_recovery(self.recovery);
         eng.set_fault_plan(self.fault.clone());
+        eng.set_parallel(self.parallel);
         eng
     }
 
@@ -174,6 +184,7 @@ pub struct SystemConfigBuilder {
     mpi_bytes_per_us: u64,
     fault: FaultPlan,
     recovery: RecoveryParams,
+    parallel: ParallelConfig,
 }
 
 impl SystemConfigBuilder {
@@ -371,6 +382,46 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Selects the number of worker threads for [`SystemConfig::build`]'s
+    /// engine: `1` (the default) is the sequential event loop, more
+    /// workers the conservative-parallel executor. Results are
+    /// bit-identical at any worker count; zero is rejected at build time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::builder(16).workers(4).build()?;
+    /// assert_eq!(cfg.parallel.workers, 4);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.parallel.workers = workers;
+        self
+    }
+
+    /// Replaces the full parallel-execution configuration (worker count
+    /// and windowing threshold). See [`SystemConfigBuilder::workers`] for
+    /// the common case.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_protocol::ParallelConfig;
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::builder(16)
+    ///     .parallel(ParallelConfig::with_workers(2))
+    ///     .build()?;
+    /// assert_eq!(cfg.parallel, ParallelConfig::with_workers(2));
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn parallel(mut self, cfg: ParallelConfig) -> Self {
+        self.parallel = cfg;
+        self
+    }
+
     /// Validates the configuration and produces the [`SystemConfig`].
     ///
     /// # Errors
@@ -400,6 +451,9 @@ impl SystemConfigBuilder {
         if self.proto.home_queue_capacity == 0 {
             return Err(ConfigError::ZeroHomeQueue);
         }
+        if self.parallel.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
         Ok(SystemConfig {
             sys,
             net: self.net,
@@ -409,6 +463,7 @@ impl SystemConfigBuilder {
             mpi_bytes_per_us: self.mpi_bytes_per_us,
             fault: self.fault,
             recovery: self.recovery,
+            parallel: self.parallel,
         })
     }
 }
@@ -465,6 +520,22 @@ mod tests {
                 .unwrap_err(),
             ConfigError::ZeroMpiBandwidth
         );
+        assert_eq!(
+            SystemConfig::builder(16).workers(0).build().unwrap_err(),
+            ConfigError::ZeroWorkers
+        );
+    }
+
+    #[test]
+    fn workers_flow_into_the_engine() {
+        let cfg = SystemConfig::builder(16).workers(4).build().unwrap();
+        assert_eq!(cfg.parallel, ParallelConfig::with_workers(4));
+        let eng = cfg.build();
+        assert_eq!(eng.parallel_config().workers, 4);
+        // Defaults stay sequential.
+        let cfg = SystemConfig::new(16).unwrap();
+        assert_eq!(cfg.parallel.workers, 1);
+        assert!(!cfg.build().parallel_eligible());
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub use cenju4_obs::{chrome_trace_json, MetricsRegistry, SpanClass, SpanCollecto
 pub use cenju4_protocol::observer::{Observer, StarvationProbe};
 pub use cenju4_protocol::{
     Addr, CacheState, Engine, EngineStats, FaultInjection, IssueError, MemOp, Notification,
-    PendingEvent, ProtoMsg, ProtoParams, ProtocolKind, RecoveryError, RecoveryParams, ReqKind,
-    TxnId,
+    ParallelConfig, PendingEvent, ProtoMsg, ProtoParams, ProtocolKind, RecoveryError,
+    RecoveryParams, ReqKind, TxnId,
 };
 
 pub use crate::config::{ConfigError, SystemConfig, SystemConfigBuilder};

@@ -3,12 +3,13 @@
 # schedule-exploring protocol checker's smoke tier.
 # Everything runs offline — the workspace has no external dependencies.
 #
-# Usage: scripts/ci.sh [check-smoke|fault-smoke|perf-smoke|obs-smoke]
-#   (no arg)     run the full gate
-#   check-smoke  run only the time-capped protocol-checker tier
-#   fault-smoke  run only the time-capped unreliable-fabric recovery tier
-#   perf-smoke   run only the hot-path perf regression tier
-#   obs-smoke    run only the observability export/leak-oracle tier
+# Usage: scripts/ci.sh [check-smoke|fault-smoke|perf-smoke|obs-smoke|scaling-smoke]
+#   (no arg)       run the full gate
+#   check-smoke    run only the time-capped protocol-checker tier
+#   fault-smoke    run only the time-capped unreliable-fabric recovery tier
+#   perf-smoke     run only the hot-path perf regression tier
+#   obs-smoke      run only the observability export/leak-oracle tier
+#   scaling-smoke  run only the parallel-executor bit-identity + speedup tier
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -80,6 +81,20 @@ obs_smoke() {
         --max-seconds 120
 }
 
+scaling_smoke() {
+    echo "==> parallel-executor scaling smoke tier (time-capped)"
+    # Bit-identity first: the golden fig10/fig12 scenarios plus the dense
+    # window-stress burst must produce byte-identical artifacts at 2 (and
+    # more) workers. This is the correctness half of the tier and runs on
+    # any host.
+    timeout 600 cargo test -q --offline --test parallel_determinism
+    # Wall-clock half: 4 workers must reach >= 1.5x over 1 worker on the
+    # 256-node scaling scenario. The binary skips (exit 0) on hosts that
+    # expose fewer than 4 cores, where the guard would be meaningless.
+    cargo build --release --offline -p cenju4-bench --bin perf
+    timeout 300 target/release/perf --scaling-smoke
+}
+
 if [[ "${1:-}" == "check-smoke" ]]; then
     check_smoke
     echo "CI OK (check-smoke)"
@@ -104,6 +119,12 @@ if [[ "${1:-}" == "obs-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "scaling-smoke" ]]; then
+    scaling_smoke
+    echo "CI OK (scaling-smoke)"
+    exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -124,5 +145,7 @@ fault_smoke
 perf_smoke
 
 obs_smoke
+
+scaling_smoke
 
 echo "CI OK"

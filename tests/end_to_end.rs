@@ -156,3 +156,38 @@ fn deterministic_workload_replay_across_layers() {
     };
     assert_eq!(run(), run());
 }
+
+#[test]
+fn dense_burst_backlog_drains_completely() {
+    // Every node fires a burst of accesses at t = 0, far deeper than the
+    // R10000's four outstanding-request slots, over few enough blocks
+    // that drained accesses frequently *hit* the line the access ahead
+    // of them just filled. Hit completions must pass the backlog drain
+    // token along (not just miss replies), or the engine goes idle with
+    // accesses still queued in the masters.
+    let mut eng = SystemConfig::new(16).unwrap().build();
+    let mut issued = 0u64;
+    for n in 0..16u16 {
+        for k in 0..32u32 {
+            let a = if k % 8 == 7 {
+                Addr::new(NodeId::new((n + 1) % 16), 1)
+            } else {
+                Addr::new(NodeId::new(n), 2 + k % 4)
+            };
+            let op = if k % 3 == 0 {
+                MemOp::Load
+            } else {
+                MemOp::Store
+            };
+            eng.issue(SimTime::ZERO, NodeId::new(n), op, a);
+            issued += 1;
+        }
+    }
+    let completed = eng
+        .run()
+        .iter()
+        .filter(|n| matches!(n, Notification::Completed { .. }))
+        .count() as u64;
+    assert_eq!(completed, issued, "every burst access must complete");
+    assert_eq!(eng.outstanding_txn_count(), 0, "accesses left outstanding");
+}
