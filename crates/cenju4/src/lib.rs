@@ -12,7 +12,7 @@
 //! | [`des`] | — | event queue, clock, RNG, statistics |
 //! | [`directory`] | §3.1 | pointer + bit-pattern node maps, 64-bit directory entries, baseline schemes, Figure-4 precision analytics |
 //! | [`network`] | §3.2 | 4×4-crossbar multistage network with in-switch multicast and reply gathering |
-//! | [`protocol`] | §2, §3.3–3.4 + appendix | MESI caches, the starvation-free queuing protocol, deadlock-prevention buffers and the Figure-9 graph analysis, nack baseline, user-level message passing, the §4.2.3 update-protocol extension, event tracing |
+//! | [`protocol`] | §2, §3.3–3.4 + appendix | coherence protocols behind the `CoherenceProtocol` seam (invalidate-based MESI, update-based Dragon), the starvation-free queuing protocol, deadlock-prevention buffers and the Figure-9 graph analysis, nack baseline, user-level message passing, the §4.2.3 update-protocol extension, event tracing |
 //! | [`sim`] | §4.1 | latency probes (Table 2, Figure 10), processor driver, barriers, reports |
 //! | [`workloads`] | §4.2 | synthetic BT/CG/FT/SP in seq/mpi/dsm(1)/dsm(2) variants |
 //!
@@ -61,5 +61,27 @@ mod tests {
         let sys = SystemSize::new(16).unwrap();
         assert_eq!(sys.stages(), 2);
         let _ = SystemConfig::new(16).unwrap();
+    }
+
+    /// The protocol/directory seam types reach the facade prelude: the
+    /// selector enums, the trait objects behind them, and the builder
+    /// spec all resolve from `cenju4::prelude::*` alone.
+    #[test]
+    fn facade_reexports_the_seam_types() {
+        use crate::prelude::*;
+        let proto: &'static dyn CoherenceProtocol = ProtocolId::Dragon.protocol();
+        assert_eq!(proto.name(), "dragon");
+        let fmt: &'static dyn DirectoryFormat = DirectoryId::CoarseVector.format();
+        assert_eq!(fmt.name(), "coarse-vector");
+        let _: SharerSet = DirectoryId::FullMap.instantiate(SystemSize::new(16).unwrap());
+        let spec: ProtocolSpec = (ProtocolId::Dragon, ProtocolKind::Queuing).into();
+        let cfg = SystemConfig::builder(16)
+            .protocol(spec)
+            .directory(DirectoryId::FullMap)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.coherence, ProtocolId::Dragon);
+        assert_eq!(cfg.directory, DirectoryId::FullMap);
+        let _: AccessDecision = proto.classify(MemOp::Load, CacheState::Shared);
     }
 }

@@ -101,12 +101,16 @@ impl core::fmt::Display for Counterexample {
             self.config.nodes,
             self.config.blocks,
             self.config.ops_per_node,
-            match self.config.kind {
-                cenju4_protocol::ProtocolKind::Queuing => "queuing",
-                cenju4_protocol::ProtocolKind::Nack => "nack",
+            match (self.config.coherence, self.config.kind) {
+                (cenju4_protocol::ProtocolId::Dragon, _) => "dragon",
+                (_, cenju4_protocol::ProtocolKind::Queuing) => "queuing",
+                (_, cenju4_protocol::ProtocolKind::Nack) => "nack",
             },
             self.config.fault,
         )?;
+        if self.config.directory != cenju4_directory::DirectoryId::default() {
+            write!(f, " --directory {}", self.config.directory)?;
+        }
         if self.config.recovery {
             write!(f, " --recovery on")?;
         }
@@ -219,7 +223,7 @@ pub fn run_one(
                 .run_pending(ready[picked])
                 .expect("ready event vanished");
             steps += 1;
-            if let Some(v) = oracle.note(&notes) {
+            if let Some(v) = oracle.note(&notes, &eng) {
                 return (Some(v), render_trace(&eng, cfg));
             }
             if let Some(v) = oracle.check_step(&eng) {

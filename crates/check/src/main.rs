@@ -11,15 +11,19 @@
 //!   counterexample from each; exits 1 if a mutant *survives* (the
 //!   oracles failed to distinguish a broken protocol).
 //!
-//! Common flags: `--nodes N --blocks B --ops K --protocol queuing|nack`
-//! `--fault <name>` (run `cenju4-check` with an unknown fault to list
-//! them), `--recovery on|off --fault-seed S --drop-rate P` (permille)
+//! Common flags: `--nodes N --blocks B --ops K`
+//! `--protocol mesi|dragon|queuing|nack` (coherence protocol, or the
+//! legacy home-variant names), `--directory <format>` (sharer-set
+//! format; run with an unknown value to list them), `--fault <name>`
+//! (run `cenju4-check` with an unknown fault to list them),
+//! `--recovery on|off --fault-seed S --drop-rate P` (permille)
 //! `--max-steps S --max-schedules M --max-seconds T`; `random` adds
 //! `--seed`/`--walks`, `replay` adds `--schedule 1,0,2` (`-` for the
 //! empty schedule).
 
 use cenju4_check::{exhaustive, random_walks, replay, CheckConfig, Exploration, ExploreLimits};
-use cenju4_protocol::{FaultInjection, ProtocolKind};
+use cenju4_directory::DirectoryId;
+use cenju4_protocol::{FaultInjection, ProtocolId, ProtocolKind};
 use std::process::ExitCode;
 
 struct Args {
@@ -41,15 +45,36 @@ fn fault_names() -> String {
         .join("|")
 }
 
+/// Every known `--protocol` value: the coherence protocols from
+/// [`ProtocolId::ALL`] plus the legacy home-variant names (which keep
+/// existing invocations working unchanged).
+fn protocol_names() -> String {
+    let mut names: Vec<&str> = ProtocolId::ALL.iter().map(|p| p.name()).collect();
+    names.extend(["queuing", "nack"]);
+    names.join("|")
+}
+
+/// Every known directory format name, straight from [`DirectoryId::ALL`].
+fn directory_names() -> String {
+    DirectoryId::ALL
+        .iter()
+        .map(|d| d.name())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: cenju4-check <exhaustive|random|replay|mutants> \
-         [--nodes N] [--blocks B] [--ops K] [--protocol queuing|nack] \
+         [--nodes N] [--blocks B] [--ops K] [--protocol {}] \
+         [--directory {}] \
          [--fault {}] [--recovery on|off] [--fault-seed S] \
          [--drop-rate PERMILLE] [--max-steps S] \
          [--max-schedules M] [--max-seconds T] [--seed S] [--walks W] \
          [--schedule 1,0,2|-]",
+        protocol_names(),
+        directory_names(),
         fault_names()
     );
     ExitCode::from(2)
@@ -75,12 +100,28 @@ fn parse(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--nodes" => args.cfg.nodes = val()?.parse().map_err(|e| format!("--nodes: {e}"))?,
             "--blocks" => args.cfg.blocks = val()?.parse().map_err(|e| format!("--blocks: {e}"))?,
             "--ops" => args.cfg.ops_per_node = val()?.parse().map_err(|e| format!("--ops: {e}"))?,
-            "--protocol" => {
-                args.cfg.kind = match val()?.as_str() {
-                    "queuing" => ProtocolKind::Queuing,
-                    "nack" => ProtocolKind::Nack,
-                    other => return Err(format!("unknown protocol {other:?}")),
-                }
+            "--protocol" => match val()?.as_str() {
+                // Legacy home-variant names select the home machinery;
+                // coherence-protocol names select the line-state machine.
+                // Both route through the same `ProtocolSpec` builder seam.
+                "queuing" => args.cfg.kind = ProtocolKind::Queuing,
+                "nack" => args.cfg.kind = ProtocolKind::Nack,
+                other => match ProtocolId::parse(other) {
+                    Some(id) => args.cfg.coherence = id,
+                    None => {
+                        return Err(format!(
+                            "unknown protocol {other:?}; known protocols: {}",
+                            protocol_names()
+                        ))
+                    }
+                },
+            },
+            "--directory" => {
+                let v = val()?;
+                args.cfg.directory = DirectoryId::parse(&v).ok_or(format!(
+                    "unknown directory format {v:?}; known formats: {}",
+                    directory_names()
+                ))?
             }
             "--fault" => {
                 let v = val()?;

@@ -12,7 +12,10 @@
 //! * **value coherence** — all Shared copies carry the same data, and a
 //!   Clean block's readable copies match its home memory;
 //! * **data freshness** — a completed load observes exactly the value of
-//!   the last completed store to that block (or 0);
+//!   the last completed store to that block (or 0); the update-based
+//!   Dragon protocol relaxes both value checks to membership tests
+//!   (copies may straddle an in-flight update push) and adds a
+//!   quiescent-convergence oracle instead;
 //! * **bounded queues** — the paper's Figure-9 bounds: per-home request
 //!   FIFO and slave spill buffer ≤ `4·nodes`, master input ≤ 4;
 //! * **quiescence** — when no events remain, every issued transaction has
@@ -24,7 +27,7 @@
 use crate::scenario::CheckConfig;
 use cenju4_directory::{MemState, NodeId};
 use cenju4_obs::SpanCollector;
-use cenju4_protocol::{Addr, CacheState, Engine, MemOp, Notification};
+use cenju4_protocol::{Addr, CacheState, Engine, MemOp, Notification, ProtocolId};
 use core::fmt;
 use std::collections::HashMap;
 
@@ -48,8 +51,15 @@ impl fmt::Display for Violation {
 pub struct OracleState {
     blocks: Vec<Addr>,
     nodes: u16,
+    /// Protocol under check: the update-based Dragon variant relaxes the
+    /// exact freshness/agreement checks to membership tests (see below).
+    coherence: ProtocolId,
     /// Value of the last *completed* store per block, in dispatch order.
     last_store: HashMap<Addr, u64>,
+    /// Every value a *completed* store wrote per block. Store values are
+    /// globally unique (`txn + 1`), so membership in this set still
+    /// rejects fabricated or corrupted data.
+    store_values: HashMap<Addr, Vec<u64>>,
     /// Graduated accesses seen so far.
     pub completed: usize,
 }
@@ -60,14 +70,34 @@ impl OracleState {
         OracleState {
             blocks: cfg.block_addrs(),
             nodes: cfg.nodes,
+            coherence: cfg.coherence,
             last_store: HashMap::new(),
+            store_values: HashMap::new(),
             completed: 0,
         }
     }
 
+    /// The set of values a load of `addr` may legitimately observe under
+    /// the update-based protocol: never-written (0), any completed store
+    /// (an update may still be in flight toward this reader), or a store
+    /// whose update push has reached the reader but whose ack gather has
+    /// not yet closed at the home.
+    fn dragon_legal_values(&self, eng: &Engine, addr: Addr) -> Vec<u64> {
+        let mut legal = vec![0];
+        if let Some(vs) = self.store_values.get(&addr) {
+            legal.extend_from_slice(vs);
+        }
+        legal.extend(eng.outstanding_store_values(addr));
+        legal
+    }
+
     /// Folds one step's notifications into the history, checking that
     /// every completed load returns the last completed store's value.
-    pub fn note(&mut self, notes: &[Notification]) -> Option<Violation> {
+    /// Under Dragon the check is a membership test instead: a reader may
+    /// observe any completed store's value (its own update push may still
+    /// be mid-gather when the load graduates), but never a value no store
+    /// wrote.
+    pub fn note(&mut self, notes: &[Notification], eng: &Engine) -> Option<Violation> {
         for n in notes {
             if let Notification::RecoveryFailed { error, .. } = n {
                 return Some(Violation {
@@ -87,17 +117,31 @@ impl OracleState {
                 match op {
                     MemOp::Store => {
                         self.last_store.insert(*addr, *value);
+                        self.store_values.entry(*addr).or_default().push(*value);
                     }
                     MemOp::Load => {
-                        let want = self.last_store.get(addr).copied().unwrap_or(0);
-                        if *value != want {
-                            return Some(Violation {
-                                oracle: "data-freshness",
-                                detail: format!(
-                                    "load at {node} on {addr} returned {value}, \
-                                     last completed store wrote {want}"
-                                ),
-                            });
+                        if self.coherence == ProtocolId::Dragon {
+                            let legal = self.dragon_legal_values(eng, *addr);
+                            if !legal.contains(value) {
+                                return Some(Violation {
+                                    oracle: "data-freshness",
+                                    detail: format!(
+                                        "load at {node} on {addr} returned {value}, \
+                                         which no store (completed or in flight) wrote"
+                                    ),
+                                });
+                            }
+                        } else {
+                            let want = self.last_store.get(addr).copied().unwrap_or(0);
+                            if *value != want {
+                                return Some(Violation {
+                                    oracle: "data-freshness",
+                                    detail: format!(
+                                        "load at {node} on {addr} returned {value}, \
+                                         last completed store wrote {want}"
+                                    ),
+                                });
+                            }
                         }
                     }
                 }
@@ -158,37 +202,61 @@ impl OracleState {
                 }
             }
 
-            // Value coherence among Shared copies, and against a Clean
-            // home memory.
-            let shared_vals: Vec<(NodeId, u64)> = states
-                .iter()
-                .filter(|(_, s)| *s == CacheState::Shared)
-                .map(|(n, _)| (*n, eng.cache_value(*n, addr)))
-                .collect();
-            if let Some(&(first_node, first)) = shared_vals.first() {
-                for &(n, v) in &shared_vals[1..] {
-                    if v != first {
-                        return Some(Violation {
-                            oracle: "value-coherence",
-                            detail: format!(
-                                "{addr}: Shared copies disagree \
-                                 ({first_node}={first}, {n}={v})"
-                            ),
-                        });
+            // Value coherence. Under the invalidate-based protocol all
+            // Shared copies agree exactly, and match a Clean home memory.
+            // Under Dragon an update push is applied sharer by sharer, so
+            // mid-push the copies legitimately straddle two store values;
+            // the check weakens to membership — every readable non-owned
+            // copy holds a value some store actually wrote (or the home
+            // memory's), never fabricated data.
+            if self.coherence == ProtocolId::Dragon {
+                let mut legal = self.dragon_legal_values(eng, addr);
+                legal.push(eng.memory_value(addr));
+                for (n, s) in &states {
+                    if s.readable() && !s.writable() {
+                        let v = eng.cache_value(*n, addr);
+                        if !legal.contains(&v) {
+                            return Some(Violation {
+                                oracle: "value-coherence",
+                                detail: format!(
+                                    "{addr}: node {n}'s {s} copy holds {v}, \
+                                     which no store wrote"
+                                ),
+                            });
+                        }
                     }
                 }
-            }
-            if eng.memory_state(addr) == MemState::Clean {
-                let mem = eng.memory_value(addr);
-                for &(n, v) in &shared_vals {
-                    if v != mem {
-                        return Some(Violation {
-                            oracle: "value-coherence",
-                            detail: format!(
-                                "{addr}: Clean memory holds {mem} but node {n}'s \
-                                 Shared copy holds {v}"
-                            ),
-                        });
+            } else {
+                let shared_vals: Vec<(NodeId, u64)> = states
+                    .iter()
+                    .filter(|(_, s)| *s == CacheState::Shared)
+                    .map(|(n, _)| (*n, eng.cache_value(*n, addr)))
+                    .collect();
+                if let Some(&(first_node, first)) = shared_vals.first() {
+                    for &(n, v) in &shared_vals[1..] {
+                        if v != first {
+                            return Some(Violation {
+                                oracle: "value-coherence",
+                                detail: format!(
+                                    "{addr}: Shared copies disagree \
+                                     ({first_node}={first}, {n}={v})"
+                                ),
+                            });
+                        }
+                    }
+                }
+                if eng.memory_state(addr) == MemState::Clean {
+                    let mem = eng.memory_value(addr);
+                    for &(n, v) in &shared_vals {
+                        if v != mem {
+                            return Some(Violation {
+                                oracle: "value-coherence",
+                                detail: format!(
+                                    "{addr}: Clean memory holds {mem} but node {n}'s \
+                                     Shared copy holds {v}"
+                                ),
+                            });
+                        }
                     }
                 }
             }
@@ -277,6 +345,34 @@ impl OracleState {
                      state for lost replies was never reclaimed"
                 ),
             });
+        }
+        // Dragon convergence: the step-level value check tolerates copies
+        // straddling an in-flight update push, but once the machine is
+        // quiescent every push has been applied — a Clean block's
+        // readable copies must all have converged on the home memory's
+        // value. (The in-order (src, dst) delivery channels make this
+        // sound: the last update to each sharer cannot be overtaken.)
+        if self.coherence == ProtocolId::Dragon {
+            for &addr in &self.blocks {
+                if eng.memory_state(addr) != MemState::Clean {
+                    continue;
+                }
+                let mem = eng.memory_value(addr);
+                for n in (0..self.nodes).map(NodeId::new) {
+                    let s = eng.cache_state(n, addr);
+                    if s.readable() && !s.writable() && eng.cache_value(n, addr) != mem {
+                        return Some(Violation {
+                            oracle: "dragon-convergence",
+                            detail: format!(
+                                "{addr}: quiescent Clean memory holds {mem} but \
+                                 node {n}'s {s} copy holds {} — an update push \
+                                 was lost or misapplied",
+                                eng.cache_value(n, addr)
+                            ),
+                        });
+                    }
+                }
+            }
         }
         // Span-leak oracle: the scenario engine carries a SpanCollector,
         // and a span left open at quiescence is a transaction that

@@ -5,10 +5,12 @@
 //! with concurrency. Every node issues all its accesses at time zero, so
 //! the controlled scheduler (not timing) decides every race.
 
-use cenju4_directory::{NodeId, SystemSize};
+use cenju4_directory::{DirectoryId, NodeId, SystemSize};
 use cenju4_network::FaultPlan;
 use cenju4_obs::SpanCollector;
-use cenju4_protocol::{Addr, Engine, FaultInjection, MemOp, ProtocolKind, RecoveryParams};
+use cenju4_protocol::{
+    Addr, Engine, FaultInjection, MemOp, ProtocolId, ProtocolKind, RecoveryParams,
+};
 use cenju4_sim::SystemConfig;
 use core::fmt;
 
@@ -22,6 +24,11 @@ pub struct CheckConfig {
     pub blocks: u16,
     /// Accesses each node issues.
     pub ops_per_node: u32,
+    /// Coherence protocol under check (invalidate-based MESI or the
+    /// update-based Dragon variant).
+    pub coherence: ProtocolId,
+    /// Directory sharer-set format under check.
+    pub directory: DirectoryId,
     /// Protocol variant under check.
     pub kind: ProtocolKind,
     /// Test-only protocol mutation (mutant runs).
@@ -43,6 +50,8 @@ impl Default for CheckConfig {
             nodes: 2,
             blocks: 1,
             ops_per_node: 2,
+            coherence: ProtocolId::Mesi,
+            directory: DirectoryId::PointerPattern,
             kind: ProtocolKind::Queuing,
             fault: FaultInjection::None,
             recovery: false,
@@ -56,14 +65,18 @@ impl fmt::Display for CheckConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} nodes x {} blocks x {} ops ({:?}, fault={}, recovery={})",
+            "{} nodes x {} blocks x {} ops ({}/{:?}, fault={}, recovery={})",
             self.nodes,
             self.blocks,
             self.ops_per_node,
+            self.coherence,
             self.kind,
             self.fault,
             if self.recovery { "on" } else { "off" },
         )?;
+        if self.directory != DirectoryId::default() {
+            write!(f, " dir={}", self.directory)?;
+        }
         if self.drop_permille > 0 {
             write!(f, " drop={}%o seed={}", self.drop_permille, self.fault_seed)?;
         }
@@ -95,7 +108,8 @@ impl CheckConfig {
             RecoveryParams::disabled()
         };
         let cfg = SystemConfig::builder(self.nodes)
-            .protocol(self.kind)
+            .protocol((self.coherence, self.kind))
+            .directory(self.directory)
             .recovery(recovery)
             .build()
             .expect("checker scenario configuration invalid");

@@ -14,7 +14,18 @@
 //! ([`SchemeCost::storage_bits_per_block`] and
 //! [`SchemeCost::accesses_to_enumerate`]) rather than hard-coded, so the
 //! table-1 harness actually recomputes the paper's verdicts.
+//!
+//! The quantitative functions themselves live on the
+//! [`DirectoryFormat`] implementations in [`crate::format`]; each
+//! [`SchemeCost`] row simply names a format, and the verdict derivations
+//! ([`hardware_verdict_of`], [`access_verdict_of`]) work on any
+//! `&dyn DirectoryFormat` — a new format gets a Table-1-style cost row
+//! for free.
 
+use crate::format::{
+    ChainedFormat, DirectoryFormat, DynamicPointerFormat, FullMapFormat, LimitLessFormat,
+    OriginFormat, PointerPatternFormat,
+};
 use core::fmt;
 
 /// The schemes of Table 1.
@@ -75,76 +86,66 @@ impl SchemeCost {
         }
     }
 
+    /// The [`DirectoryFormat`] whose cost model backs this Table-1 row.
+    pub fn format(self) -> &'static dyn DirectoryFormat {
+        match self {
+            SchemeCost::FullMap => &FullMapFormat,
+            SchemeCost::Chained => &ChainedFormat,
+            SchemeCost::LimitLess => &LimitLessFormat,
+            SchemeCost::DynamicPointer => &DynamicPointerFormat,
+            SchemeCost::Origin => &OriginFormat,
+            SchemeCost::Cenju4 => &PointerPatternFormat,
+        }
+    }
+
     /// Directory storage per memory block, in bits, for an `n`-node
     /// machine. For chained/dynamic-pointer schemes this counts the
     /// *home-side* entry (the per-cache chain storage scales with caches,
     /// not blocks).
     pub fn storage_bits_per_block(self, n: u32) -> u32 {
-        let ptr = 32 - (n.max(2) - 1).leading_zeros(); // bits to name a node
-        match self {
-            SchemeCost::FullMap => n,
-            SchemeCost::Chained => 2 + ptr, // state + head pointer
-            SchemeCost::LimitLess => 2 + 4 * ptr, // state + 4 pointers
-            SchemeCost::DynamicPointer => 2 + ptr, // state + list head
-            SchemeCost::Origin => 2 + 32,   // state + 32-bit vector
-            SchemeCost::Cenju4 => 64,       // the packed entry
-        }
+        self.format().storage_bits_per_block(n)
     }
 
     /// The number of sequential directory/memory accesses the home needs
     /// before it knows *every* node to invalidate, when `sharers` nodes
     /// cache the block on an `n`-node machine.
     pub fn accesses_to_enumerate(self, n: u32, sharers: u32) -> u32 {
-        match self {
-            // The map itself is O(n) bits, so reading it takes O(n / word
-            // width) sequential accesses on a 64-bit directory memory.
-            SchemeCost::FullMap => n.div_ceil(64),
-            // Walk the chain through the caches, one network round trip each.
-            SchemeCost::Chained => sharers.max(1),
-            // Four pointers in hardware; beyond that, software traps walk
-            // an overflow list.
-            SchemeCost::LimitLess => {
-                if sharers <= 4 {
-                    1
-                } else {
-                    1 + (sharers - 4)
-                }
-            }
-            // Pointer list in directory memory: one access per pointer.
-            SchemeCost::DynamicPointer => sharers.max(1),
-            // Full map (<=32 nodes) or coarse vector: single access.
-            SchemeCost::Origin => {
-                let _ = n;
-                1
-            }
-            // Pointer or bit-pattern: single access either way.
-            SchemeCost::Cenju4 => 1,
-        }
+        self.format().accesses_to_enumerate(n, sharers)
     }
 
-    /// The hardware-cost verdict, derived from
-    /// [`storage_bits_per_block`](Self::storage_bits_per_block): scalable
-    /// iff storage stays bounded while the machine grows 64× (16 → 1024).
+    /// The hardware-cost verdict. See [`hardware_verdict_of`].
     pub fn hardware_verdict(self) -> Verdict {
-        let small = self.storage_bits_per_block(16);
-        let large = self.storage_bits_per_block(1024);
-        // Allow the pointer width to grow a few bits; reject linear growth.
-        if large <= small + 24 {
-            Verdict::Scalable
-        } else {
-            Verdict::NotScalable
-        }
+        hardware_verdict_of(self.format())
     }
 
-    /// The access-cost verdict, derived from
-    /// [`accesses_to_enumerate`](Self::accesses_to_enumerate): scalable iff
-    /// enumerating a fully shared block takes O(1) accesses.
+    /// The access-cost verdict. See [`access_verdict_of`].
     pub fn access_verdict(self) -> Verdict {
-        if self.accesses_to_enumerate(1024, 1024) <= 2 {
-            Verdict::Scalable
-        } else {
-            Verdict::NotScalable
-        }
+        access_verdict_of(self.format())
+    }
+}
+
+/// The hardware-cost verdict of any format, derived from
+/// [`DirectoryFormat::storage_bits_per_block`]: scalable iff storage
+/// stays bounded while the machine grows 64× (16 → 1024).
+pub fn hardware_verdict_of(f: &dyn DirectoryFormat) -> Verdict {
+    let small = f.storage_bits_per_block(16);
+    let large = f.storage_bits_per_block(1024);
+    // Allow the pointer width to grow a few bits; reject linear growth.
+    if large <= small + 24 {
+        Verdict::Scalable
+    } else {
+        Verdict::NotScalable
+    }
+}
+
+/// The access-cost verdict of any format, derived from
+/// [`DirectoryFormat::accesses_to_enumerate`]: scalable iff enumerating
+/// a fully shared block takes O(1) accesses.
+pub fn access_verdict_of(f: &dyn DirectoryFormat) -> Verdict {
+    if f.accesses_to_enumerate(1024, 1024) <= 2 {
+        Verdict::Scalable
+    } else {
+        Verdict::NotScalable
     }
 }
 

@@ -1,6 +1,7 @@
 //! The 64-bit Cenju-4 directory entry.
 
 use crate::bitpattern::BitPattern;
+use crate::format::{DirectoryId, SharerSet};
 use crate::node::SystemSize;
 use crate::nodemap::{Cenju4NodeMap, NodeMap, Repr};
 use crate::pointer::PointerSet;
@@ -101,20 +102,28 @@ impl fmt::Display for MemState {
 /// assert!(back.map().contains(NodeId::new(7)));
 /// # Ok::<(), cenju4_directory::SystemSizeError>(())
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DirectoryEntry {
     reservation: bool,
     state: MemState,
-    map: Cenju4NodeMap,
+    map: SharerSet,
 }
 
 impl DirectoryEntry {
-    /// Creates a fresh entry: clean, unreserved, no sharers.
+    /// Creates a fresh entry in the paper's pointer↔bit-pattern format:
+    /// clean, unreserved, no sharers.
     pub fn new(sys: SystemSize) -> Self {
+        DirectoryEntry::with_format(sys, DirectoryId::PointerPattern)
+    }
+
+    /// Creates a fresh entry whose sharer set uses the given directory
+    /// format (the [`DirectoryFormat`](crate::format::DirectoryFormat)
+    /// seam): clean, unreserved, no sharers.
+    pub fn with_format(sys: SystemSize, format: DirectoryId) -> Self {
         DirectoryEntry {
             reservation: false,
             state: MemState::Clean,
-            map: Cenju4NodeMap::new(sys),
+            map: format.instantiate(sys),
         }
     }
 
@@ -145,27 +154,37 @@ impl DirectoryEntry {
 
     /// The node map.
     #[inline]
-    pub fn map(&self) -> &Cenju4NodeMap {
+    pub fn map(&self) -> &SharerSet {
         &self.map
     }
 
     /// Mutable access to the node map.
     #[inline]
-    pub fn map_mut(&mut self) -> &mut Cenju4NodeMap {
+    pub fn map_mut(&mut self) -> &mut SharerSet {
         &mut self.map
     }
 
     /// Packs the entry into its 64-bit hardware representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the entry uses the paper's pointer↔bit-pattern
+    /// format — the 64-bit packing is only defined for it (a full map on
+    /// 1024 nodes simply does not fit).
     pub fn to_bits(&self) -> u64 {
+        let map = self
+            .map
+            .as_cenju4()
+            .expect("64-bit packing is defined for the pointer-pattern format only");
         let mut bits = (self.reservation as u64) << 63;
         bits |= self.state.to_bits() << 60;
-        match self.map.repr() {
+        match map.repr() {
             Repr::Pointers => {
-                let p = self.map.as_pointers().expect("repr says pointers");
+                let p = map.as_pointers().expect("repr says pointers");
                 bits |= p.to_bits(); // count in 42..40, slots in 39..0
             }
             Repr::Pattern => {
-                let p = self.map.as_pattern().expect("repr says pattern");
+                let p = map.as_pattern().expect("repr says pattern");
                 bits |= 1 << 59;
                 bits |= p.to_bits();
             }
@@ -190,7 +209,7 @@ impl DirectoryEntry {
         DirectoryEntry {
             reservation,
             state,
-            map,
+            map: SharerSet::from_cenju4(map),
         }
     }
 }
@@ -294,6 +313,16 @@ mod tests {
             let mut e = DirectoryEntry::new(sys());
             e.set_state(s);
             assert_eq!(DirectoryEntry::from_bits(e.to_bits(), sys()).state(), s);
+        }
+    }
+
+    #[test]
+    fn with_format_selects_the_sharer_set() {
+        for id in DirectoryId::ALL {
+            let e = DirectoryEntry::with_format(sys(), id);
+            assert_eq!(e.state(), MemState::Clean);
+            assert!(e.map().is_empty());
+            assert_eq!(e.map().format(), id);
         }
     }
 

@@ -46,6 +46,7 @@
 pub mod bitpattern;
 pub mod cost;
 pub mod entry;
+pub mod format;
 pub mod node;
 pub mod nodemap;
 pub mod pointer;
@@ -54,6 +55,7 @@ pub mod schemes;
 
 pub use bitpattern::BitPattern;
 pub use entry::{DirectoryEntry, MemState};
+pub use format::{DirectoryFormat, DirectoryId, SharerSet};
 pub use node::{NodeId, SystemSize, SystemSizeError};
 pub use nodemap::{Cenju4NodeMap, NodeMap};
 pub use pointer::PointerSet;

@@ -248,6 +248,10 @@ pub enum DestSpec {
     Pointers(PointerSet),
     /// The 42-bit superset encoding.
     Pattern(BitPattern),
+    /// A precise 1024-bit destination bitmap — the specification shape of
+    /// the non-Cenju-4 directory formats (full map, broadcast, coarse
+    /// vector), whose structures are plain bit vectors over nodes.
+    Mask([u64; 16]),
 }
 
 impl DestSpec {
@@ -256,11 +260,25 @@ impl DestSpec {
         DestSpec::Pointers(PointerSet::of(node))
     }
 
+    /// A precise bitmap spec over the given destinations.
+    pub fn mask(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut words = [0u64; 16];
+        for n in nodes {
+            let i = n.index() as usize;
+            words[i / 64] |= 1 << (i % 64);
+        }
+        DestSpec::Mask(words)
+    }
+
     /// Returns `true` if `node` is a destination.
     pub fn contains(&self, node: NodeId) -> bool {
         match self {
             DestSpec::Pointers(p) => p.contains(node),
             DestSpec::Pattern(p) => p.contains(node),
+            DestSpec::Mask(w) => {
+                let i = node.index() as usize;
+                w[i / 64] & (1 << (i % 64)) != 0
+            }
         }
     }
 
@@ -270,6 +288,7 @@ impl DestSpec {
         match self {
             DestSpec::Pointers(p) => p.iter().any(|n| (n.index() as u32) & mask == value & mask),
             DestSpec::Pattern(p) => p.intersects_masked(mask, value),
+            DestSpec::Mask(w) => mask_iter(w).any(|n| (n.index() as u32) & mask == value & mask),
         }
     }
 
@@ -287,6 +306,9 @@ impl DestSpec {
             DestSpec::Pointers(p) => p
                 .iter()
                 .any(|n| sys.contains(n) && (n.index() as u32) & mask == value & mask),
+            DestSpec::Mask(w) => {
+                mask_iter(w).any(|n| sys.contains(n) && (n.index() as u32) & mask == value & mask)
+            }
             DestSpec::Pattern(p) => {
                 if !p.intersects_masked(mask, value) {
                     return false;
@@ -313,6 +335,7 @@ impl DestSpec {
                 v
             }
             DestSpec::Pattern(p) => p.iter().filter(|n| sys.contains(*n)).collect(),
+            DestSpec::Mask(w) => mask_iter(w).filter(|n| sys.contains(*n)).collect(),
         }
     }
 
@@ -320,6 +343,21 @@ impl DestSpec {
     pub fn fanout(&self, sys: SystemSize) -> u32 {
         self.destinations(sys).len() as u32
     }
+}
+
+/// Iterates a destination bitmap's set bits, ascending.
+fn mask_iter(words: &[u64; 16]) -> impl Iterator<Item = NodeId> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut bits = w;
+        core::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let b = bits.trailing_zeros();
+            bits &= bits - 1;
+            Some(NodeId::new((wi * 64) as u16 + b as u16))
+        })
+    })
 }
 
 #[cfg(test)]
@@ -493,6 +531,26 @@ mod tests {
                     .destinations(s)
                     .iter()
                     .any(|n| (n.index() as u32) & mask == v & mask);
+                assert_eq!(spec.intersects_masked_existing(mask, v, s), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn dest_spec_mask_matches_enumeration() {
+        let s = sys(256);
+        let spec = DestSpec::mask([3u16, 64, 255].into_iter().map(NodeId::new));
+        assert!(spec.contains(NodeId::new(64)));
+        assert!(!spec.contains(NodeId::new(65)));
+        assert_eq!(spec.fanout(s), 3);
+        assert_eq!(
+            spec.destinations(s),
+            vec![NodeId::new(3), NodeId::new(64), NodeId::new(255)]
+        );
+        for mask in [0u32, 0x300, 0x3C0, 0x3FF] {
+            for v in [0u32, 3, 64, 255, 900] {
+                let expected = [3u32, 64, 255].iter().any(|&n| n & mask == v & mask);
+                assert_eq!(spec.intersects_masked(mask, v), expected);
                 assert_eq!(spec.intersects_masked_existing(mask, v, s), expected);
             }
         }

@@ -3,8 +3,8 @@
 use crate::addr::Addr;
 use core::fmt;
 
-/// MESI state of a cache line, as in the paper's appendix
-/// (`M^c`, `E^c`, `S^c`, `I^c`).
+/// State of a cache line: the paper's MESI states (`M^c`, `E^c`, `S^c`,
+/// `I^c`) plus the Dragon protocol's shared-modified state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CacheState {
     /// Modified: sole valid copy, memory stale.
@@ -13,6 +13,11 @@ pub enum CacheState {
     Exclusive,
     /// Shared: one of possibly many copies, memory valid.
     Shared,
+    /// Shared-modified (Dragon only): one of possibly many copies, held
+    /// by the last writer. Memory is valid here — every Dragon store
+    /// writes through the home — so the line is readable but further
+    /// stores must go back through the home, and eviction is silent.
+    SharedModified,
     /// Invalid (not cached).
     Invalid,
 }
@@ -38,6 +43,7 @@ impl fmt::Display for CacheState {
             CacheState::Modified => "M",
             CacheState::Exclusive => "E",
             CacheState::Shared => "S",
+            CacheState::SharedModified => "Sm",
             CacheState::Invalid => "I",
         })
     }

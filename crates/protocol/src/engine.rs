@@ -10,6 +10,7 @@
 
 use crate::addr::Addr;
 use crate::cache::CacheState;
+use crate::coherence::ProtocolId;
 use crate::messages::{ProtoMsg, TxnId};
 use crate::modules::bus::{BusMsg, GatherTimerOutcome, LinkTimerOutcome, MessageBus, PendingEvent};
 use crate::modules::{Ctx, CtxMode, NodeShard};
@@ -18,7 +19,7 @@ use crate::params::{FaultInjection, ProtoParams, ProtocolKind, RecoveryError, Re
 use crate::stats::EngineStats;
 use cenju4_des::FxHashSet;
 use cenju4_des::{Duration, ParallelConfig, SimTime};
-use cenju4_directory::{MemState, NodeId, NodeMap, SystemSize};
+use cenju4_directory::{DirectoryId, MemState, NodeId, NodeMap, SystemSize};
 use cenju4_network::{FaultPlan, NetParams};
 use core::fmt;
 
@@ -187,6 +188,8 @@ pub struct Engine {
     sys: SystemSize,
     params: ProtoParams,
     kind: ProtocolKind,
+    /// The coherence protocol's decision logic (MESI by default).
+    coherence: ProtocolId,
     bus: MessageBus,
     /// Per-node protocol state, dense by node id — the unit of ownership
     /// for the conservative-parallel executor.
@@ -212,6 +215,7 @@ impl Engine {
             sys,
             params,
             kind,
+            coherence: ProtocolId::Mesi,
             bus: MessageBus::new(sys, net),
             shards: (0..sys.nodes())
                 .map(|i| NodeShard::new(NodeId::new(i), &params))
@@ -226,6 +230,42 @@ impl Engine {
             last_progress: SimTime::ZERO,
             stalled: false,
         }
+    }
+
+    /// Selects the coherence protocol's decision logic (the
+    /// [`CoherenceProtocol`](crate::coherence::CoherenceProtocol) seam).
+    /// Select protocols before issuing work, not mid-run.
+    pub fn set_coherence(&mut self, id: ProtocolId) {
+        self.coherence = id;
+    }
+
+    /// The coherence protocol in force.
+    pub fn coherence(&self) -> ProtocolId {
+        self.coherence
+    }
+
+    /// Selects the directory format fresh entries are created in (the
+    /// [`DirectoryFormat`](cenju4_directory::DirectoryFormat) seam).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any home already holds directory entries — blocks
+    /// cannot migrate between formats.
+    pub fn set_directory(&mut self, id: DirectoryId) {
+        for s in &mut self.shards {
+            assert!(
+                s.home.directory.is_empty(),
+                "set_directory on a live directory"
+            );
+            s.home.format = id;
+        }
+    }
+
+    /// The directory format fresh entries are created in.
+    pub fn directory_format(&self) -> DirectoryId {
+        self.shards
+            .first()
+            .map_or(DirectoryId::PointerPattern, |s| s.home.format)
     }
 
     /// Arms a test-only protocol or fabric mutation (see
@@ -531,6 +571,19 @@ impl Engine {
             .sum()
     }
 
+    /// The values of every store to `addr` that has been issued but not
+    /// yet graduated, across all masters (checker observability: under
+    /// an update protocol, a copy may legitimately hold one of these
+    /// mid-push).
+    pub fn outstanding_store_values(&self, addr: Addr) -> Vec<u64> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.master.outstanding.values())
+            .filter(|t| t.op == MemOp::Store && t.addr == addr)
+            .map(|t| t.store_value)
+            .collect()
+    }
+
     /// Requests currently parked in `home`'s main-memory queue.
     pub fn request_queue_len(&self, home: NodeId) -> usize {
         self.shards[home.as_usize()].home.req_queue.len()
@@ -764,6 +817,7 @@ impl Engine {
                 obs: &mut self.observers,
                 notes: &mut self.notifications,
             },
+            protocol: self.coherence.protocol(),
             update_blocks: &self.update_blocks,
             fault: self.fault,
         };

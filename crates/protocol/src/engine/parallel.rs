@@ -35,6 +35,7 @@
 use super::{Engine, Notification};
 use crate::addr::Addr;
 use crate::cache::CacheState;
+use crate::coherence::ProtocolId;
 use crate::engine::MemOp;
 use crate::messages::{ProtoMsg, ReqKind, TxnId};
 use crate::modules::bus::{BusMsg, MessageBus};
@@ -479,6 +480,7 @@ impl ShardExec {
         params: ProtoParams,
         kind: ProtocolKind,
         sys: SystemSize,
+        coherence: ProtocolId,
         fault: FaultInjection,
         update_blocks: &FxHashSet<Addr>,
     ) {
@@ -492,6 +494,7 @@ impl ShardExec {
                     kind,
                     sys,
                     mode: CtxMode::Shard(self),
+                    protocol: coherence.protocol(),
                     update_blocks,
                     fault,
                 };
@@ -699,7 +702,8 @@ impl Engine {
     ) {
         let workers = ranges.len();
         let nodes = self.sys.nodes() as usize;
-        let (params, kind, sys, fault) = (self.params, self.kind, self.sys, self.fault);
+        let (params, kind, sys, coherence, fault) =
+            (self.params, self.kind, self.sys, self.coherence, self.fault);
         let Engine {
             bus,
             shards,
@@ -745,7 +749,16 @@ impl Engine {
                     // Uncontended: the engine only touches this cell
                     // between the end barrier and the next start barrier.
                     let mut exec = cell.lock().expect("worker cell poisoned");
-                    exec.run_window(chunk, base, params, kind, sys, fault, update_blocks);
+                    exec.run_window(
+                        chunk,
+                        base,
+                        params,
+                        kind,
+                        sys,
+                        coherence,
+                        fault,
+                        update_blocks,
+                    );
                     drop(exec);
                     barrier.wait();
                 });
@@ -802,6 +815,7 @@ impl Engine {
                     params,
                     kind,
                     sys,
+                    coherence,
                     fault,
                     update_blocks,
                 );

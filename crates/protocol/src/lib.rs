@@ -60,6 +60,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod coherence;
 pub mod deadlock;
 pub mod engine;
 pub mod messages;
@@ -73,6 +74,7 @@ pub mod trace;
 pub use addr::{Addr, BLOCK_BYTES};
 pub use cache::{Cache, CacheState, Victim};
 pub use cenju4_des::ParallelConfig;
+pub use coherence::{AccessDecision, CoherenceProtocol, DragonProtocol, MesiProtocol, ProtocolId};
 pub use engine::{Engine, IssueError, MemOp, Notification};
 pub use messages::{ProtoMsg, ReqKind, TxnId};
 pub use modules::bus::PendingEvent;

@@ -15,7 +15,7 @@ use crate::service::ServiceQueue;
 use cenju4_des::FxHashMap;
 use cenju4_des::SimTime;
 use cenju4_directory::nodemap::DestSpec;
-use cenju4_directory::{DirectoryEntry, MemState, NodeId, NodeMap, SystemSize};
+use cenju4_directory::{DirectoryEntry, DirectoryId, MemState, NodeId, NodeMap, SystemSize};
 use std::collections::VecDeque;
 
 /// What a home is waiting for on a pending block.
@@ -50,6 +50,9 @@ pub(crate) struct QueuedReq {
 /// The memory-side protocol module of one node.
 pub struct HomeModule {
     pub(crate) node: NodeId,
+    /// The directory format fresh entries are created in (the
+    /// [`DirectoryFormat`](cenju4_directory::DirectoryFormat) seam).
+    pub(crate) format: DirectoryId,
     pub(crate) directory: FxHashMap<Addr, DirectoryEntry>,
     /// This node's main memory contents (as home), by block.
     pub(crate) mem: FxHashMap<Addr, u64>,
@@ -63,6 +66,7 @@ impl HomeModule {
     pub(crate) fn new(node: NodeId) -> Self {
         HomeModule {
             node,
+            format: DirectoryId::PointerPattern,
             directory: FxHashMap::default(),
             mem: FxHashMap::default(),
             pending: FxHashMap::default(),
@@ -73,9 +77,10 @@ impl HomeModule {
     }
 
     pub(crate) fn entry(&mut self, sys: SystemSize, addr: Addr) -> &mut DirectoryEntry {
+        let format = self.format;
         self.directory
             .entry(addr)
-            .or_insert_with(|| DirectoryEntry::new(sys))
+            .or_insert_with(|| DirectoryEntry::with_format(sys, format))
     }
 
     /// The data in `addr`'s home memory (0 if never written).
@@ -240,7 +245,7 @@ impl HomeModule {
             let master_in = m.contains(master);
             let only_master = count == 0 || (count == 1 && master_in);
             let others = count > if master_in { 1 } else { 0 };
-            let owner = m.represented().first().copied();
+            let owner = m.solo();
             (e.state(), only_master, others, master_in, owner)
         };
         debug_assert!(!state.is_pending());
@@ -396,7 +401,20 @@ impl HomeModule {
                     );
                 }
             }
-            ReqKind::Update => unreachable!("update requests target update blocks"),
+            ReqKind::Update => {
+                // Dragon store miss on an ordinary block. While the block
+                // is dirty at one owner the home cannot push a coherent
+                // update, so it degrades the request to an invalidating
+                // read-exclusive (the writer is granted Modified); on a
+                // clean block the new value goes through memory and is
+                // pushed to every sharer, exactly like an update-block
+                // write.
+                if state == MemState::Dirty {
+                    self.process_request(ctx, at, ReqKind::ReadExclusive, addr, master, txn, 0);
+                } else {
+                    self.push_update(ctx, at, addr, master, txn, value);
+                }
+            }
             ReqKind::Ownership => {
                 if state == MemState::Clean && master_in_map && only_master {
                     // Sole sharer: upgrade without any invalidation.
@@ -474,68 +492,7 @@ impl HomeModule {
             ReqKind::Update => {
                 // Write memory, then push the fresh line to every other
                 // subscriber; their acks gather back like invalidations.
-                let done = ctx.begin(
-                    &mut self.input_q,
-                    self.node,
-                    ModuleKind::Home,
-                    at,
-                    params.home_wb,
-                );
-                self.mem.insert(addr, value);
-                self.entry(ctx.sys, addr).map_mut().add(master);
-                let spec = self.push_spec(ctx.sys, addr, master);
-                let targets = spec.fanout(ctx.sys);
-                if targets == 0 {
-                    // Sole subscriber: ack immediately.
-                    ctx.send(done, self.node, master, ProtoMsg::AckReply { addr, txn });
-                    return;
-                }
-                self.set_state(ctx, at, addr, MemState::PendingInvalidate);
-                self.pending.insert(
-                    addr,
-                    PendingTxn {
-                        master,
-                        txn,
-                        kind,
-                        expect: Expect::InvAcks { remaining: targets },
-                    },
-                );
-                ctx.on_phase(
-                    done,
-                    self.node,
-                    txn,
-                    PhaseKind::MulticastFanout { copies: targets },
-                );
-                if targets <= params.singlecast_threshold.max(1) {
-                    for dst in spec.destinations(ctx.sys) {
-                        ctx.send(
-                            done,
-                            self.node,
-                            dst,
-                            ProtoMsg::Update {
-                                addr,
-                                master,
-                                txn,
-                                value,
-                                singlecast: true,
-                            },
-                        );
-                    }
-                } else {
-                    ctx.multicast(
-                        done,
-                        self.node,
-                        spec,
-                        true,
-                        ProtoMsg::Update {
-                            addr,
-                            master,
-                            txn,
-                            value,
-                            singlecast: false,
-                        },
-                    );
-                }
+                self.push_update(ctx, at, addr, master, txn, value);
             }
             ReqKind::ReadExclusive | ReqKind::Ownership => {
                 unreachable!("update blocks never receive exclusive requests")
@@ -543,20 +500,89 @@ impl HomeModule {
         }
     }
 
-    /// The destinations of an invalidation or update push: every
-    /// represented sharer, minus the master when the pointer
-    /// representation can exclude it precisely (the bit pattern cannot,
-    /// so the master may receive — and must ack — its own invalidation).
-    fn push_spec(&mut self, sys: SystemSize, addr: Addr, master: NodeId) -> DestSpec {
-        let e = self.entry(sys, addr);
-        match e.map().as_pointers() {
-            Some(p) => {
-                let mut q = *p;
-                q.remove(master);
-                DestSpec::Pointers(q)
-            }
-            None => e.map().to_dest_spec(),
+    /// Writes `value` through to memory and pushes the fresh line to
+    /// every other sharer; their acks gather back like invalidations.
+    /// Shared by the update-block protocol and Dragon store misses.
+    fn push_update(
+        &mut self,
+        ctx: &mut Ctx,
+        at: SimTime,
+        addr: Addr,
+        master: NodeId,
+        txn: TxnId,
+        value: u64,
+    ) {
+        let params = ctx.params;
+        let done = ctx.begin(
+            &mut self.input_q,
+            self.node,
+            ModuleKind::Home,
+            at,
+            params.home_wb,
+        );
+        self.mem.insert(addr, value);
+        self.entry(ctx.sys, addr).map_mut().add(master);
+        let spec = self.push_spec(ctx.sys, addr, master);
+        let targets = spec.fanout(ctx.sys);
+        if targets == 0 {
+            // Sole subscriber: ack immediately.
+            ctx.send(done, self.node, master, ProtoMsg::AckReply { addr, txn });
+            return;
         }
+        self.set_state(ctx, at, addr, MemState::PendingInvalidate);
+        self.pending.insert(
+            addr,
+            PendingTxn {
+                master,
+                txn,
+                kind: ReqKind::Update,
+                expect: Expect::InvAcks { remaining: targets },
+            },
+        );
+        ctx.on_phase(
+            done,
+            self.node,
+            txn,
+            PhaseKind::MulticastFanout { copies: targets },
+        );
+        if targets <= params.singlecast_threshold.max(1) {
+            for dst in spec.destinations(ctx.sys) {
+                ctx.send(
+                    done,
+                    self.node,
+                    dst,
+                    ProtoMsg::Update {
+                        addr,
+                        master,
+                        txn,
+                        value,
+                        singlecast: true,
+                    },
+                );
+            }
+        } else {
+            ctx.multicast(
+                done,
+                self.node,
+                spec,
+                true,
+                ProtoMsg::Update {
+                    addr,
+                    master,
+                    txn,
+                    value,
+                    singlecast: false,
+                },
+            );
+        }
+    }
+
+    /// The destinations of an invalidation or update push: every
+    /// represented sharer, minus the master when the representation can
+    /// exclude it precisely (a bit pattern or coarse vector cannot, so
+    /// the master may receive — and must ack — its own invalidation).
+    fn push_spec(&mut self, sys: SystemSize, addr: Addr, master: NodeId) -> DestSpec {
+        self.entry(sys, addr).map().push_spec(master, sys)
     }
 
     /// Sends invalidations to the sharers of `addr` and records the

@@ -7,6 +7,7 @@
 
 use crate::addr::Addr;
 use crate::cache::{Cache, CacheState, Victim};
+use crate::coherence::AccessDecision;
 use crate::engine::MemOp;
 use crate::messages::{ProtoMsg, ReqKind, TxnId};
 use crate::modules::bus::BusMsg;
@@ -139,29 +140,30 @@ impl MasterModule {
         }
         let state = self.cache.touch(addr);
         let hit_done = at + params.hit;
-        match (op, state) {
+        match ctx.protocol.classify(op, state) {
             // Hits drain the backlog too: a backlogged access re-issued
             // by a completion often hits the line that completion just
             // filled, and if it didn't pass the drain token along the
             // chain would stall with accesses still queued (the engine
             // would go idle with transactions outstanding).
-            (MemOp::Load, s) if s.readable() => {
-                let v = self.cache.value(addr);
+            AccessDecision::Hit => {
+                let v = match op {
+                    MemOp::Load => self.cache.value(addr),
+                    MemOp::Store => {
+                        self.cache.set_value(addr, txn + 1);
+                        txn + 1
+                    }
+                };
                 ctx.complete(self.node, txn, op, addr, at, hit_done, true, false, v);
                 self.drain_backlog(ctx, hit_done);
             }
-            (MemOp::Store, CacheState::Modified) => {
-                self.cache.set_value(addr, txn + 1);
-                ctx.complete(self.node, txn, op, addr, at, hit_done, true, false, txn + 1);
-                self.drain_backlog(ctx, hit_done);
-            }
-            (MemOp::Store, CacheState::Exclusive) => {
+            AccessDecision::StoreUpgrade => {
                 self.set_cache_state(ctx, at, addr, CacheState::Modified);
                 self.cache.set_value(addr, txn + 1);
                 ctx.complete(self.node, txn, op, addr, at, hit_done, true, false, txn + 1);
                 self.drain_backlog(ctx, hit_done);
             }
-            _ => {
+            AccessDecision::Miss(kind) => {
                 // Miss (or upgrade): a coherence request is needed.
                 let busy_on_addr = self.outstanding.values().any(|t| t.addr == addr);
                 if self.outstanding.len() >= params.max_outstanding || busy_on_addr {
@@ -180,8 +182,9 @@ impl MasterModule {
                     },
                 );
                 self.arm_txn_timer(ctx, at, txn, 0);
-                let kind = request_kind(op, state);
                 ctx.on_request_issued(at, self.node, kind, false);
+                // Dragon write-throughs carry the store data on the wire.
+                let value = if kind == ReqKind::Update { txn + 1 } else { 0 };
                 ctx.send(
                     at + params.issue,
                     self.node,
@@ -191,7 +194,7 @@ impl MasterModule {
                         addr,
                         master: self.node,
                         txn,
-                        value: 0,
+                        value,
                     },
                 );
             }
@@ -305,7 +308,7 @@ impl MasterModule {
                 MemOp::Store => ReqKind::Update,
             }
         } else {
-            request_kind(op, state)
+            ctx.protocol.request_kind(op, state)
         };
         ctx.on_request_issued(at, self.node, kind, true);
         let value = if kind == ReqKind::Update { txn + 1 } else { 0 };
@@ -470,21 +473,25 @@ impl MasterModule {
                     };
                     self.writeback_victim(ctx, done, victim);
                 } else {
+                    // An acknowledged store-through-home: an ownership
+                    // upgrade under MESI (granting Modified), an update
+                    // push under Dragon (granting SharedModified).
+                    let grant = ctx.protocol.store_ack_state();
                     let victim = match self.cache.state(addr) {
-                        CacheState::Shared => {
-                            self.set_cache_state(ctx, at, addr, CacheState::Modified);
+                        CacheState::Invalid => {
+                            // The copy was evicted while the upgrade was
+                            // in flight (real hardware pins transient
+                            // lines; this model lets conflicting fills
+                            // race). Reinstall the line — the block's
+                            // value is the store's.
+                            self.fill_cache(ctx, at, addr, grant, t.store_value)
+                        }
+                        s if s.readable() && !s.writable() => {
+                            self.set_cache_state(ctx, at, addr, grant);
                             self.cache.set_value(addr, t.store_value);
                             None
                         }
-                        CacheState::Invalid => {
-                            // The Shared copy was evicted while the
-                            // ownership upgrade was in flight (real
-                            // hardware pins transient lines; this model
-                            // lets conflicting fills race). Reinstall the
-                            // line — the block's value is the store's.
-                            self.fill_cache(ctx, at, addr, CacheState::Modified, t.store_value)
-                        }
-                        other => unreachable!("ownership ack with {other} copy"),
+                        other => unreachable!("store ack with {other} copy"),
                     };
                     self.writeback_victim(ctx, done, victim);
                 }
@@ -534,14 +541,5 @@ impl MasterModule {
                 },
             );
         }
-    }
-}
-
-/// The request a master issues for `op` given its current cached state.
-fn request_kind(op: MemOp, state: CacheState) -> ReqKind {
-    match (op, state) {
-        (MemOp::Load, _) => ReqKind::ReadShared,
-        (MemOp::Store, CacheState::Shared) => ReqKind::Ownership,
-        (MemOp::Store, _) => ReqKind::ReadExclusive,
     }
 }

@@ -36,6 +36,7 @@ pub use slave::SlaveModule;
 
 use crate::addr::Addr;
 use crate::cache::CacheState;
+use crate::coherence::CoherenceProtocol;
 use crate::engine::parallel::{ObsEvent, ShardExec};
 use crate::engine::{MemOp, Notification};
 use crate::messages::{ProtoMsg, ReqKind, TxnId};
@@ -92,6 +93,9 @@ pub(crate) struct Ctx<'a> {
     pub kind: ProtocolKind,
     pub sys: SystemSize,
     pub mode: CtxMode<'a>,
+    /// The coherence protocol's decision logic (the
+    /// [`CoherenceProtocol`] seam).
+    pub protocol: &'static dyn CoherenceProtocol,
     /// Blocks running the update protocol (Section 4.2.3).
     pub update_blocks: &'a FxHashSet<Addr>,
     /// Test-only protocol mutation in force (checker mutant runs);

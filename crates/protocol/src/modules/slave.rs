@@ -92,9 +92,8 @@ impl SlaveModule {
                 value,
                 singlecast,
             } => {
-                // Fresh data pushed by the home: refresh the third-level
-                // cache (and the L2 copy stays valid — it is updated in
-                // place, not invalidated).
+                // Fresh data pushed by the home: copies are updated in
+                // place, not invalidated.
                 let done = ctx.begin(
                     &mut self.input_q,
                     self.node,
@@ -102,9 +101,24 @@ impl SlaveModule {
                     at,
                     params.slave_inv,
                 );
-                master.l3.insert(addr, value);
-                if self.node != writer && master.cache.state(addr) != CacheState::Invalid {
-                    master.cache.set_value(addr, value);
+                if ctx.update_blocks.contains(&addr) {
+                    // Update-extension block: the push also refreshes the
+                    // third-level cache in this node's main memory.
+                    master.l3.insert(addr, value);
+                    if self.node != writer && master.cache.state(addr) != CacheState::Invalid {
+                        master.cache.set_value(addr, value);
+                    }
+                } else if self.node != writer {
+                    // Dragon push on an ordinary block: refresh any
+                    // readable copy; a previous writer's SharedModified
+                    // copy is demoted — the pusher is the last writer now.
+                    let state = master.cache.state(addr);
+                    if state.readable() {
+                        master.cache.set_value(addr, value);
+                        if state == CacheState::SharedModified {
+                            master.set_cache_state(ctx, at, addr, CacheState::Shared);
+                        }
+                    }
                 }
                 let ack = ProtoMsg::InvAck { addr, txn, acks: 1 };
                 if singlecast {

@@ -460,7 +460,7 @@ fn check_coherence_invariants(eng: &Engine, nodes: u16, blocks: &[Addr]) {
         for n in 0..nodes {
             match eng.cache_state(node(n), a) {
                 CacheState::Modified | CacheState::Exclusive => owners.push(n),
-                CacheState::Shared => sharers.push(n),
+                CacheState::Shared | CacheState::SharedModified => sharers.push(n),
                 CacheState::Invalid => {}
             }
         }

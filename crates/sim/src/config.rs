@@ -1,9 +1,11 @@
 //! Machine configuration.
 
 use cenju4_des::Duration;
-use cenju4_directory::{SystemSize, SystemSizeError};
+use cenju4_directory::{DirectoryId, SystemSize, SystemSizeError};
 use cenju4_network::{FaultPlan, MulticastMode, NetParams};
-use cenju4_protocol::{Engine, ParallelConfig, ProtoParams, ProtocolKind, RecoveryParams};
+use cenju4_protocol::{
+    Engine, ParallelConfig, ProtoParams, ProtocolId, ProtocolKind, RecoveryParams,
+};
 use core::fmt;
 
 /// Why [`SystemConfigBuilder::build`] rejected a configuration.
@@ -22,6 +24,11 @@ pub enum ConfigError {
     /// The parallel executor was configured with zero worker threads —
     /// nothing could ever advance the simulation.
     ZeroWorkers,
+    /// The update-based Dragon protocol was combined with the nack
+    /// baseline — Dragon's write-through pushes rely on the queuing
+    /// home's pending states, so only [`ProtocolKind::Queuing`] can
+    /// carry it.
+    DragonNeedsQueuing,
 }
 
 impl fmt::Display for ConfigError {
@@ -36,6 +43,9 @@ impl fmt::Display for ConfigError {
                 f.write_str("home request-queue capacity must be non-zero")
             }
             ConfigError::ZeroWorkers => f.write_str("worker count must be non-zero"),
+            ConfigError::DragonNeedsQueuing => {
+                f.write_str("the dragon protocol requires the queuing home (not the nack baseline)")
+            }
         }
     }
 }
@@ -45,6 +55,49 @@ impl std::error::Error for ConfigError {}
 impl From<SystemSizeError> for ConfigError {
     fn from(e: SystemSizeError) -> Self {
         ConfigError::Size(e)
+    }
+}
+
+/// The full protocol selection: the coherence decision logic
+/// ([`ProtocolId`] — MESI or Dragon) and the home's service discipline
+/// ([`ProtocolKind`] — queuing or the nack baseline).
+///
+/// [`SystemConfigBuilder::protocol`] accepts anything convertible into a
+/// spec, so legacy call sites keep compiling unchanged:
+///
+/// * a bare [`ProtocolKind`] selects that discipline under MESI;
+/// * a bare [`ProtocolId`] selects that coherence logic over the
+///   queuing home;
+/// * a `(ProtocolId, ProtocolKind)` pair selects both.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProtocolSpec {
+    /// The coherence protocol's decision logic.
+    pub id: ProtocolId,
+    /// The home's service discipline.
+    pub kind: ProtocolKind,
+}
+
+impl From<ProtocolKind> for ProtocolSpec {
+    fn from(kind: ProtocolKind) -> Self {
+        ProtocolSpec {
+            id: ProtocolId::default(),
+            kind,
+        }
+    }
+}
+
+impl From<ProtocolId> for ProtocolSpec {
+    fn from(id: ProtocolId) -> Self {
+        ProtocolSpec {
+            id,
+            kind: ProtocolKind::default(),
+        }
+    }
+}
+
+impl From<(ProtocolId, ProtocolKind)> for ProtocolSpec {
+    fn from((id, kind): (ProtocolId, ProtocolKind)) -> Self {
+        ProtocolSpec { id, kind }
     }
 }
 
@@ -70,6 +123,10 @@ pub struct SystemConfig {
     pub proto: ProtoParams,
     /// Queuing protocol or the nack baseline.
     pub kind: ProtocolKind,
+    /// Coherence decision logic (MESI or Dragon).
+    pub coherence: ProtocolId,
+    /// Directory format fresh entries are created in.
+    pub directory: DirectoryId,
     /// Cost model for MPI-library operations (used for barriers and the
     /// message-passing comparison): one-way latency. The paper reports
     /// 9.1 µs latency and 169 MB/s bandwidth on 128 nodes.
@@ -109,6 +166,8 @@ impl SystemConfig {
             net: NetParams::default(),
             proto: ProtoParams::default(),
             kind: ProtocolKind::Queuing,
+            coherence: ProtocolId::Mesi,
+            directory: DirectoryId::PointerPattern,
             mpi_latency: Duration::from_us(9) + Duration::from_ns(100),
             mpi_bytes_per_us: 169,
             fault: FaultPlan::none(),
@@ -151,6 +210,8 @@ impl SystemConfig {
     /// fault plan and recovery parameters.
     pub fn build(&self) -> Engine {
         let mut eng = Engine::new(self.sys, self.proto, self.net, self.kind);
+        eng.set_coherence(self.coherence);
+        eng.set_directory(self.directory);
         eng.set_recovery(self.recovery);
         eng.set_fault_plan(self.fault.clone());
         eng.set_parallel(self.parallel);
@@ -180,6 +241,8 @@ pub struct SystemConfigBuilder {
     net: NetParams,
     proto: ProtoParams,
     kind: ProtocolKind,
+    coherence: ProtocolId,
+    directory: DirectoryId,
     mpi_latency: Duration,
     mpi_bytes_per_us: u64,
     fault: FaultPlan,
@@ -225,20 +288,47 @@ impl SystemConfigBuilder {
         self.multicast(MulticastMode::SinglecastEmulation)
     }
 
-    /// Selects the coherence protocol variant the homes run.
+    /// Selects the protocol: the home's service discipline
+    /// ([`ProtocolKind`]), the coherence decision logic ([`ProtocolId`]),
+    /// or both via a `(id, kind)` pair — see [`ProtocolSpec`].
     ///
     /// # Examples
     ///
     /// ```
-    /// use cenju4_protocol::ProtocolKind;
+    /// use cenju4_protocol::{ProtocolId, ProtocolKind};
     /// use cenju4_sim::SystemConfig;
     ///
     /// let cfg = SystemConfig::builder(16).protocol(ProtocolKind::Nack).build()?;
     /// assert_eq!(cfg.kind, ProtocolKind::Nack);
+    /// let cfg = SystemConfig::builder(16).protocol(ProtocolId::Dragon).build()?;
+    /// assert_eq!(cfg.coherence, ProtocolId::Dragon);
+    /// assert_eq!(cfg.kind, ProtocolKind::Queuing);
     /// # Ok::<(), cenju4_sim::ConfigError>(())
     /// ```
-    pub fn protocol(mut self, kind: ProtocolKind) -> Self {
-        self.kind = kind;
+    pub fn protocol(mut self, spec: impl Into<ProtocolSpec>) -> Self {
+        let spec = spec.into();
+        self.coherence = spec.id;
+        self.kind = spec.kind;
+        self
+    }
+
+    /// Selects the directory format the homes keep their sharer sets in
+    /// (the paper's pointer↔bit-pattern entry by default).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_directory::DirectoryId;
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::builder(16)
+    ///     .directory(DirectoryId::FullMap)
+    ///     .build()?;
+    /// assert_eq!(cfg.directory, DirectoryId::FullMap);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn directory(mut self, id: DirectoryId) -> Self {
+        self.directory = id;
         self
     }
 
@@ -454,11 +544,16 @@ impl SystemConfigBuilder {
         if self.parallel.workers == 0 {
             return Err(ConfigError::ZeroWorkers);
         }
+        if self.coherence == ProtocolId::Dragon && self.kind == ProtocolKind::Nack {
+            return Err(ConfigError::DragonNeedsQueuing);
+        }
         Ok(SystemConfig {
             sys,
             net: self.net,
             proto: self.proto,
             kind: self.kind,
+            coherence: self.coherence,
+            directory: self.directory,
             mpi_latency: self.mpi_latency,
             mpi_bytes_per_us: self.mpi_bytes_per_us,
             fault: self.fault,
@@ -548,6 +643,38 @@ mod tests {
         assert_eq!(a.net, b.net);
         assert_eq!(a.kind, b.kind);
         assert_eq!(a.mpi_latency, b.mpi_latency);
+    }
+
+    #[test]
+    fn dragon_rejects_the_nack_baseline() {
+        assert_eq!(
+            SystemConfig::builder(16)
+                .protocol((ProtocolId::Dragon, ProtocolKind::Nack))
+                .build()
+                .unwrap_err(),
+            ConfigError::DragonNeedsQueuing
+        );
+        let cfg = SystemConfig::builder(16)
+            .protocol(ProtocolId::Dragon)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.kind, ProtocolKind::Queuing);
+        assert_eq!(cfg.build().coherence(), ProtocolId::Dragon);
+    }
+
+    #[test]
+    fn protocol_and_directory_flow_into_the_engine() {
+        let cfg = SystemConfig::builder(16)
+            .directory(DirectoryId::CoarseVector)
+            .build()
+            .unwrap();
+        let eng = cfg.build();
+        assert_eq!(eng.coherence(), ProtocolId::Mesi);
+        assert_eq!(eng.directory_format(), DirectoryId::CoarseVector);
+        // The defaults reproduce the paper's machine.
+        let cfg = SystemConfig::new(16).unwrap();
+        assert_eq!(cfg.coherence, ProtocolId::Mesi);
+        assert_eq!(cfg.directory, DirectoryId::PointerPattern);
     }
 
     #[test]

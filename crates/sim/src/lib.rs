@@ -41,7 +41,7 @@ pub mod probes;
 pub mod report;
 pub mod sweep;
 
-pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
+pub use config::{ConfigError, ProtocolSpec, SystemConfig, SystemConfigBuilder};
 pub use driver::{Driver, Program, Step, Target};
 pub use report::{AccessClass, NodeReport, RunReport};
 pub use sweep::{sweep, sweep_metrics, sweep_metrics_on, sweep_on, SweepPoint};

@@ -20,7 +20,9 @@
 //! ```
 
 pub use cenju4_des::{Duration, SimTime, SplitMix64};
-pub use cenju4_directory::{MemState, NodeId, SystemSize, SystemSizeError};
+pub use cenju4_directory::{
+    DirectoryFormat, DirectoryId, MemState, NodeId, SharerSet, SystemSize, SystemSizeError,
+};
 pub use cenju4_network::{
     FaultEvent, FaultKind, FaultPlan, LinkDown, MulticastMode, NetParams, NetStats, OneShotFault,
     WireClass,
@@ -28,12 +30,12 @@ pub use cenju4_network::{
 pub use cenju4_obs::{chrome_trace_json, MetricsRegistry, SpanClass, SpanCollector};
 pub use cenju4_protocol::observer::{Observer, StarvationProbe};
 pub use cenju4_protocol::{
-    Addr, CacheState, Engine, EngineStats, FaultInjection, IssueError, MemOp, Notification,
-    ParallelConfig, PendingEvent, ProtoMsg, ProtoParams, ProtocolKind, RecoveryError,
-    RecoveryParams, ReqKind, TxnId,
+    AccessDecision, Addr, CacheState, CoherenceProtocol, Engine, EngineStats, FaultInjection,
+    IssueError, MemOp, Notification, ParallelConfig, PendingEvent, ProtoMsg, ProtoParams,
+    ProtocolId, ProtocolKind, RecoveryError, RecoveryParams, ReqKind, TxnId,
 };
 
-pub use crate::config::{ConfigError, SystemConfig, SystemConfigBuilder};
+pub use crate::config::{ConfigError, ProtocolSpec, SystemConfig, SystemConfigBuilder};
 pub use crate::driver::{Driver, Program, Step, Target};
 pub use crate::probes;
 pub use crate::report::{AccessClass, NodeReport, RunReport};

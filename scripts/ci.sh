@@ -3,13 +3,14 @@
 # schedule-exploring protocol checker's smoke tier.
 # Everything runs offline — the workspace has no external dependencies.
 #
-# Usage: scripts/ci.sh [check-smoke|fault-smoke|perf-smoke|obs-smoke|scaling-smoke]
+# Usage: scripts/ci.sh [check-smoke|fault-smoke|perf-smoke|obs-smoke|scaling-smoke|bakeoff-smoke]
 #   (no arg)       run the full gate
 #   check-smoke    run only the time-capped protocol-checker tier
 #   fault-smoke    run only the time-capped unreliable-fabric recovery tier
 #   perf-smoke     run only the hot-path perf regression tier
 #   obs-smoke      run only the observability export/leak-oracle tier
 #   scaling-smoke  run only the parallel-executor bit-identity + speedup tier
+#   bakeoff-smoke  run only the cross-protocol (MESI/Dragon x directory) tier
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -95,6 +96,24 @@ scaling_smoke() {
     timeout 300 target/release/perf --scaling-smoke
 }
 
+bakeoff_smoke() {
+    echo "==> cross-protocol bakeoff smoke tier (time-capped)"
+    # Oracle matrix: every (coherence protocol, directory format) pair
+    # under the checker — bounded-exhaustive at 2 nodes, deterministic
+    # seeded walks at 3 nodes, and the Dragon-side mutant kill.
+    timeout 600 cargo test -q --release --offline -p cenju4-check --test matrix
+    # The CLI flags end to end: one Dragon x non-default-directory run
+    # through the cenju4-check binary itself.
+    cargo build --release --offline -p cenju4-check
+    target/release/cenju4-check exhaustive --nodes 2 --blocks 1 --ops 2 \
+        --protocol dragon --directory full-map --max-seconds 120
+    # Tiny 16-node bakeoff point per variant; --smoke asserts each
+    # protocol's signature (MESI's second store and Dragon's reread are
+    # zero-traffic local hits) instead of writing the JSON artifact.
+    cargo build --release --offline -p cenju4-bench --bin fig_bakeoff
+    timeout 120 target/release/fig_bakeoff --smoke
+}
+
 if [[ "${1:-}" == "check-smoke" ]]; then
     check_smoke
     echo "CI OK (check-smoke)"
@@ -125,6 +144,12 @@ if [[ "${1:-}" == "scaling-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "bakeoff-smoke" ]]; then
+    bakeoff_smoke
+    echo "CI OK (bakeoff-smoke)"
+    exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -147,5 +172,7 @@ perf_smoke
 obs_smoke
 
 scaling_smoke
+
+bakeoff_smoke
 
 echo "CI OK"

@@ -235,7 +235,7 @@ fn protocol_coherence_under_random_traffic() {
                 for i in 0..nodes {
                     match eng.cache_state(NodeId::new(i), a) {
                         CacheState::Modified | CacheState::Exclusive => owners += 1,
-                        CacheState::Shared => sharers += 1,
+                        CacheState::Shared | CacheState::SharedModified => sharers += 1,
                         CacheState::Invalid => {}
                     }
                 }
