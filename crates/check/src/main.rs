@@ -247,14 +247,21 @@ fn main() -> ExitCode {
                 // delay-inval needs a sharer that is *remote* from the
                 // home — in a 2-node machine the only other sharer is the
                 // home itself and no invalidation ever crosses the fabric.
-                let nodes = if fault == FaultInjection::DelayInval {
-                    args.cfg.nodes.max(3)
-                } else {
-                    args.cfg.nodes
+                // The node-down plans kill node 1, so they need a third
+                // node to keep issuing traffic around the casualty.
+                let nodes = match fault {
+                    FaultInjection::DelayInval
+                    | FaultInjection::NodeDown
+                    | FaultInjection::QuarantineOff => args.cfg.nodes.max(3),
+                    _ => args.cfg.nodes,
                 };
+                // quarantine-off is a mutant *of the recovery layer*: it
+                // runs with recovery armed (the scenario builder clears
+                // its quarantine switch) and must blow a retry budget.
+                let recovery = fault == FaultInjection::QuarantineOff;
                 let cfg = CheckConfig {
                     fault,
-                    recovery: false,
+                    recovery,
                     nodes,
                     ..args.cfg
                 };

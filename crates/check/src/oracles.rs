@@ -27,7 +27,9 @@
 use crate::scenario::CheckConfig;
 use cenju4_directory::{MemState, NodeId};
 use cenju4_obs::SpanCollector;
-use cenju4_protocol::{Addr, CacheState, Engine, MemOp, Notification, ProtocolId};
+use cenju4_protocol::{
+    Addr, CacheState, Engine, FaultInjection, MemOp, Notification, ProtocolId, RecoveryError,
+};
 use core::fmt;
 use std::collections::HashMap;
 
@@ -60,8 +62,17 @@ pub struct OracleState {
     /// globally unique (`txn + 1`), so membership in this set still
     /// rejects fabricated or corrupted data.
     store_values: HashMap<Addr, Vec<u64>>,
+    /// Whether the scenario deliberately kills a node with the recovery
+    /// layer armed. Under that regime `NodeUnavailable` escalations are
+    /// the *correct* outcome for transactions stranded on the dead node,
+    /// and state/value checks must not read the casualty's frozen caches
+    /// or blocks whose home memory went down with it.
+    tolerate_node_down: bool,
     /// Graduated accesses seen so far.
     pub completed: usize,
+    /// Accesses deliberately abandoned with a typed `NodeUnavailable`
+    /// escalation (only ever non-zero when `tolerate_node_down`).
+    pub abandoned: usize,
 }
 
 impl OracleState {
@@ -73,8 +84,23 @@ impl OracleState {
             coherence: cfg.coherence,
             last_store: HashMap::new(),
             store_values: HashMap::new(),
+            tolerate_node_down: cfg.recovery && cfg.fault == FaultInjection::NodeDown,
             completed: 0,
+            abandoned: 0,
         }
+    }
+
+    /// True when the oracle must not trust `node`'s cache contents: the
+    /// fault plan killed it at some point, freezing (and later cold-
+    /// clearing) whatever it held.
+    fn casualty(&self, eng: &Engine, node: NodeId) -> bool {
+        self.tolerate_node_down && eng.was_ever_down(node)
+    }
+
+    /// True when `addr`'s value history is unrecoverable by design: its
+    /// home memory died, or a dirty copy was lost on the dead node.
+    fn compromised(&self, eng: &Engine, addr: Addr) -> bool {
+        self.tolerate_node_down && eng.value_compromised(addr)
     }
 
     /// The set of values a load of `addr` may legitimately observe under
@@ -100,6 +126,16 @@ impl OracleState {
     pub fn note(&mut self, notes: &[Notification], eng: &Engine) -> Option<Violation> {
         for n in notes {
             if let Notification::RecoveryFailed { error, .. } = n {
+                // Under an armed node-down plan a typed `NodeUnavailable`
+                // escalation is the contract: the master fails fast
+                // instead of burning its retry budget on a quarantined
+                // peer. Anything else (a timeout, an exhausted link or
+                // gather budget) still means detection was too slow.
+                if self.tolerate_node_down && matches!(error, RecoveryError::NodeUnavailable { .. })
+                {
+                    self.abandoned += 1;
+                    continue;
+                }
                 return Some(Violation {
                     oracle: "recovery",
                     detail: format!("recovery layer exhausted its budget: {error}"),
@@ -120,6 +156,12 @@ impl OracleState {
                         self.store_values.entry(*addr).or_default().push(*value);
                     }
                     MemOp::Load => {
+                        // A lost dirty copy (or a dead home) legitimately
+                        // leaves survivors reading the last value that
+                        // made it to stable memory.
+                        if self.compromised(eng, *addr) {
+                            continue;
+                        }
                         if self.coherence == ProtocolId::Dragon {
                             let legal = self.dragon_legal_values(eng, *addr);
                             if !legal.contains(value) {
@@ -154,8 +196,12 @@ impl OracleState {
     pub fn check_step(&self, eng: &Engine) -> Option<Violation> {
         let nodes: Vec<NodeId> = (0..self.nodes).map(NodeId::new).collect();
         for &addr in &self.blocks {
+            // A casualty's cache is frozen from its death until the
+            // quarantine scrub cold-clears it; whatever it nominally
+            // holds is unreachable and exempt from the state oracles.
             let states: Vec<(NodeId, CacheState)> = nodes
                 .iter()
+                .filter(|&&n| !self.casualty(eng, n))
                 .map(|&n| (n, eng.cache_state(n, addr)))
                 .collect();
             let owners: Vec<NodeId> = states
@@ -209,6 +255,12 @@ impl OracleState {
             // the check weakens to membership — every readable non-owned
             // copy holds a value some store actually wrote (or the home
             // memory's), never fabricated data.
+            if self.compromised(eng, addr) {
+                // The block's authoritative value died with the node (a
+                // lost dirty copy, or the home memory itself); survivors
+                // legitimately carry whatever last reached them.
+                continue;
+            }
             if self.coherence == ProtocolId::Dragon {
                 let mut legal = self.dragon_legal_values(eng, addr);
                 legal.push(eng.memory_value(addr));
@@ -300,13 +352,16 @@ impl OracleState {
     /// quiescence means nothing was lost (the reservation-bit discipline
     /// woke every parked request) and every queue drained.
     pub fn check_quiescent(&self, eng: &Engine, issued: usize) -> Option<Violation> {
-        if self.completed != issued {
+        // Every issued access must be accounted for: graduated, or (under
+        // a tolerated node-down plan only) deliberately abandoned with a
+        // typed escalation. Silent loss is a violation either way.
+        if self.completed + self.abandoned != issued {
             return Some(Violation {
                 oracle: "quiescence",
                 detail: format!(
-                    "{} of {issued} accesses graduated before the event set \
-                     drained — transactions were lost or starved",
-                    self.completed
+                    "{} of {issued} accesses graduated ({} abandoned) before \
+                     the event set drained — transactions were lost or starved",
+                    self.completed, self.abandoned
                 ),
             });
         }
@@ -354,11 +409,14 @@ impl OracleState {
         // sound: the last update to each sharer cannot be overtaken.)
         if self.coherence == ProtocolId::Dragon {
             for &addr in &self.blocks {
-                if eng.memory_state(addr) != MemState::Clean {
+                if eng.memory_state(addr) != MemState::Clean || self.compromised(eng, addr) {
                     continue;
                 }
                 let mem = eng.memory_value(addr);
                 for n in (0..self.nodes).map(NodeId::new) {
+                    if self.casualty(eng, n) {
+                        continue;
+                    }
                     let s = eng.cache_state(n, addr);
                     if s.readable() && !s.writable() && eng.cache_value(n, addr) != mem {
                         return Some(Violation {
@@ -389,8 +447,12 @@ impl OracleState {
                     ),
                 });
             }
+            // Abandoned accesses that failed fast at issue never open a
+            // span, so the per-access floor only binds in fault-free
+            // regimes. The leak check above stays exact regardless: an
+            // abandonment *closes* its span (class `abandoned`).
             let spans = col.completed_span_count();
-            if spans < issued {
+            if !self.tolerate_node_down && spans < issued {
                 return Some(Violation {
                     oracle: "span-leak",
                     detail: format!(

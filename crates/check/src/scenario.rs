@@ -103,7 +103,17 @@ impl CheckConfig {
     /// block, with reads checking the writes.
     pub fn engine(&self) -> Engine {
         let recovery = if self.recovery {
-            RecoveryParams::default()
+            if self.fault == FaultInjection::QuarantineOff {
+                // The quarantine-off mutant arms the detector but lets a
+                // suspected node fall back to Up instead of quarantining
+                // it — the stranded masters must then blow a budget.
+                RecoveryParams {
+                    quarantine: false,
+                    ..RecoveryParams::default()
+                }
+            } else {
+                RecoveryParams::default()
+            }
         } else {
             RecoveryParams::disabled()
         };

@@ -199,6 +199,104 @@ fn probabilistic_drops_falsified_when_unarmed() {
     }
 }
 
+/// A node that silently dies mid-run must be caught with recovery off:
+/// every frame touching it vanishes, its transactions never graduate,
+/// and quiescence is violated. Three nodes so traffic keeps flowing
+/// around the casualty (the plan kills node 1).
+#[test]
+fn node_down_mutant_is_killed() {
+    let cfg = CheckConfig {
+        nodes: 3,
+        fault: FaultInjection::NodeDown,
+        recovery: false,
+        ..CheckConfig::default()
+    };
+    let cx = match random_walks(&cfg, 0xDEAD, 200, &limits()) {
+        Exploration::Falsified(cx) => cx,
+        other => panic!("mutant node-down survived: {other:?}"),
+    };
+    let a = replay(&cfg, &cx.schedule, limits().max_steps);
+    assert_eq!(
+        a.violation.as_ref(),
+        Some(&cx.violation),
+        "replay does not reproduce the reported violation"
+    );
+}
+
+/// Neutering quarantine (the detector suspects the dead node but lets it
+/// fall back to Up) must be caught *with recovery armed*: the stranded
+/// retransmissions burn a budget and the typed escalation is the wrong
+/// one, so the recovery oracle fires. This is the mutant that proves the
+/// quarantine step itself carries its weight.
+#[test]
+fn quarantine_off_mutant_is_killed() {
+    let cfg = CheckConfig {
+        nodes: 3,
+        fault: FaultInjection::QuarantineOff,
+        recovery: true,
+        ..CheckConfig::default()
+    };
+    let cx = match random_walks(&cfg, 0xDEAD, 200, &limits()) {
+        Exploration::Falsified(cx) => cx,
+        other => panic!("mutant quarantine-off survived: {other:?}"),
+    };
+    assert_eq!(cx.violation.oracle, "recovery", "{}", cx.violation);
+    let a = replay(&cfg, &cx.schedule, limits().max_steps);
+    assert_eq!(
+        a.violation.as_ref(),
+        Some(&cx.violation),
+        "replay does not reproduce the reported violation"
+    );
+}
+
+/// With the recovery layer armed, a mid-run node death is *contained*:
+/// the detector quarantines the casualty, homes scrub it from every
+/// directory entry, masters targeting it escalate typed
+/// `NodeUnavailable` errors, and every surviving transaction graduates.
+/// Two blocks so one is homed *at* the casualty, exercising the
+/// dead-home escalation path alongside the dead-sharer scrub path.
+#[test]
+fn node_down_contained_when_armed() {
+    let cfg = CheckConfig {
+        nodes: 3,
+        blocks: 2,
+        fault: FaultInjection::NodeDown,
+        recovery: true,
+        ..CheckConfig::default()
+    };
+    let out = replay(&cfg, &[], limits().max_steps);
+    assert!(
+        out.ok(),
+        "natural schedule under node-down with recovery on violated: {:?}",
+        out.violation
+    );
+    match random_walks(&cfg, 0xFA11, 30, &limits()) {
+        Exploration::AllGreen { schedules } => assert_eq!(schedules, 30),
+        other => panic!("quarantine failed to contain node-down: {other:?}"),
+    }
+}
+
+/// Span-leak regression for death mid-gather: maximal sharing on one
+/// block means the dying node is a sharer in some open invalidation
+/// gather on most schedules. The quarantine scrub must complete those
+/// gathers (treating the dead sharer as invalidated) and the span-leak
+/// oracle — open spans at quiescence — must stay green on every walk.
+#[test]
+fn node_death_mid_gather_cannot_leak_spans() {
+    let cfg = CheckConfig {
+        nodes: 3,
+        blocks: 1,
+        ops_per_node: 3,
+        fault: FaultInjection::NodeDown,
+        recovery: true,
+        ..CheckConfig::default()
+    };
+    match random_walks(&cfg, 0x6A7E, 40, &limits()) {
+        Exploration::AllGreen { schedules } => assert_eq!(schedules, 40),
+        other => panic!("mid-gather death leaked state: {other:?}"),
+    }
+}
+
 /// Hot-path flattening guard: the bounded-exhaustive DFS on the default
 /// 2-node/1-block scenario must visit *exactly* the same schedule space
 /// before and after the dense-table/shared-payload optimization. A

@@ -370,6 +370,28 @@ impl SharerSet {
         self.only.or_else(|| self.represented().first().copied())
     }
 
+    /// Scrubs a quarantined node from the set, as precisely as the
+    /// representation allows: pointer forms drop it exactly, the full map
+    /// clears its bit, and imprecise forms (bit pattern, broadcast,
+    /// coarse vector) shed what they can while staying a superset of the
+    /// surviving sharers. Directory reconstruction after a node failure
+    /// runs this over every entry; any residual representation of the
+    /// dead node is harmless because the fabric discards frames addressed
+    /// to quarantined nodes.
+    pub fn scrub(&mut self, node: NodeId) {
+        if self.only == Some(node) {
+            self.only = None;
+        }
+        match &mut self.inner {
+            SharerInner::Cenju4(m) => m.scrub(node),
+            SharerInner::FullMap(m) => {
+                m.remove(node);
+            }
+            SharerInner::Limited(m) => m.scrub(node),
+            SharerInner::Coarse(m) => m.scrub(node),
+        }
+    }
+
     /// The destination specification for an invalidation or update push:
     /// every represented sharer, minus `exclude` (the requesting master)
     /// when the representation can exclude it precisely. Imprecise
@@ -596,6 +618,76 @@ mod tests {
         let spec = b.push_spec(NodeId::new(0), s1024);
         assert!(spec.contains(NodeId::new(0)));
         assert_eq!(spec.fanout(s1024), 1024);
+    }
+
+    #[test]
+    fn scrub_removes_precise_sharers() {
+        for id in [DirectoryId::PointerPattern, DirectoryId::FullMap] {
+            let mut s = id.instantiate(sys(64));
+            s.add(NodeId::new(1));
+            s.add(NodeId::new(2));
+            s.scrub(NodeId::new(1));
+            assert!(!s.contains(NodeId::new(1)), "{id}");
+            assert!(s.contains(NodeId::new(2)), "{id}");
+        }
+    }
+
+    #[test]
+    fn scrub_clears_the_solo_hint() {
+        let mut s = SharerSet::cenju4(sys(64));
+        s.set_only(NodeId::new(5));
+        s.scrub(NodeId::new(5));
+        assert_eq!(s.solo(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn scrub_pattern_stays_superset_of_survivors() {
+        // Imprecise pattern (1024 nodes): survivors are never lost, but
+        // the cross product may keep covering the dead node.
+        let mut s = SharerSet::cenju4(sys(1024));
+        for n in [0u16, 4, 5, 32, 164] {
+            s.add(NodeId::new(n)); // five sharers force the pattern
+        }
+        s.scrub(NodeId::new(164));
+        for n in [0u16, 4, 5, 32] {
+            assert!(s.contains(NodeId::new(n)), "survivor {n} lost");
+        }
+
+        // In a <= 32-node system the pattern is lossless, so the scrub
+        // removes the dead node exactly.
+        let mut p = SharerSet::cenju4(sys(32));
+        for n in 0..6u16 {
+            p.add(NodeId::new(n));
+        }
+        p.scrub(NodeId::new(3));
+        assert!(!p.contains(NodeId::new(3)));
+        for n in [0u16, 1, 2, 4, 5] {
+            assert!(p.contains(NodeId::new(n)), "survivor {n} lost");
+        }
+    }
+
+    #[test]
+    fn scrub_imprecise_forms_keep_superset() {
+        // Broadcast mode cannot name the dead node: it stays represented.
+        let mut b = SharerSet::limited_pointer(sys(64));
+        for n in 0..5u16 {
+            b.add(NodeId::new(n));
+        }
+        b.scrub(NodeId::new(3));
+        assert!(b.contains(NodeId::new(4)));
+
+        // A coarse group bit survives while groupmates may share it…
+        let mut c = SharerSet::coarse_vector(sys(1024));
+        c.add(NodeId::new(100));
+        c.scrub(NodeId::new(100));
+        assert!(c.contains(NodeId::new(101)));
+
+        // …but clears when each bit stands for exactly one node.
+        let mut c1 = SharerSet::coarse_vector(sys(16));
+        c1.add(NodeId::new(7));
+        c1.scrub(NodeId::new(7));
+        assert!(!c1.contains(NodeId::new(7)));
     }
 
     #[test]

@@ -151,6 +151,33 @@ impl Cenju4NodeMap {
         }
     }
 
+    /// Best-effort removal for node quarantine. Pointer representation
+    /// drops the node precisely; a pattern is rebuilt from its surviving
+    /// represented nodes (collapsing back to pointers when four or fewer
+    /// remain). A rebuilt pattern whose cross product still covers `node`
+    /// through surviving sharers keeps representing it — the superset
+    /// invariant allows that, and the fabric suppresses deliveries to
+    /// quarantined nodes anyway.
+    pub fn scrub(&mut self, node: NodeId) {
+        match &mut self.inner {
+            Inner::Pointers(p) => {
+                p.remove(node);
+            }
+            Inner::Pattern(_) => {
+                if !self.contains(node) {
+                    return;
+                }
+                let mut fresh = Cenju4NodeMap::new(self.sys);
+                for n in self.represented() {
+                    if n != node {
+                        fresh.add(n);
+                    }
+                }
+                *self = fresh;
+            }
+        }
+    }
+
     /// Returns `true` if the map records its sharers exactly (no
     /// over-approximation). Pointer representation is always precise; the
     /// pattern is precise when its represented count equals the number of

@@ -56,6 +56,16 @@ impl CoarseVector {
     fn group_of(&self, node: NodeId) -> u32 {
         node.index() as u32 / self.group
     }
+
+    /// Best-effort removal for node quarantine: a group bit can only be
+    /// cleared when it stands for `node` alone (group size 1). Wider
+    /// groups keep the bit — surviving groupmates may still share the
+    /// block, and the superset invariant makes the residue harmless.
+    pub fn scrub(&mut self, node: NodeId) {
+        if self.group == 1 {
+            self.bits &= !(1 << self.group_of(node));
+        }
+    }
 }
 
 impl NodeMap for CoarseVector {

@@ -46,6 +46,15 @@ impl LimitedPointerBroadcast {
     pub fn is_broadcast(&self) -> bool {
         self.broadcast
     }
+
+    /// Best-effort removal for node quarantine: drops a precise pointer;
+    /// broadcast mode cannot name individual nodes, so it stays a
+    /// superset and the fabric's quarantine suppression covers the rest.
+    pub fn scrub(&mut self, node: NodeId) {
+        if !self.broadcast {
+            self.pointers.remove(node);
+        }
+    }
 }
 
 impl NodeMap for LimitedPointerBroadcast {

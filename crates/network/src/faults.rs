@@ -83,6 +83,20 @@ pub struct LinkDown {
     pub until_ns: u64,
 }
 
+/// A node outage: every message into *or* out of `node` injected in
+/// `[from_ns, until_ns)` is dropped — the node has gone silent. Use
+/// `until_ns == u64::MAX` for a permanent kill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeDown {
+    /// The silenced node.
+    pub node: NodeId,
+    /// Start of the outage window (inclusive, ns).
+    pub from_ns: u64,
+    /// End of the outage window (exclusive, ns); `u64::MAX` kills the
+    /// node for good.
+    pub until_ns: u64,
+}
+
 /// A complete description of how the fabric misbehaves.
 ///
 /// [`FaultPlan::none`] (also the `Default`) is the lossless fabric: no
@@ -115,6 +129,8 @@ pub struct FaultPlan {
     pub one_shot: Vec<OneShotFault>,
     /// Link outage windows.
     pub down: Vec<LinkDown>,
+    /// Node outage windows: every wire touching the node is silenced.
+    pub node_down: Vec<NodeDown>,
 }
 
 impl FaultPlan {
@@ -130,6 +146,7 @@ impl FaultPlan {
             && self.delay_permille == 0
             && self.one_shot.is_empty()
             && self.down.is_empty()
+            && self.node_down.is_empty()
     }
 
     /// A purely probabilistic plan: every message is dropped with
@@ -152,6 +169,45 @@ impl FaultPlan {
     pub fn with_link_down(mut self, down: LinkDown) -> Self {
         self.down.push(down);
         self
+    }
+
+    /// Adds a node outage window to the plan. `until_ns == u64::MAX`
+    /// kills the node permanently.
+    pub fn with_node_down(mut self, down: NodeDown) -> Self {
+        self.node_down.push(down);
+        self
+    }
+
+    /// Whether `node` is inside one of the plan's outage windows at
+    /// `now_ns`. This is the deterministic ground truth the failure
+    /// detector's heartbeat probes consult: a real ping would be dropped
+    /// exactly when this returns `true`, so computing the answer directly
+    /// adds no fabric traffic and stays schedule-independent.
+    pub fn node_down_at(&self, now_ns: u64, node: NodeId) -> bool {
+        self.node_down
+            .iter()
+            .any(|d| d.node == node && d.from_ns <= now_ns && now_ns < d.until_ns)
+    }
+
+    /// When `node`, down at `now_ns`, next comes back up — the end of the
+    /// containing outage window, skipping forward over any window that
+    /// starts exactly where the previous one ends. `None` if the node is
+    /// dead for good (a `u64::MAX` window).
+    pub fn node_revives_at(&self, now_ns: u64, node: NodeId) -> Option<u64> {
+        let mut t = now_ns;
+        loop {
+            let Some(d) = self
+                .node_down
+                .iter()
+                .find(|d| d.node == node && d.from_ns <= t && t < d.until_ns)
+            else {
+                return Some(t);
+            };
+            if d.until_ns == u64::MAX {
+                return None;
+            }
+            t = d.until_ns;
+        }
     }
 }
 
@@ -249,6 +305,12 @@ impl FaultState {
                 return Some(shot.kind);
             }
         }
+        {
+            let t = now.as_ns();
+            if self.plan.node_down_at(t, src) || self.plan.node_down_at(t, dst) {
+                return Some(FaultKind::Drop);
+            }
+        }
         for d in &self.plan.down {
             if d.src == src && d.dst == dst {
                 let t = now.as_ns();
@@ -325,6 +387,7 @@ mod tests {
             max_delay_ns: 500,
             one_shot: Vec::new(),
             down: Vec::new(),
+            node_down: Vec::new(),
         };
         let nodes = 64u16;
         let mut st = FaultState::new(plan.clone(), nodes as usize);
@@ -436,6 +499,77 @@ mod tests {
             st.decide(SimTime::from_ns(150), n(0), n(3), WireClass::Other),
             None
         );
+    }
+
+    #[test]
+    fn node_down_window_silences_every_wire_touching_the_node() {
+        let plan = FaultPlan::none().with_node_down(NodeDown {
+            node: n(2),
+            from_ns: 100,
+            until_ns: 200,
+        });
+        let mut st = FaultState::new(plan, 16);
+        // Before the window: traffic flows.
+        assert_eq!(
+            st.decide(SimTime::from_ns(99), n(0), n(2), WireClass::Request),
+            None
+        );
+        // Inside: both directions die, every class.
+        assert_eq!(
+            st.decide(SimTime::from_ns(100), n(0), n(2), WireClass::Request),
+            Some(FaultKind::Drop)
+        );
+        assert_eq!(
+            st.decide(SimTime::from_ns(150), n(2), n(0), WireClass::Reply),
+            Some(FaultKind::Drop)
+        );
+        assert_eq!(
+            st.decide(SimTime::from_ns(199), n(1), n(2), WireClass::GatherReply),
+            Some(FaultKind::Drop)
+        );
+        // Wires not touching the node are unaffected inside the window.
+        assert_eq!(
+            st.decide(SimTime::from_ns(150), n(0), n(1), WireClass::Request),
+            None
+        );
+        // After the window: revived.
+        assert_eq!(
+            st.decide(SimTime::from_ns(200), n(0), n(2), WireClass::Request),
+            None
+        );
+    }
+
+    #[test]
+    fn permanent_kill_never_revives() {
+        let plan = FaultPlan::none().with_node_down(NodeDown {
+            node: n(1),
+            from_ns: 50,
+            until_ns: u64::MAX,
+        });
+        assert!(!plan.is_none(), "a node-down plan must arm the fabric");
+        assert!(!plan.node_down_at(49, n(1)));
+        assert!(plan.node_down_at(50, n(1)));
+        assert!(plan.node_down_at(u64::MAX - 1, n(1)));
+        assert_eq!(plan.node_revives_at(60, n(1)), None);
+    }
+
+    #[test]
+    fn revival_query_skips_abutting_windows() {
+        let plan = FaultPlan::none()
+            .with_node_down(NodeDown {
+                node: n(3),
+                from_ns: 100,
+                until_ns: 200,
+            })
+            .with_node_down(NodeDown {
+                node: n(3),
+                from_ns: 200,
+                until_ns: 300,
+            });
+        assert_eq!(plan.node_revives_at(150, n(3)), Some(300));
+        assert_eq!(plan.node_revives_at(250, n(3)), Some(300));
+        // Already up: the query answers "now".
+        assert_eq!(plan.node_revives_at(300, n(3)), Some(300));
     }
 
     #[test]

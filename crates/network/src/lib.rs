@@ -62,7 +62,7 @@ pub mod tables;
 pub mod topology;
 
 pub use fabric::{Deliveries, Delivery, Fabric, GatherId, Payload};
-pub use faults::{FaultEvent, FaultKind, FaultPlan, LinkDown, OneShotFault, WireClass};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, LinkDown, NodeDown, OneShotFault, WireClass};
 pub use params::{MulticastMode, NetParams};
 pub use shared::Shared;
 pub use stats::NetStats;

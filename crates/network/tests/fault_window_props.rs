@@ -1,0 +1,140 @@
+//! Property tests for outage windows: over seeded random window sets,
+//! the fabric must silence *exactly* the wires inside a window, the
+//! revival query must be sound against the membership predicate it
+//! summarizes, and a permanent (`u64::MAX`) kill must never revive.
+//!
+//! These are the fault-plan laws the failure detector leans on: a probe
+//! consults `node_down_at` and a quarantine schedules its rejoin off
+//! `node_revives_at`, so a disagreement between the two (or between
+//! either and what the fabric actually drops) would desynchronize the
+//! detector from the wire.
+
+use cenju4_des::{SimTime, SplitMix64};
+use cenju4_directory::{NodeId, SystemSize};
+use cenju4_network::{Fabric, FaultPlan, NetParams, NodeDown, WireClass};
+
+fn n(i: u16) -> NodeId {
+    NodeId::new(i)
+}
+
+/// A seeded random plan: a handful of windows per node, some abutting,
+/// some overlapping, occasionally a permanent kill.
+fn random_plan(rng: &mut SplitMix64, nodes: u16) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for node in 0..nodes {
+        for _ in 0..rng.next_below(4) {
+            let from = rng.next_below(10_000);
+            let len = 1 + rng.next_below(5_000);
+            let until = if rng.next_below(20) == 0 {
+                u64::MAX
+            } else {
+                from + len
+            };
+            plan = plan.with_node_down(NodeDown {
+                node: n(node),
+                from_ns: from,
+                until_ns: until,
+            });
+        }
+    }
+    plan
+}
+
+/// `node_down_at` is the window-membership predicate, verbatim: true at
+/// `from_ns`, false at `until_ns`, and agreeing with a brute-force scan
+/// of the window list at random probe times.
+#[test]
+fn down_query_matches_window_membership() {
+    let mut rng = SplitMix64::new(0xD011);
+    let nodes = 6u16;
+    for _ in 0..50 {
+        let plan = random_plan(&mut rng, nodes);
+        for _ in 0..200 {
+            let t = rng.next_below(20_000);
+            let node = n(rng.next_below(nodes as u64) as u16);
+            let brute = plan
+                .node_down
+                .iter()
+                .any(|d| d.node == node && d.from_ns <= t && t < d.until_ns);
+            assert_eq!(plan.node_down_at(t, node), brute, "t={t} node={node}");
+        }
+        // Boundary law: inclusive start, exclusive end.
+        for d in &plan.node_down {
+            assert!(plan.node_down_at(d.from_ns, d.node));
+            if d.until_ns != u64::MAX {
+                let still = plan.node_down.iter().any(|o| {
+                    o.node == d.node && o.from_ns <= d.until_ns && d.until_ns < o.until_ns
+                });
+                assert_eq!(plan.node_down_at(d.until_ns, d.node), still);
+            }
+        }
+    }
+}
+
+/// `node_revives_at` is sound: the returned instant is up, every instant
+/// from the query to it is down, and a chain ending in a permanent kill
+/// returns `None`.
+#[test]
+fn revival_query_is_sound() {
+    let mut rng = SplitMix64::new(0x4E1101);
+    let nodes = 6u16;
+    for _ in 0..50 {
+        let plan = random_plan(&mut rng, nodes);
+        for _ in 0..200 {
+            let t = rng.next_below(20_000);
+            let node = n(rng.next_below(nodes as u64) as u16);
+            match plan.node_revives_at(t, node) {
+                Some(r) => {
+                    assert!(!plan.node_down_at(r, node), "revived into a window");
+                    assert!(r >= t);
+                    // Down the whole way: spot-check instants in [t, r).
+                    if plan.node_down_at(t, node) {
+                        for _ in 0..8 {
+                            let mid = t + rng.next_below(r - t);
+                            assert!(plan.node_down_at(mid, node), "gap inside outage chain");
+                        }
+                    } else {
+                        assert_eq!(r, t, "an up node revives immediately");
+                    }
+                }
+                None => {
+                    // Only a chain reaching a u64::MAX window never ends.
+                    assert!(plan.node_down_at(t, node));
+                    assert!(plan.node_down.iter().any(|d| d.until_ns == u64::MAX));
+                }
+            }
+        }
+    }
+}
+
+/// The fabric drops a unicast iff an endpoint is inside a window at the
+/// *send* instant — long windows, overlapping windows, and permanent
+/// kills included. This is what makes the dead node silent on every
+/// wire while leaving survivor-to-survivor traffic untouched.
+#[test]
+fn fabric_silences_exactly_the_windowed_wires() {
+    let mut rng = SplitMix64::new(0xFAB51);
+    let nodes = 6u16;
+    for _ in 0..20 {
+        let plan = random_plan(&mut rng, nodes);
+        let mut fab: Fabric<u32> =
+            Fabric::new(SystemSize::new(nodes).unwrap(), NetParams::default());
+        fab.set_fault_plan(plan.clone());
+        let mut at = 0u64;
+        for _ in 0..300 {
+            at += rng.next_below(100);
+            let src = n(rng.next_below(nodes as u64) as u16);
+            let dst = n(rng.next_below(nodes as u64) as u16);
+            if src == dst {
+                continue;
+            }
+            let dels = fab.send_unicast(SimTime::from_ns(at), src, dst, false, 7, WireClass::Other);
+            let silenced = plan.node_down_at(at, src) || plan.node_down_at(at, dst);
+            assert_eq!(
+                dels.len(),
+                usize::from(!silenced),
+                "at={at} {src}->{dst} silenced={silenced}"
+            );
+        }
+    }
+}

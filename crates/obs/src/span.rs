@@ -5,7 +5,7 @@ use cenju4_des::{FxHashMap, SimTime};
 use cenju4_directory::{NodeId, SystemSize};
 use cenju4_network::Topology;
 use cenju4_protocol::observer::{ModuleKind, Observer, PhaseKind};
-use cenju4_protocol::{Addr, MemOp, ProtoMsg, ReqKind, TxnId};
+use cenju4_protocol::{Addr, MemOp, ProtoMsg, RecoveryError, ReqKind, TxnId};
 use std::collections::VecDeque;
 
 /// The class a closed span lands in — one latency histogram per class.
@@ -29,11 +29,16 @@ pub enum SpanClass {
     /// A displaced dirty line written back to its home (pseudo-span: no
     /// transaction id, keyed by evictor and block).
     Writeback,
+    /// A transaction (or in-flight writeback) given up on because its
+    /// node — or the node it needed — was quarantined or timed out. The
+    /// span closes at the moment the recovery layer surfaced the error,
+    /// so abandonment never leaks an open span.
+    Abandoned,
 }
 
 impl SpanClass {
     /// Every class, in the fixed order exporters use.
-    pub const ALL: [SpanClass; 8] = [
+    pub const ALL: [SpanClass; 9] = [
         SpanClass::Hit,
         SpanClass::LoadMiss,
         SpanClass::StoreMiss,
@@ -42,6 +47,7 @@ impl SpanClass {
         SpanClass::L3Fill,
         SpanClass::RecoveryRetry,
         SpanClass::Writeback,
+        SpanClass::Abandoned,
     ];
 
     /// A short stable label, used as histogram key and trace lane name.
@@ -55,6 +61,7 @@ impl SpanClass {
             SpanClass::L3Fill => "l3-fill",
             SpanClass::RecoveryRetry => "recovery-retry",
             SpanClass::Writeback => "writeback",
+            SpanClass::Abandoned => "abandoned",
         }
     }
 }
@@ -427,6 +434,60 @@ impl Observer for SpanCollector {
             let class = Self::classify(&self.spans[idx], hit, l3);
             self.close(idx, at, class);
         }
+    }
+
+    fn on_recovery_error(&mut self, at: SimTime, err: &RecoveryError) {
+        let key = match err {
+            RecoveryError::LinkRetransmitBudget { .. } => "recovery.link-retransmit-budget",
+            RecoveryError::GatherReissueBudget { .. } => "recovery.gather-reissue-budget",
+            RecoveryError::TransactionTimeout { .. } => "recovery.transaction-timeout",
+            RecoveryError::NodeUnavailable { .. } => "recovery.node-unavailable",
+        };
+        self.metrics.incr(key);
+        // An abandoned transaction never graduates, so its span closes
+        // here instead of at on_complete.
+        if let RecoveryError::TransactionTimeout { txn, .. }
+        | RecoveryError::NodeUnavailable { txn, .. } = err
+        {
+            if let Some(idx) = self.open.remove(txn) {
+                self.close(idx, at, SpanClass::Abandoned);
+            }
+        }
+    }
+
+    fn on_node_suspected(&mut self, _at: SimTime, _node: NodeId) {
+        self.metrics.incr("recovery.node-suspects");
+    }
+
+    fn on_node_quarantined(&mut self, at: SimTime, node: NodeId) {
+        self.metrics.incr("recovery.node-quarantines");
+        // A writeback touching the quarantined node — evicted by it, or
+        // bound for a home on it — can never be delivered: the fabric
+        // dropped it during the down window or will discard it at
+        // admission. Close those pseudo-spans now so quarantine does not
+        // leak spans.
+        let mut keys: Vec<(NodeId, Addr)> = self
+            .open_writebacks
+            .keys()
+            .filter(|(from, addr)| *from == node || addr.home() == node)
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        for key in keys {
+            if let Some(q) = self.open_writebacks.remove(&key) {
+                for idx in q {
+                    self.close(idx, at, SpanClass::Abandoned);
+                }
+            }
+        }
+    }
+
+    fn on_gather_scrub(&mut self, _at: SimTime, _home: NodeId, _addr: Addr) {
+        self.metrics.incr("recovery.gather-scrubs");
+    }
+
+    fn on_node_rejoined(&mut self, _at: SimTime, _node: NodeId) {
+        self.metrics.incr("recovery.node-rejoins");
     }
 }
 

@@ -121,6 +121,22 @@ impl Cache {
         self.sets.len() * self.assoc
     }
 
+    /// Drops every line (no writebacks — the power-loss reset of a
+    /// quarantined node, not an orderly flush).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Every block currently resident, in no particular order.
+    pub fn resident(&self) -> Vec<Addr> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|l| key_to_addr(l.key)))
+            .collect()
+    }
+
     fn set_of(&self, addr: Addr) -> usize {
         // Mix the home bits in so blocks of different homes spread out.
         let k = addr.key();

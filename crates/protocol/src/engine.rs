@@ -12,7 +12,9 @@ use crate::addr::Addr;
 use crate::cache::CacheState;
 use crate::coherence::ProtocolId;
 use crate::messages::{ProtoMsg, TxnId};
-use crate::modules::bus::{BusMsg, GatherTimerOutcome, LinkTimerOutcome, MessageBus, PendingEvent};
+use crate::modules::bus::{
+    BusMsg, GatherTimerOutcome, LinkTimerOutcome, MessageBus, NodeHealth, PendingEvent,
+};
 use crate::modules::{Ctx, CtxMode, NodeShard};
 use crate::observer::{Observer, ObserverSet, TraceObserver};
 use crate::params::{FaultInjection, ProtoParams, ProtocolKind, RecoveryError, RecoveryParams};
@@ -206,6 +208,14 @@ pub struct Engine {
     last_completed: u64,
     last_progress: SimTime,
     stalled: bool,
+    /// Nodes the failure detector has ever quarantined. Oracles exempt
+    /// their caches from coherence checks: a dead node's copies are
+    /// unreachable by construction, and a revived node restarts cold.
+    ever_down: FxHashSet<NodeId>,
+    /// Blocks whose only up-to-date copy (a Dirty cache line) died with
+    /// a quarantined owner — the home's memory is stale and the fresh
+    /// value is unrecoverable. Value/convergence oracles skip these.
+    lost_blocks: FxHashSet<Addr>,
 }
 
 impl Engine {
@@ -229,6 +239,8 @@ impl Engine {
             last_completed: 0,
             last_progress: SimTime::ZERO,
             stalled: false,
+            ever_down: FxHashSet::default(),
+            lost_blocks: FxHashSet::default(),
         }
     }
 
@@ -605,6 +617,27 @@ impl Engine {
             .is_some_and(|e| e.reservation())
     }
 
+    /// The failure detector's view of `node` ([`NodeHealth::Up`] when
+    /// the detector is inactive).
+    pub fn node_health(&self, node: NodeId) -> NodeHealth {
+        self.bus.node_health(node)
+    }
+
+    /// Whether `node` was ever quarantined during this run (it may have
+    /// rejoined since). Checker oracles exempt such nodes' caches from
+    /// coherence checks.
+    pub fn was_ever_down(&self, node: NodeId) -> bool {
+        self.ever_down.contains(&node)
+    }
+
+    /// Whether `addr`'s value can no longer be trusted end to end: its
+    /// only up-to-date copy died with a quarantined owner, or its home
+    /// node was down at some point (losing the directory's knowledge of
+    /// live copies). Value/freshness/convergence oracles skip these.
+    pub fn value_compromised(&self, addr: Addr) -> bool {
+        self.lost_blocks.contains(&addr) || self.ever_down.contains(&addr.home())
+    }
+
     // ------------------------------------------------------------------
     // Driver interface
     // ------------------------------------------------------------------
@@ -754,16 +787,64 @@ impl Engine {
         // Link-layer admission and timers — handled before the protocol
         // (or any observer) sees anything.
         match &ev {
-            BusMsg::Recv {
-                dst,
-                src,
-                seq: Some(seq),
-                ..
-            } => {
-                if let Some(reason) = self.bus.accept_frame(*src, *dst, *seq) {
-                    self.observers.on_link_discard(at, *dst, *src, reason);
+            BusMsg::Recv { dst, src, seq, .. } => {
+                // A quarantined endpoint neither sends nor receives:
+                // frames still in flight when the detector isolated it
+                // are discarded at delivery admission, exactly like a
+                // link-layer gap.
+                if self.bus.detector_active()
+                    && (self.bus.node_health(*dst) == NodeHealth::Quarantined
+                        || self.bus.node_health(*src) == NodeHealth::Quarantined)
+                {
+                    self.observers.on_link_discard(at, *dst, *src, "dead-node");
                     return;
                 }
+                if let Some(seq) = seq {
+                    if let Some(reason) = self.bus.accept_frame(*src, *dst, *seq) {
+                        self.observers.on_link_discard(at, *dst, *src, reason);
+                        return;
+                    }
+                }
+            }
+            BusMsg::Access {
+                node, addr, txn, ..
+            } => {
+                // An access issued on a dead node — or targeting a block
+                // homed at one — is abandoned before any observer sees
+                // it, so no span ever opens for it.
+                let dead = if self.bus.node_health(*node) == NodeHealth::Quarantined {
+                    Some(*node)
+                } else if self.bus.node_health(addr.home()) == NodeHealth::Quarantined {
+                    Some(addr.home())
+                } else {
+                    None
+                };
+                if let Some(dead) = dead {
+                    let (node, addr, txn) = (*node, *addr, *txn);
+                    self.recovery_failed(
+                        at,
+                        RecoveryError::NodeUnavailable {
+                            node,
+                            dead,
+                            txn,
+                            addr,
+                        },
+                    );
+                    return;
+                }
+            }
+            BusMsg::Retry { node, .. }
+                if self.bus.node_health(*node) == NodeHealth::Quarantined =>
+            {
+                return;
+            }
+            // The dead master's transactions were abandoned at
+            // quarantine; their timers drain silently. Survivors'
+            // timers still fire (and fail fast on a dead home).
+            BusMsg::TxnTimer { node, .. }
+                if self.bus.node_health(*node) == NodeHealth::Quarantined =>
+            {
+                return;
             }
             BusMsg::LinkTimer { src, dst } => {
                 let (src, dst) = (*src, *dst);
@@ -771,6 +852,15 @@ impl Engine {
                     LinkTimerOutcome::Idle => {}
                     LinkTimerOutcome::Retransmitted { frames, attempt } => {
                         self.observers.on_retransmit(at, src, dst, frames, attempt);
+                        // Repeated retransmissions on a wire are the
+                        // detector's suspicion evidence: either endpoint
+                        // may be the silent one, so both are probed.
+                        if self.bus.detector_active()
+                            && attempt >= self.bus.recovery().suspect_after
+                        {
+                            self.suspect(at, src);
+                            self.suspect(at, dst);
+                        }
                     }
                     LinkTimerOutcome::GaveUp(err) => self.recovery_failed(at, err),
                 }
@@ -785,6 +875,14 @@ impl Engine {
                     }
                     GatherTimerOutcome::GaveUp(err) => self.recovery_failed(at, err),
                 }
+                return;
+            }
+            BusMsg::ProbeTimer { node } => {
+                self.probe(at, *node);
+                return;
+            }
+            BusMsg::RejoinTimer { node } => {
+                self.rejoin(at, *node);
                 return;
             }
             _ => {}
@@ -806,7 +904,11 @@ impl Engine {
                 ..
             } => self.observers.on_mp_delivered(at, *to, *from, *tag, *bytes),
             BusMsg::Recv { dst, src, msg, .. } => self.observers.on_receive(at, *dst, *src, msg),
-            BusMsg::LinkTimer { .. } | BusMsg::GatherTimer { .. } | BusMsg::TxnTimer { .. } => {}
+            BusMsg::LinkTimer { .. }
+            | BusMsg::GatherTimer { .. }
+            | BusMsg::TxnTimer { .. }
+            | BusMsg::ProbeTimer { .. }
+            | BusMsg::RejoinTimer { .. } => {}
         }
         let ctx = &mut Ctx {
             params: self.params,
@@ -856,8 +958,11 @@ impl Engine {
                     self.recovery_failed(at, err);
                 }
             }
-            BusMsg::LinkTimer { .. } | BusMsg::GatherTimer { .. } => {
-                unreachable!("link-layer timers are handled before module routing")
+            BusMsg::LinkTimer { .. }
+            | BusMsg::GatherTimer { .. }
+            | BusMsg::ProbeTimer { .. }
+            | BusMsg::RejoinTimer { .. } => {
+                unreachable!("link-layer and detector timers are handled before module routing")
             }
             BusMsg::Recv {
                 dst,
@@ -895,6 +1000,161 @@ impl Engine {
         self.observers.on_recovery_error(at, &error);
         self.notifications
             .push(Notification::RecoveryFailed { at, error });
+    }
+
+    // ------------------------------------------------------------------
+    // Failure detector
+    // ------------------------------------------------------------------
+
+    /// Moves an `Up` node to `Suspected` and schedules a probe. Called
+    /// for both endpoints of a wire that keeps retransmitting — either
+    /// may be the silent one; the probe sorts it out.
+    fn suspect(&mut self, at: SimTime, node: NodeId) {
+        if self.bus.node_health(node) != NodeHealth::Up {
+            return;
+        }
+        self.bus.set_node_health(node, NodeHealth::Suspected);
+        self.observers.on_node_suspected(at, node);
+        let every = self.bus.recovery().heartbeat_every;
+        self.bus.schedule(at + every, BusMsg::ProbeTimer { node });
+    }
+
+    /// Probes a suspected node. The fault plan is ground truth for
+    /// reachability — a real probe frame would be dropped by the fabric
+    /// exactly when the plan says the node is down — so consulting it
+    /// directly keeps the detector deterministic without adding probe
+    /// traffic that would perturb armed golden traces.
+    fn probe(&mut self, at: SimTime, node: NodeId) {
+        if self.bus.node_health(node) != NodeHealth::Suspected {
+            return;
+        }
+        if self.bus.fault_plan().node_down_at(at.as_ns(), node) {
+            // Quarantine disabled (checker mutant): the suspect is never
+            // isolated, so its transactions run their retry budgets into
+            // the recovery errors the oracles flag as violations.
+            if self.bus.recovery().quarantine {
+                self.quarantine(at, node);
+            }
+        } else {
+            // Spurious suspicion (a lossy link, not a dead node).
+            self.bus.set_node_health(node, NodeHealth::Up);
+        }
+    }
+
+    /// Isolates a dead node and scrubs every structure that still refers
+    /// to it, so the survivors converge instead of retrying forever.
+    fn quarantine(&mut self, at: SimTime, node: NodeId) {
+        self.bus.set_node_health(node, NodeHealth::Quarantined);
+        self.ever_down.insert(node);
+        self.observers.on_node_quarantined(at, node);
+        // 1. Drop unacked frames on every wire touching the node, so the
+        //    go-back-N timers drain idle instead of retransmitting into
+        //    the void.
+        self.bus.scrub_node_links(node);
+        // 2. In-flight gathers touching the dead node can never combine
+        //    a full reply in the fabric. Cancel them; each surviving
+        //    home's wait completes with a synthesized full-count ack —
+        //    the dead sharer is treated as already invalidated.
+        let gathers = self.bus.scrub_gathers_touching(node);
+        for (home, addr, txn, expected) in gathers {
+            self.observers.on_gather_scrub(at, home, addr);
+            let ctx = &mut Ctx {
+                params: self.params,
+                kind: self.kind,
+                sys: self.sys,
+                mode: CtxMode::Direct {
+                    bus: &mut self.bus,
+                    obs: &mut self.observers,
+                    notes: &mut self.notifications,
+                },
+                protocol: self.coherence.protocol(),
+                update_blocks: &self.update_blocks,
+                fault: self.fault,
+            };
+            self.shards[home.as_usize()].home.reply_recv(
+                ctx,
+                at,
+                ProtoMsg::InvAck {
+                    addr,
+                    txn,
+                    acks: expected,
+                },
+            );
+        }
+        // 3. Every surviving home scrubs the dead node from its
+        //    directory maps and completes pendings that were waiting on
+        //    it, via synthesized replies fed through the normal path.
+        for i in 0..self.sys.nodes() {
+            let h = NodeId::new(i);
+            if h == node {
+                continue;
+            }
+            let scrub = self.shards[h.as_usize()].home.scrub_node(node, self.sys);
+            self.lost_blocks.extend(scrub.lost);
+            for msg in scrub.replies {
+                let ctx = &mut Ctx {
+                    params: self.params,
+                    kind: self.kind,
+                    sys: self.sys,
+                    mode: CtxMode::Direct {
+                        bus: &mut self.bus,
+                        obs: &mut self.observers,
+                        notes: &mut self.notifications,
+                    },
+                    protocol: self.coherence.protocol(),
+                    update_blocks: &self.update_blocks,
+                    fault: self.fault,
+                };
+                self.shards[h.as_usize()].home.reply_recv(ctx, at, msg);
+            }
+        }
+        // 4. The dead node's own home forgets its in-flight work (the
+        //    directory and memory survive for a later rejoin), and its
+        //    master abandons every outstanding transaction.
+        self.shards[node.as_usize()].home.scrub_self();
+        let abandoned = self.shards[node.as_usize()].master.abandon_all();
+        for (txn, addr) in abandoned {
+            self.recovery_failed(
+                at,
+                RecoveryError::NodeUnavailable {
+                    node,
+                    dead: node,
+                    txn,
+                    addr,
+                },
+            );
+        }
+        // 5. If the fault plan revives the node later, schedule the
+        //    rejoin handshake for the end of the down window.
+        let revive = self.bus.fault_plan().node_revives_at(at.as_ns(), node);
+        if let Some(ns) = revive {
+            self.bus
+                .schedule(SimTime::from_ns(ns), BusMsg::RejoinTimer { node });
+        }
+    }
+
+    /// Rejoins a revived node cold: fresh link state, empty cache and
+    /// L3, an empty directory (memory survives the outage), and a
+    /// directory-scrub handshake — survivors drop cached copies of
+    /// blocks homed at the revived node, since its directory no longer
+    /// knows about them.
+    fn rejoin(&mut self, at: SimTime, node: NodeId) {
+        if self.bus.node_health(node) != NodeHealth::Quarantined {
+            return;
+        }
+        self.bus.set_node_health(node, NodeHealth::Up);
+        self.bus.reset_node_links(node);
+        let shard = &mut self.shards[node.as_usize()];
+        shard.master.rejoin_cold();
+        shard.home.rejoin_cold();
+        for i in 0..self.sys.nodes() {
+            let m = NodeId::new(i);
+            if m == node {
+                continue;
+            }
+            self.shards[m.as_usize()].master.drop_blocks_homed_at(node);
+        }
+        self.observers.on_node_rejoined(at, node);
     }
 
     /// The stall watchdog: O(1) on the hot path (a counter comparison);

@@ -607,7 +607,11 @@ fn dispatch_shard(ctx: &mut Ctx, chunk: &mut [NodeShard], base: usize, at: SimTi
                 }
             }
         }
-        BusMsg::TxnTimer { .. } | BusMsg::LinkTimer { .. } | BusMsg::GatherTimer { .. } => {
+        BusMsg::TxnTimer { .. }
+        | BusMsg::LinkTimer { .. }
+        | BusMsg::GatherTimer { .. }
+        | BusMsg::ProbeTimer { .. }
+        | BusMsg::RejoinTimer { .. } => {
             unreachable!("recovery timers require the sequential loop")
         }
     }
@@ -626,6 +630,9 @@ fn owner(msg: &BusMsg) -> NodeId {
         BusMsg::Marker(_) => NodeId::new(0),
         BusMsg::LinkTimer { src, .. } => *src,
         BusMsg::GatherTimer { home, .. } => *home,
+        // Detector timers only exist under an armed node-down plan, which
+        // is never parallel-eligible.
+        BusMsg::ProbeTimer { node } | BusMsg::RejoinTimer { node } => *node,
     }
 }
 

@@ -139,6 +139,18 @@ pub enum BusMsg {
         /// The watched transaction.
         txn: TxnId,
     },
+    /// Failure-detector probe of a suspected node: when it fires, the
+    /// detector checks whether the suspect answers and either quarantines
+    /// it or clears the suspicion.
+    ProbeTimer {
+        /// The suspected node.
+        node: NodeId,
+    },
+    /// Scheduled revival of a quarantined node whose down window ends.
+    RejoinTimer {
+        /// The quarantined node.
+        node: NodeId,
+    },
     /// A caller-scheduled marker.
     Marker(u64),
 }
@@ -154,6 +166,8 @@ impl BusMsg {
             BusMsg::LinkTimer { .. } => "timer:link",
             BusMsg::GatherTimer { .. } => "timer:gather",
             BusMsg::TxnTimer { .. } => "timer:txn",
+            BusMsg::ProbeTimer { .. } => "timer:probe",
+            BusMsg::RejoinTimer { .. } => "timer:rejoin",
             BusMsg::Marker(_) => "marker",
         }
     }
@@ -177,6 +191,8 @@ impl BusMsg {
             | BusMsg::LinkTimer { .. }
             | BusMsg::GatherTimer { .. }
             | BusMsg::TxnTimer { .. }
+            | BusMsg::ProbeTimer { .. }
+            | BusMsg::RejoinTimer { .. }
             | BusMsg::Marker(_) => None,
         }
     }
@@ -194,9 +210,28 @@ impl BusMsg {
     fn is_timer(&self) -> bool {
         matches!(
             self,
-            BusMsg::LinkTimer { .. } | BusMsg::GatherTimer { .. } | BusMsg::TxnTimer { .. }
+            BusMsg::LinkTimer { .. }
+                | BusMsg::GatherTimer { .. }
+                | BusMsg::TxnTimer { .. }
+                | BusMsg::ProbeTimer { .. }
+                | BusMsg::RejoinTimer { .. }
         )
     }
+}
+
+/// The failure detector's view of one node. Only meaningful while the
+/// detector is active (recovery armed and the fault plan contains
+/// node-down windows); otherwise every node reports [`NodeHealth::Up`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum NodeHealth {
+    /// Answering normally.
+    #[default]
+    Up,
+    /// Missed enough retransmission rounds to be probed.
+    Suspected,
+    /// Declared dead: scrubbed from directories, all traffic to and from
+    /// it is discarded until it rejoins.
+    Quarantined,
 }
 
 /// An ordering channel for controlled scheduling; see [`BusMsg::channel`].
@@ -355,6 +390,12 @@ pub struct MessageBus {
     /// Nodes that already contributed to each open gather, so duplicate
     /// replies are absorbed before they hit the fabric's combiner.
     gather_replied: FxHashMap<GatherId, FxHashSet<NodeId>>,
+    /// Whether the node failure detector is active: the layer is armed
+    /// *and* the fault plan can silence whole nodes. Inactive, the health
+    /// vector is empty and every node reports [`NodeHealth::Up`].
+    detector: bool,
+    /// Per-node detector state; empty unless the detector is active.
+    health: Vec<NodeHealth>,
 }
 
 impl MessageBus {
@@ -372,6 +413,8 @@ impl MessageBus {
             recv_next: LinkTable::new(0),
             gather_retries: FxHashMap::default(),
             gather_replied: FxHashMap::default(),
+            detector: false,
+            health: Vec::new(),
         }
     }
 
@@ -447,7 +490,9 @@ impl MessageBus {
                 let (node, src) = match msg {
                     BusMsg::Access { node, .. }
                     | BusMsg::Retry { node, .. }
-                    | BusMsg::TxnTimer { node, .. } => (*node, None),
+                    | BusMsg::TxnTimer { node, .. }
+                    | BusMsg::ProbeTimer { node }
+                    | BusMsg::RejoinTimer { node } => (*node, None),
                     BusMsg::Recv { dst, src, .. } => (*dst, Some(*src)),
                     BusMsg::MpDeliver { to, from, .. } => (*to, Some(*from)),
                     BusMsg::LinkTimer { src, dst } => (*src, Some(*dst)),
@@ -461,6 +506,8 @@ impl MessageBus {
                     BusMsg::MpDeliver { .. }
                     | BusMsg::LinkTimer { .. }
                     | BusMsg::GatherTimer { .. }
+                    | BusMsg::ProbeTimer { .. }
+                    | BusMsg::RejoinTimer { .. }
                     | BusMsg::Marker(_) => (None, None),
                 };
                 PendingEvent {
@@ -629,6 +676,111 @@ impl MessageBus {
         self.recv_next = LinkTable::new(dim);
         self.gather_retries.clear();
         self.gather_replied.clear();
+        // The failure detector only runs when whole nodes can go silent;
+        // link-only fault plans keep the armed traces untouched.
+        self.detector = self.armed && !self.fabric.fault_plan().node_down.is_empty();
+        self.health = if self.detector {
+            vec![NodeHealth::Up; self.nodes]
+        } else {
+            Vec::new()
+        };
+    }
+
+    /// Whether the node failure detector is active.
+    pub(crate) fn detector_active(&self) -> bool {
+        self.detector
+    }
+
+    /// The detector's view of `node` ([`NodeHealth::Up`] when inactive).
+    pub(crate) fn node_health(&self, node: NodeId) -> NodeHealth {
+        if self.detector {
+            self.health[node.as_usize()]
+        } else {
+            NodeHealth::Up
+        }
+    }
+
+    pub(crate) fn set_node_health(&mut self, node: NodeId, h: NodeHealth) {
+        debug_assert!(self.detector, "health transitions need an active detector");
+        self.health[node.as_usize()] = h;
+    }
+
+    /// Clears the go-back-N windows of every link touching `node`, in
+    /// both directions. Armed link timers are left scheduled — they fire
+    /// over an empty window and self-drain as [`LinkTimerOutcome::Idle`].
+    pub(crate) fn scrub_node_links(&mut self, node: NodeId) {
+        for i in 0..self.nodes {
+            let other = NodeId::new(i as u16);
+            if other == node {
+                continue;
+            }
+            for (s, d) in [(node, other), (other, node)] {
+                let link = self.links.get_mut(s, d);
+                link.unacked.clear();
+                link.attempts = 0;
+            }
+        }
+    }
+
+    /// Resets the sequence state of every link touching `node`, in both
+    /// directions, so a revived node and its peers restart from sequence
+    /// zero — without this, frames sent to the revived node would be
+    /// discarded forever as gap frames.
+    pub(crate) fn reset_node_links(&mut self, node: NodeId) {
+        for i in 0..self.nodes {
+            let other = NodeId::new(i as u16);
+            if other == node {
+                continue;
+            }
+            for (s, d) in [(node, other), (other, node)] {
+                let link = self.links.get_mut(s, d);
+                link.next_seq = 0;
+                link.unacked.clear();
+                link.attempts = 0;
+                *self.recv_next.get_mut(s, d) = 0;
+            }
+        }
+    }
+
+    /// Cancels every open gather that involves `node` — as a destination
+    /// or as the home that opened it — dropping its re-issue state.
+    /// Returns, for each cancelled gather homed at a *surviving* node,
+    /// the `(home, addr, txn, expected)` needed to synthesize the one
+    /// combined acknowledgement the home is still waiting for (`expected`
+    /// is the gather's full expected contribution count: the fabric only
+    /// ever hands the home a single combined reply, so the synthesized
+    /// one must carry the whole fan-in).
+    pub(crate) fn scrub_gathers_touching(
+        &mut self,
+        node: NodeId,
+    ) -> Vec<(NodeId, Addr, TxnId, u32)> {
+        let sys = self.fabric.topology().system();
+        let mut ids: Vec<GatherId> = self
+            .gather_retries
+            .iter()
+            .filter(|(_, r)| {
+                r.msg.addr().home() == node || r.spec.destinations(sys).contains(&node)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        let mut out = Vec::new();
+        for id in ids {
+            let retry = self.gather_retries.remove(&id).expect("listed above");
+            self.gather_replied.remove(&id);
+            if !self.fabric.is_gather_open(id) {
+                continue;
+            }
+            let expected = self.fabric.gather_expected(id);
+            self.fabric.cancel_gather(id);
+            let addr = retry.msg.addr();
+            let home = addr.home();
+            if home != node {
+                let txn = retry.msg.txn().expect("gathered message names a txn");
+                out.push((home, addr, txn, expected));
+            }
+        }
+        out
     }
 
     /// Exponential backoff: `base << attempt`, saturating.

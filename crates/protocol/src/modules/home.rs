@@ -36,6 +36,20 @@ pub(crate) struct PendingTxn {
     pub expect: Expect,
 }
 
+/// What scrubbing a dead node out of one home produced (see
+/// [`HomeModule::scrub_node`]): replies the engine feeds back through
+/// [`HomeModule::reply_recv`], and the blocks whose data died with the
+/// node.
+pub(crate) struct NodeScrub {
+    /// The dead node's outstanding contributions, synthesized as if it
+    /// had answered just before dying. Fed through the normal reply
+    /// path so completions, phases, and queue wakeups happen normally.
+    pub replies: Vec<ProtoMsg>,
+    /// Blocks whose only up-to-date copy (a Dirty line at the dead
+    /// node) was lost — home memory is stale for them from here on.
+    pub lost: Vec<Addr>,
+}
+
 /// A request parked in the home's main-memory queue.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct QueuedReq {
@@ -86,6 +100,96 @@ impl HomeModule {
     /// The data in `addr`'s home memory (0 if never written).
     pub(crate) fn mem_value(&self, addr: Addr) -> u64 {
         self.mem.get(&addr).copied().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Quarantine scrub
+    // ------------------------------------------------------------------
+
+    /// Scrubs a quarantined node out of this (surviving) home: pendings
+    /// waiting on the dead node get synthesized replies, directory maps
+    /// forget it, and its queued requests are dropped. The caller (the
+    /// engine) applies the returned replies through the normal
+    /// [`HomeModule::reply_recv`] path *after* this returns, so grants
+    /// and queue wakeups land on already-scrubbed maps.
+    pub(crate) fn scrub_node(&mut self, dead: NodeId, sys: SystemSize) -> NodeScrub {
+        let mut replies = Vec::new();
+        let mut lost = Vec::new();
+        let mut addrs: Vec<Addr> = self.pending.keys().copied().collect();
+        addrs.sort_unstable();
+        for addr in addrs {
+            let p = &self.pending[&addr];
+            match p.expect {
+                Expect::SlaveReply => {
+                    // Forwarded to the dirty owner: if the owner died,
+                    // its line — the only fresh copy — is gone. Complete
+                    // from (stale) memory with a data-less reply.
+                    let owner = self.directory.get(&addr).and_then(|e| e.map().solo());
+                    if owner == Some(dead) {
+                        lost.push(addr);
+                        replies.push(ProtoMsg::SlaveReply {
+                            addr,
+                            txn: p.txn,
+                            with_data: false,
+                            value: 0,
+                        });
+                    }
+                }
+                Expect::InvAcks { .. } => {
+                    // The dead node was one of the fan-out targets: its
+                    // ack will never come, so contribute it here. Any
+                    // real combined reply still in flight is tolerated
+                    // by the reply path's clamp/stale-ack handling.
+                    let in_fan = self.directory.get(&addr).is_some_and(|e| {
+                        e.map()
+                            .push_spec(p.master, sys)
+                            .destinations(sys)
+                            .contains(&dead)
+                    });
+                    if in_fan {
+                        replies.push(ProtoMsg::InvAck {
+                            addr,
+                            txn: p.txn,
+                            acks: 1,
+                        });
+                    }
+                }
+            }
+        }
+        // Directory maps forget the dead node. A Dirty block owned by it
+        // loses its only fresh copy: the entry settles Clean over stale
+        // memory and the block is reported lost. (State changes here are
+        // not observer-visible: there is no protocol event to hang them
+        // on, and the oracles exempt compromised blocks anyway.)
+        for (addr, e) in self.directory.iter_mut() {
+            if e.state() == MemState::Dirty && e.map().solo() == Some(dead) {
+                e.set_state(MemState::Clean);
+                e.map_mut().clear();
+                lost.push(*addr);
+            } else {
+                e.map_mut().scrub(dead);
+            }
+        }
+        self.req_queue.retain(|q| q.master != dead);
+        NodeScrub { replies, lost }
+    }
+
+    /// Forgets all in-flight work at a home that has itself been
+    /// quarantined: pendings, queued requests, reservations. The
+    /// directory and memory survive for a later rejoin (which wipes the
+    /// directory wholesale).
+    pub(crate) fn scrub_self(&mut self) {
+        self.pending.clear();
+        self.req_queue.clear();
+        for e in self.directory.values_mut() {
+            e.set_reservation(false);
+        }
+    }
+
+    /// A revived home restarts with an empty directory — no record of
+    /// remote copies survives the outage — while main memory persists.
+    pub(crate) fn rejoin_cold(&mut self) {
+        self.directory.clear();
     }
 
     /// Sets the directory state of `addr`, notifying observers.
@@ -529,6 +633,57 @@ impl HomeModule {
             ctx.send(done, self.node, master, ProtoMsg::AckReply { addr, txn });
             return;
         }
+        if ctx.detector_active() {
+            let dests = spec.destinations(ctx.sys);
+            if dests.iter().any(|d| ctx.node_quarantined(*d)) {
+                // Dead subscribers never ack: push only to the live
+                // ones (forced singlecast), completing immediately via
+                // a synthesized ack when none remain.
+                let alive: Vec<NodeId> = dests
+                    .into_iter()
+                    .filter(|d| !ctx.node_quarantined(*d))
+                    .collect();
+                self.set_state(ctx, at, addr, MemState::PendingInvalidate);
+                self.pending.insert(
+                    addr,
+                    PendingTxn {
+                        master,
+                        txn,
+                        kind: ReqKind::Update,
+                        expect: Expect::InvAcks {
+                            remaining: (alive.len() as u32).max(1),
+                        },
+                    },
+                );
+                ctx.on_phase(
+                    done,
+                    self.node,
+                    txn,
+                    PhaseKind::MulticastFanout {
+                        copies: alive.len() as u32,
+                    },
+                );
+                if alive.is_empty() {
+                    self.reply_recv(ctx, at, ProtoMsg::InvAck { addr, txn, acks: 1 });
+                    return;
+                }
+                for dst in alive {
+                    ctx.send(
+                        done,
+                        self.node,
+                        dst,
+                        ProtoMsg::Update {
+                            addr,
+                            master,
+                            txn,
+                            value,
+                            singlecast: true,
+                        },
+                    );
+                }
+                return;
+            }
+        }
         self.set_state(ctx, at, addr, MemState::PendingInvalidate);
         self.pending.insert(
             addr,
@@ -601,6 +756,58 @@ impl HomeModule {
         let spec = self.push_spec(ctx.sys, addr, master);
         let targets = spec.fanout(ctx.sys);
         debug_assert!(targets > 0, "invalidation with no targets");
+        if ctx.detector_active() {
+            let dests = spec.destinations(ctx.sys);
+            if dests.iter().any(|d| ctx.node_quarantined(*d)) {
+                // Quarantined sharers are already as good as
+                // invalidated: fan out only to the live ones (forced
+                // singlecast, so the fabric never opens a gather
+                // expecting dead contributors). With none left, the
+                // transaction completes via a synthesized full ack.
+                let alive: Vec<NodeId> = dests
+                    .into_iter()
+                    .filter(|d| !ctx.node_quarantined(*d))
+                    .collect();
+                ctx.on_invalidation(at, self.node, addr, alive.len() as u32);
+                ctx.on_phase(
+                    at,
+                    self.node,
+                    txn,
+                    PhaseKind::MulticastFanout {
+                        copies: alive.len() as u32,
+                    },
+                );
+                self.pending.insert(
+                    addr,
+                    PendingTxn {
+                        master,
+                        txn,
+                        kind,
+                        expect: Expect::InvAcks {
+                            remaining: (alive.len() as u32).max(1),
+                        },
+                    },
+                );
+                if alive.is_empty() {
+                    self.reply_recv(ctx, at, ProtoMsg::InvAck { addr, txn, acks: 1 });
+                    return;
+                }
+                for dst in alive {
+                    ctx.send(
+                        at,
+                        self.node,
+                        dst,
+                        ProtoMsg::Invalidate {
+                            addr,
+                            master,
+                            txn,
+                            singlecast: true,
+                        },
+                    );
+                }
+                return;
+            }
+        }
         ctx.on_invalidation(at, self.node, addr, targets);
         ctx.on_phase(
             at,
@@ -671,11 +878,34 @@ impl HomeModule {
                     self.mem.insert(addr, value);
                 }
                 let mem = self.mem_value(addr);
-                let p = self
-                    .pending
-                    .remove(&addr)
-                    .expect("slave reply without pending txn");
-                debug_assert_eq!(p.txn, txn);
+                let Some(p) = self.pending.remove(&addr) else {
+                    // The quarantine scrub already completed this
+                    // transaction; the real reply crossed the
+                    // synthesized one in flight. The data (if any) was
+                    // salvaged into memory above.
+                    assert!(ctx.detector_active(), "slave reply without pending txn");
+                    return;
+                };
+                if p.txn != txn {
+                    // A stale reply for an older, scrub-completed
+                    // transaction on the same block.
+                    assert!(ctx.detector_active(), "slave reply txn mismatch");
+                    self.pending.insert(addr, p);
+                    return;
+                }
+                if ctx.node_quarantined(p.master) {
+                    // The requester died while its forward was in
+                    // flight: salvage the data (done above), settle the
+                    // block Clean, grant nothing, and wake the queue.
+                    self.set_state(ctx, at, addr, MemState::Clean);
+                    if p.kind == ReqKind::ReadExclusive {
+                        // The owner invalidated its copy for this grant;
+                        // nobody holds the block now.
+                        self.entry(ctx.sys, addr).map_mut().clear();
+                    }
+                    self.drain_queue(ctx, done, addr);
+                    return;
+                }
                 match p.kind {
                     ReqKind::ReadShared => {
                         self.set_state(ctx, at, addr, MemState::Clean);
@@ -714,14 +944,25 @@ impl HomeModule {
                 self.drain_queue(ctx, done, addr);
             }
             ProtoMsg::InvAck { addr, txn, acks } => {
-                let p = self
-                    .pending
-                    .get_mut(&addr)
-                    .expect("inv ack without pending txn");
-                debug_assert_eq!(p.txn, txn);
+                let detector = ctx.detector_active();
+                let Some(p) = self.pending.get_mut(&addr) else {
+                    // The quarantine scrub (or its synthesized ack)
+                    // already completed this gather; the real combined
+                    // reply crossed it in flight.
+                    assert!(detector, "inv ack without pending txn");
+                    return;
+                };
+                if p.txn != txn {
+                    assert!(detector, "inv ack txn mismatch");
+                    return;
+                }
                 ctx.on_phase(at, self.node, txn, PhaseKind::GatherCombine { acks });
                 let finished = match &mut p.expect {
                     Expect::InvAcks { remaining } => {
+                        // A synthesized scrub ack can cross a real
+                        // combined reply in flight: clamp rather than
+                        // over-decrement (double delivery is idempotent).
+                        let acks = if detector { acks.min(*remaining) } else { acks };
                         assert!(*remaining >= acks, "more acks than invalidations");
                         *remaining -= acks;
                         *remaining == 0
@@ -742,6 +983,28 @@ impl HomeModule {
                     return;
                 }
                 let p = self.pending.remove(&addr).expect("pending vanished");
+                if ctx.node_quarantined(p.master) {
+                    // The requester died mid-invalidation: memory
+                    // already holds the current data, so the block
+                    // settles Clean with the dead master scrubbed out
+                    // and nothing granted.
+                    let done = ctx.begin(
+                        &mut self.input_q,
+                        self.node,
+                        ModuleKind::Home,
+                        at,
+                        params.home_from_ack,
+                    );
+                    self.set_state(ctx, at, addr, MemState::Clean);
+                    match p.kind {
+                        // An update push leaves the (live) subscribers
+                        // valid; only the dead writer is scrubbed.
+                        ReqKind::Update => self.entry(ctx.sys, addr).map_mut().scrub(p.master),
+                        _ => self.entry(ctx.sys, addr).map_mut().clear(),
+                    }
+                    self.drain_queue(ctx, done, addr);
+                    return;
+                }
                 match p.kind {
                     ReqKind::Update => {
                         // Push complete: the block stays Clean and every

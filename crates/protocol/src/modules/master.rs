@@ -16,7 +16,7 @@ use crate::observer::{ModuleKind, PhaseKind};
 use crate::params::{ProtoParams, RecoveryError};
 use crate::service::ServiceQueue;
 use cenju4_des::FxHashMap;
-use cenju4_des::{Duration, SimTime};
+use cenju4_des::{Duration, SimTime, SplitMix64};
 use cenju4_directory::NodeId;
 use std::collections::VecDeque;
 
@@ -296,7 +296,12 @@ impl MasterModule {
     pub(crate) fn handle_retry(&mut self, ctx: &mut Ctx, at: SimTime, txn: TxnId) {
         let params = ctx.params;
         let (op, addr) = {
-            let t = &self.outstanding[&txn];
+            let Some(t) = self.outstanding.get(&txn) else {
+                // Abandoned (escalation timeout or a dead home) between
+                // the nack and this retry firing.
+                assert!(ctx.armed(), "retry for unknown txn");
+                return;
+            };
             (t.op, t.addr)
         };
         // Re-evaluate the request kind: the cached copy may have been
@@ -339,9 +344,24 @@ impl MasterModule {
             return;
         }
         let base = ctx.recovery().txn_timeout;
-        let timeout = Duration::from_ns(base.as_ns().saturating_mul(1u64 << backoffs.min(20)));
+        let span = base.as_ns().saturating_mul(1u64 << backoffs.min(20));
+        // Decorrelated jitter on re-arms only: retriers that timed out
+        // together spread over [span/2, span] instead of resynchronizing
+        // into a retry storm. The draw is a pure hash of (node, txn,
+        // backoff round), so runs are deterministic; first arms stay
+        // exact, leaving armed-but-lossless golden traces untouched.
+        let timeout = if backoffs == 0 {
+            span
+        } else {
+            let mix = 0x9e37_79b9_7f4a_7c15u64
+                ^ ((self.node.as_usize() as u64) << 32)
+                ^ (txn << 8)
+                ^ u64::from(backoffs);
+            let mut rng = SplitMix64::new(mix);
+            span / 2 + rng.next_below(span / 2 + 1)
+        };
         ctx.schedule(
-            at + timeout,
+            at + Duration::from_ns(timeout),
             BusMsg::TxnTimer {
                 node: self.node,
                 txn,
@@ -362,6 +382,20 @@ impl MasterModule {
         let Some(t) = self.outstanding.get_mut(&txn) else {
             return None; // graduated — the timer self-drains
         };
+        // Fail fast on a dead home: the failure detector already knows
+        // no reply will ever come, so the transaction escalates to a
+        // typed NodeUnavailable instead of burning its backoff budget.
+        if ctx.node_quarantined(t.addr.home()) {
+            let addr = t.addr;
+            self.outstanding.remove(&txn);
+            self.drain_backlog(ctx, at);
+            return Some(RecoveryError::NodeUnavailable {
+                node: self.node,
+                dead: addr.home(),
+                txn,
+                addr,
+            });
+        }
         t.backoffs += 1;
         if t.backoffs > budget {
             let addr = t.addr;
@@ -527,6 +561,42 @@ impl MasterModule {
             }
             other => panic!("master received {other:?}"),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Quarantine and rejoin
+    // ------------------------------------------------------------------
+
+    /// Abandons every outstanding and backlogged transaction (the node
+    /// was quarantined), returning `(txn, addr)` pairs in transaction
+    /// order for the engine to escalate as `NodeUnavailable`.
+    pub(crate) fn abandon_all(&mut self) -> Vec<(TxnId, Addr)> {
+        let mut out: Vec<(TxnId, Addr)> =
+            self.outstanding.iter().map(|(t, m)| (*t, m.addr)).collect();
+        out.extend(self.backlog.iter().map(|(_, addr, txn, _)| (*txn, *addr)));
+        out.sort_unstable_by_key(|(t, _)| *t);
+        self.outstanding.clear();
+        self.backlog.clear();
+        out
+    }
+
+    /// A revived master restarts cold: nothing survives in the L2 or
+    /// the main-memory third-level cache.
+    pub(crate) fn rejoin_cold(&mut self) {
+        self.cache.clear();
+        self.l3.clear();
+    }
+
+    /// Drops every cached copy of a block homed at `home` — the rejoin
+    /// handshake after `home` revived with an empty directory, which no
+    /// longer knows this node holds them.
+    pub(crate) fn drop_blocks_homed_at(&mut self, home: NodeId) {
+        for addr in self.cache.resident() {
+            if addr.home() == home {
+                self.cache.invalidate(addr);
+            }
+        }
+        self.l3.retain(|addr, _| addr.home() != home);
     }
 
     fn drain_backlog(&mut self, ctx: &mut Ctx, at: SimTime) {

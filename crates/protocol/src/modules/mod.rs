@@ -104,10 +104,20 @@ pub(crate) struct Ctx<'a> {
 }
 
 impl Ctx<'_> {
-    /// Sends a protocol message and notifies observers.
+    /// Sends a protocol message and notifies observers. A message for a
+    /// quarantined destination is discarded at the sender instead of put
+    /// on the wire — the failure detector already knows nobody is
+    /// listening, so no send is observed and no span opens for it.
     pub(crate) fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, msg: ProtoMsg) {
         match &mut self.mode {
             CtxMode::Direct { bus, obs, .. } => {
+                if bus.detector_active()
+                    && dst != src
+                    && bus.node_health(dst) == bus::NodeHealth::Quarantined
+                {
+                    obs.on_link_discard(now, dst, src, "dead-node");
+                    return;
+                }
                 obs.on_send(now, src, dst, &msg);
                 bus.send(now, src, dst, msg);
             }
@@ -178,6 +188,27 @@ impl Ctx<'_> {
         match &self.mode {
             CtxMode::Direct { bus, .. } => bus.recovery(),
             CtxMode::Shard(ex) => ex.recovery(),
+        }
+    }
+
+    /// Whether the node failure detector is active. Always `false` in
+    /// shard mode: the parallel gate rejects non-trivial fault plans.
+    pub(crate) fn detector_active(&self) -> bool {
+        match &self.mode {
+            CtxMode::Direct { bus, .. } => bus.detector_active(),
+            CtxMode::Shard(_) => false,
+        }
+    }
+
+    /// Whether the failure detector has quarantined `node`. A merely
+    /// *suspected* node still counts as alive — suspicion can be
+    /// spurious (a lossy link), and must not break a live node's
+    /// protocol traffic. Always `false` when the detector is inactive,
+    /// including shard mode.
+    pub(crate) fn node_quarantined(&self, node: NodeId) -> bool {
+        match &self.mode {
+            CtxMode::Direct { bus, .. } => bus.node_health(node) == bus::NodeHealth::Quarantined,
+            CtxMode::Shard(_) => false,
         }
     }
 

@@ -227,6 +227,17 @@ pub trait Observer: AsAny {
     /// The stall watchdog fired: work is outstanding but nothing has
     /// completed for `idle_for`. Reported once per stall episode.
     fn on_stall(&mut self, at: SimTime, outstanding: usize, idle_for: Duration) {}
+    /// The failure detector moved `node` to `Suspected` (a wire touching
+    /// it kept retransmitting) and scheduled a probe.
+    fn on_node_suspected(&mut self, at: SimTime, node: NodeId) {}
+    /// The failure detector quarantined `node`: every structure still
+    /// referring to it is about to be scrubbed.
+    fn on_node_quarantined(&mut self, at: SimTime, node: NodeId) {}
+    /// An in-flight gather at `home` for `addr` was completed by the
+    /// quarantine scrub (the dead sharer treated as invalidated).
+    fn on_gather_scrub(&mut self, at: SimTime, home: NodeId, addr: Addr) {}
+    /// A quarantined node revived and rejoined cold.
+    fn on_node_rejoined(&mut self, at: SimTime, node: NodeId) {}
 }
 
 /// The engine's observer slots: the always-on statistics and trace
@@ -277,6 +288,10 @@ fan_out! {
     on_gather_reissue(at: SimTime, home: NodeId, copies: u32, attempt: u32);
     on_recovery_error(at: SimTime, err: &RecoveryError);
     on_stall(at: SimTime, outstanding: usize, idle_for: Duration);
+    on_node_suspected(at: SimTime, node: NodeId);
+    on_node_quarantined(at: SimTime, node: NodeId);
+    on_gather_scrub(at: SimTime, home: NodeId, addr: Addr);
+    on_node_rejoined(at: SimTime, node: NodeId);
 }
 
 /// Maintains [`EngineStats`] from observer callbacks — the counters the
@@ -368,12 +383,31 @@ impl Observer for StatsObserver {
         self.stats.gather_reissues.incr();
     }
 
-    fn on_recovery_error(&mut self, _at: SimTime, _err: &RecoveryError) {
+    fn on_recovery_error(&mut self, _at: SimTime, err: &RecoveryError) {
         self.stats.recovery_errors.incr();
+        if let RecoveryError::NodeUnavailable { .. } = err {
+            self.stats.node_unavailable.incr();
+        }
     }
 
     fn on_stall(&mut self, _at: SimTime, _outstanding: usize, _idle_for: Duration) {
         self.stats.stalls.incr();
+    }
+
+    fn on_node_suspected(&mut self, _at: SimTime, _node: NodeId) {
+        self.stats.node_suspects.incr();
+    }
+
+    fn on_node_quarantined(&mut self, _at: SimTime, _node: NodeId) {
+        self.stats.node_quarantines.incr();
+    }
+
+    fn on_gather_scrub(&mut self, _at: SimTime, _home: NodeId, _addr: Addr) {
+        self.stats.gather_scrubs.incr();
+    }
+
+    fn on_node_rejoined(&mut self, _at: SimTime, _node: NodeId) {
+        self.stats.node_rejoins.incr();
     }
 }
 

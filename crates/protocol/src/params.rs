@@ -3,7 +3,7 @@
 
 use cenju4_des::Duration;
 use cenju4_directory::NodeId;
-use cenju4_network::{FaultKind, FaultPlan, OneShotFault, WireClass};
+use cenju4_network::{FaultKind, FaultPlan, NodeDown, OneShotFault, WireClass};
 
 use crate::addr::Addr;
 use crate::messages::TxnId;
@@ -62,18 +62,34 @@ pub enum FaultInjection {
     /// misbehaviour is the stale duplicate arriving after the
     /// invalidation completed.
     DelayInval,
+    /// Fabric mutant: node 1 goes permanently silent shortly into the
+    /// run — every wire touching it drops everything from then on.
+    /// Without recovery, any transaction touching the dead node (or any
+    /// block it was caching) never completes (quiescence oracle); with
+    /// recovery the failure detector quarantines the node, homes scrub
+    /// it from their directories, and the survivors reach quiescence.
+    NodeDown,
+    /// Protocol mutant for the failure-detector path: the detector runs
+    /// (suspicion, probes) but never quarantines, so the scrub that
+    /// unblocks survivors never happens. Checked with recovery *on* and
+    /// the [`FaultInjection::NodeDown`] plan armed: the run must end in
+    /// budget-exhaustion recovery errors, proving quarantine is
+    /// load-bearing.
+    QuarantineOff,
 }
 
 impl FaultInjection {
     /// Every mutant spelling, in display order — the single source of
     /// truth for CLI parsing, `--help`, and the `mutants` subcommand.
-    pub const ALL: [FaultInjection; 6] = [
+    pub const ALL: [FaultInjection; 8] = [
         FaultInjection::None,
         FaultInjection::DisableReservation,
         FaultInjection::DropSpilledRequests,
         FaultInjection::DropUnicast,
         FaultInjection::DupReply,
         FaultInjection::DelayInval,
+        FaultInjection::NodeDown,
+        FaultInjection::QuarantineOff,
     ];
 
     /// The command-line spelling of this mutant.
@@ -85,6 +101,8 @@ impl FaultInjection {
             FaultInjection::DropUnicast => "drop-unicast",
             FaultInjection::DupReply => "dup-reply",
             FaultInjection::DelayInval => "delay-inval",
+            FaultInjection::NodeDown => "node-down",
+            FaultInjection::QuarantineOff => "quarantine-off",
         }
     }
 
@@ -115,6 +133,17 @@ impl FaultInjection {
                 WireClass::Invalidation,
                 FaultKind::Duplicate { after_ns: 5_000 },
             ))),
+            // Both node mutants arm the same permanent kill of node 1:
+            // `NodeDown` proves recovery survives it, `QuarantineOff`
+            // proves the quarantine step of that recovery is what does
+            // the surviving.
+            FaultInjection::NodeDown | FaultInjection::QuarantineOff => {
+                Some(FaultPlan::none().with_node_down(NodeDown {
+                    node: NodeId::new(1),
+                    from_ns: 1_000,
+                    until_ns: u64::MAX,
+                }))
+            }
             _ => None,
         }
     }
@@ -164,6 +193,21 @@ pub struct RecoveryParams {
     /// access has completed for this long while work is outstanding.
     /// `Duration::ZERO` disables the watchdog.
     pub watchdog: Duration,
+    /// Failure detector: consecutive link retransmission rounds toward
+    /// one destination before the engine suspects the whole node (not
+    /// just the link) is down.
+    pub suspect_after: u32,
+    /// Failure detector: how long after suspicion the engine probes the
+    /// suspect (and how long a revived node's rejoin handshake takes).
+    /// The probe decides Up (spurious suspicion) or Quarantined.
+    pub heartbeat_every: Duration,
+    /// Whether a probe that confirms a suspect is dead quarantines it —
+    /// scrubbing it from every directory, completing its in-flight
+    /// gathers as invalidated, and failing transactions targeting it
+    /// with [`RecoveryError::NodeUnavailable`]. Disabling this (the
+    /// checker's `quarantine-off` mutant) leaves survivors to burn
+    /// their full retry budgets against the dead node.
+    pub quarantine: bool,
 }
 
 impl Default for RecoveryParams {
@@ -177,6 +221,9 @@ impl Default for RecoveryParams {
             txn_timeout: Duration::from_us(1_000),
             max_txn_backoffs: 6,
             watchdog: Duration::from_us(100_000),
+            suspect_after: 2,
+            heartbeat_every: Duration::from_us(100),
+            quarantine: true,
         }
     }
 }
@@ -221,6 +268,19 @@ pub enum RecoveryError {
         /// The block it targeted.
         addr: Addr,
     },
+    /// A transaction targeted a node the failure detector has
+    /// quarantined: the master abandons it immediately instead of
+    /// burning the rest of its backoff schedule against a dead home.
+    NodeUnavailable {
+        /// The issuing node.
+        node: NodeId,
+        /// The quarantined node the transaction needed.
+        dead: NodeId,
+        /// The abandoned transaction.
+        txn: TxnId,
+        /// The block it targeted.
+        addr: Addr,
+    },
 }
 
 impl core::fmt::Display for RecoveryError {
@@ -236,6 +296,15 @@ impl core::fmt::Display for RecoveryError {
             RecoveryError::TransactionTimeout { node, txn, addr } => write!(
                 f,
                 "node {node}: transaction {txn:?} on {addr:?} timed out after every backoff"
+            ),
+            RecoveryError::NodeUnavailable {
+                node,
+                dead,
+                txn,
+                addr,
+            } => write!(
+                f,
+                "node {node}: transaction {txn:?} on {addr:?} abandoned — node {dead} is quarantined"
             ),
         }
     }

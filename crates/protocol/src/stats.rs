@@ -49,6 +49,16 @@ pub struct EngineStats {
     pub recovery_errors: Counter,
     /// Stall-watchdog reports.
     pub stalls: Counter,
+    /// Nodes moved to `Suspected` by the failure detector.
+    pub node_suspects: Counter,
+    /// Nodes quarantined by the failure detector.
+    pub node_quarantines: Counter,
+    /// In-flight gathers completed by the quarantine scrub.
+    pub gather_scrubs: Counter,
+    /// Quarantined nodes that revived and rejoined cold.
+    pub node_rejoins: Counter,
+    /// Transactions abandoned with a `NodeUnavailable` error.
+    pub node_unavailable: Counter,
 }
 
 #[cfg(test)]

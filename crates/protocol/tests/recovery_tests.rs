@@ -6,9 +6,12 @@
 
 use cenju4_des::Duration;
 use cenju4_directory::{NodeId, SystemSize};
-use cenju4_network::{FaultKind, FaultPlan, LinkDown, NetParams, OneShotFault, WireClass};
+use cenju4_network::{
+    FaultKind, FaultPlan, LinkDown, NetParams, NodeDown, OneShotFault, WireClass,
+};
 use cenju4_protocol::{
-    Addr, Engine, MemOp, Notification, ProtoParams, ProtocolKind, RecoveryParams,
+    Addr, Engine, MemOp, NodeHealth, Notification, ProtoParams, ProtocolKind, RecoveryError,
+    RecoveryParams,
 };
 
 fn engine(nodes: u16) -> Engine {
@@ -157,4 +160,91 @@ fn dead_link_exhausts_budget_and_reports() {
     assert!(eng.stats().recovery_errors.get() >= 1);
     assert!(eng.stats().retransmits.get() >= 1);
     assert!(eng.stats().stalls.get() >= 1, "watchdog never fired");
+}
+
+/// A permanently dead node is detected off its own stranded
+/// retransmission stream, quarantined, and every transaction targeting
+/// it escalates to a *typed* `NodeUnavailable` — never a generic
+/// timeout, never a hang — and is reaped from the outstanding set.
+#[test]
+fn dead_node_quarantined_and_escalated_as_node_unavailable() {
+    let mut eng = engine(4);
+    eng.set_recovery(RecoveryParams::default());
+    eng.set_fault_plan(FaultPlan::none().with_node_down(NodeDown {
+        node: node(2),
+        from_ns: 0,
+        until_ns: u64::MAX,
+    }));
+    // A master targeting the dead home: its request dies on the wire,
+    // the retransmission stream raises suspicion, and the probe
+    // (consulting the plan) confirms the node is gone.
+    eng.issue(eng.now(), node(1), MemOp::Load, Addr::new(node(2), 0));
+    let notes = eng.run();
+    assert_eq!(completed(&notes), 0);
+    assert!(
+        notes.iter().any(|n| matches!(
+            n,
+            Notification::RecoveryFailed {
+                error: RecoveryError::NodeUnavailable { .. },
+                ..
+            }
+        )),
+        "no typed NodeUnavailable escalation: {notes:?}"
+    );
+    assert_eq!(eng.node_health(node(2)), NodeHealth::Quarantined);
+    assert!(eng.stats().node_suspects.get() >= 1);
+    assert!(eng.stats().node_quarantines.get() >= 1);
+    assert!(eng.stats().node_unavailable.get() >= 1);
+    assert_eq!(
+        eng.outstanding_txn_count(),
+        0,
+        "abandoned transactions must be reaped, not stranded"
+    );
+}
+
+/// Go-back-N across a death window: the dying node's parked frames and
+/// advanced link sequences must not poison the link after revival. The
+/// quarantine clears every window touching the node and the rejoin
+/// resets both directions to sequence zero, so post-revival traffic
+/// flows as if the links were fresh — if either side kept stale
+/// sequence state, the restarted stream would be rejected and the
+/// retransmit budget would blow instead of completing.
+#[test]
+fn node_down_window_rejoins_with_fresh_link_sequences() {
+    let mut eng = engine(4);
+    eng.set_recovery(RecoveryParams::default());
+    eng.set_fault_plan(FaultPlan::none().with_node_down(NodeDown {
+        node: node(1),
+        from_ns: 0,
+        until_ns: 500_000,
+    }));
+    // The doomed node's own store advances its send window into the
+    // void; survivors keep talking among themselves.
+    eng.issue(eng.now(), node(1), MemOp::Store, Addr::new(node(0), 0));
+    eng.issue(eng.now(), node(3), MemOp::Store, Addr::new(node(0), 0));
+    let notes = eng.run();
+    assert_eq!(completed(&notes), 1, "survivor traffic must complete");
+    assert!(eng.stats().node_quarantines.get() >= 1);
+    assert!(
+        eng.stats().node_rejoins.get() >= 1,
+        "revival never rejoined"
+    );
+    assert_eq!(eng.node_health(node(1)), NodeHealth::Up);
+    assert!(eng.now().as_ns() >= 500_000);
+    // Post-revival: the rejoined node issues again (cold) and a survivor
+    // talks to it; both directions of every touched link restart clean.
+    eng.issue(eng.now(), node(1), MemOp::Load, Addr::new(node(0), 0));
+    eng.issue(eng.now(), node(0), MemOp::Store, Addr::new(node(0), 0));
+    let notes = eng.run();
+    assert_eq!(
+        completed(&notes),
+        2,
+        "post-revival traffic must flow on fresh sequences: {notes:?}"
+    );
+    assert_eq!(eng.outstanding_txn_count(), 0);
+    assert_eq!(eng.stats().recovery_errors.get(), {
+        // The doomed store was abandoned with one typed escalation;
+        // nothing else may have burned a budget.
+        1
+    });
 }

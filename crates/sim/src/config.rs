@@ -29,6 +29,14 @@ pub enum ConfigError {
     /// home's pending states, so only [`ProtocolKind::Queuing`] can
     /// carry it.
     DragonNeedsQueuing,
+    /// The failure detector's heartbeat/probe interval is zero — a
+    /// suspicion probe would fire in the same instant it was scheduled
+    /// and the detector could never observe the fabric settle.
+    ZeroHeartbeat,
+    /// The failure detector's suspicion threshold is zero — every first
+    /// retransmission would immediately suspect both link endpoints,
+    /// turning any transient frame loss into a node-level event.
+    ZeroSuspectThreshold,
 }
 
 impl fmt::Display for ConfigError {
@@ -45,6 +53,12 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroWorkers => f.write_str("worker count must be non-zero"),
             ConfigError::DragonNeedsQueuing => {
                 f.write_str("the dragon protocol requires the queuing home (not the nack baseline)")
+            }
+            ConfigError::ZeroHeartbeat => {
+                f.write_str("failure-detector heartbeat interval must be non-zero")
+            }
+            ConfigError::ZeroSuspectThreshold => {
+                f.write_str("failure-detector suspicion threshold must be non-zero")
             }
         }
     }
@@ -472,6 +486,52 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Sets the stall-watchdog threshold: how long the engine lets the
+    /// clock advance without any access completing (while work is
+    /// outstanding) before reporting a stall once via `Observer::on_stall`.
+    /// `Duration::ZERO` disables the watchdog.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_des::Duration;
+    /// use cenju4_sim::SystemConfig;
+    ///
+    /// let cfg = SystemConfig::builder(16)
+    ///     .watchdog(Duration::from_us(50_000))
+    ///     .build()?;
+    /// assert_eq!(cfg.recovery.watchdog.as_ns(), 50_000_000);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn watchdog(mut self, threshold: Duration) -> Self {
+        self.recovery.watchdog = threshold;
+        self
+    }
+
+    /// Sets the failure detector's heartbeat/probe interval: how long
+    /// after a node is suspected the engine probes it to decide between
+    /// spurious suspicion and quarantine (also the rejoin handshake
+    /// delay). Zero is rejected at build time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cenju4_des::Duration;
+    /// use cenju4_sim::{ConfigError, SystemConfig};
+    ///
+    /// let cfg = SystemConfig::builder(16)
+    ///     .heartbeat(Duration::from_us(250))
+    ///     .build()?;
+    /// assert_eq!(cfg.recovery.heartbeat_every.as_ns(), 250_000);
+    /// let err = SystemConfig::builder(16).heartbeat(Duration::ZERO).build();
+    /// assert_eq!(err.unwrap_err(), ConfigError::ZeroHeartbeat);
+    /// # Ok::<(), cenju4_sim::ConfigError>(())
+    /// ```
+    pub fn heartbeat(mut self, every: Duration) -> Self {
+        self.recovery.heartbeat_every = every;
+        self
+    }
+
     /// Selects the number of worker threads for [`SystemConfig::build`]'s
     /// engine: `1` (the default) is the sequential event loop, more
     /// workers the conservative-parallel executor. Results are
@@ -547,6 +607,12 @@ impl SystemConfigBuilder {
         if self.coherence == ProtocolId::Dragon && self.kind == ProtocolKind::Nack {
             return Err(ConfigError::DragonNeedsQueuing);
         }
+        if self.recovery.heartbeat_every.as_ns() == 0 {
+            return Err(ConfigError::ZeroHeartbeat);
+        }
+        if self.recovery.suspect_after == 0 {
+            return Err(ConfigError::ZeroSuspectThreshold);
+        }
         Ok(SystemConfig {
             sys,
             net: self.net,
@@ -618,6 +684,40 @@ mod tests {
         assert_eq!(
             SystemConfig::builder(16).workers(0).build().unwrap_err(),
             ConfigError::ZeroWorkers
+        );
+    }
+
+    #[test]
+    fn watchdog_and_heartbeat_knobs_validate() {
+        let cfg = SystemConfig::builder(16)
+            .watchdog(Duration::from_us(25_000))
+            .heartbeat(Duration::from_us(400))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.recovery.watchdog, Duration::from_us(25_000));
+        assert_eq!(cfg.recovery.heartbeat_every, Duration::from_us(400));
+        // A zero watchdog is legal — it disables the stall report.
+        assert!(SystemConfig::builder(16)
+            .watchdog(Duration::ZERO)
+            .build()
+            .is_ok());
+        assert_eq!(
+            SystemConfig::builder(16)
+                .heartbeat(Duration::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroHeartbeat
+        );
+        let zero_suspect = RecoveryParams {
+            suspect_after: 0,
+            ..RecoveryParams::default()
+        };
+        assert_eq!(
+            SystemConfig::builder(16)
+                .recovery(zero_suspect)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroSuspectThreshold
         );
     }
 

@@ -3,7 +3,7 @@
 # schedule-exploring protocol checker's smoke tier.
 # Everything runs offline — the workspace has no external dependencies.
 #
-# Usage: scripts/ci.sh [check-smoke|fault-smoke|perf-smoke|obs-smoke|scaling-smoke|bakeoff-smoke]
+# Usage: scripts/ci.sh [check-smoke|fault-smoke|perf-smoke|obs-smoke|scaling-smoke|bakeoff-smoke|chaos-smoke]
 #   (no arg)       run the full gate
 #   check-smoke    run only the time-capped protocol-checker tier
 #   fault-smoke    run only the time-capped unreliable-fabric recovery tier
@@ -11,6 +11,7 @@
 #   obs-smoke      run only the observability export/leak-oracle tier
 #   scaling-smoke  run only the parallel-executor bit-identity + speedup tier
 #   bakeoff-smoke  run only the cross-protocol (MESI/Dragon x directory) tier
+#   chaos-smoke    run only the node-failure containment tier
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -114,6 +115,42 @@ bakeoff_smoke() {
     timeout 120 target/release/fig_bakeoff --smoke
 }
 
+chaos_smoke() {
+    echo "==> node-failure chaos smoke tier (time-capped)"
+    cargo build --release --offline -p cenju4-check
+    local check=target/release/cenju4-check
+    # Contained when armed: node 1 dies at 1us mid-walk, the detector
+    # quarantines it, and every oracle stays green (blocks=2 puts one
+    # block's home *on* the casualty, exercising the typed escalation).
+    "$check" random --nodes 3 --blocks 2 --ops 2 --fault node-down \
+        --recovery on --seed 7 --walks 50 --max-seconds 60
+    # Unarmed, the same death wedges the machine: quiescence must fire.
+    if "$check" random --nodes 3 --ops 2 --fault node-down \
+        --recovery off --seed 7 --walks 150 --max-seconds 60; then
+        echo "FAIL: node-down survived with recovery off"
+        exit 1
+    fi
+    # Quarantine disabled with recovery on: the detector suspects the
+    # dead node but never reconfigures, so a retry budget must blow.
+    if "$check" random --nodes 3 --ops 2 --fault quarantine-off \
+        --recovery on --seed 7 --walks 150 --max-seconds 60; then
+        echo "FAIL: quarantine-off survived with recovery on"
+        exit 1
+    fi
+    # Unarmed golden no-rebless: the node-failure machinery must not
+    # move a byte of any golden trace.
+    timeout 600 cargo test -q --release --offline -p cenju4-protocol \
+        --test golden_trace
+    # The seeded chaos campaign, from a scratch dir: green, and the
+    # machine-readable artifact must land.
+    cargo build --release --offline -p cenju4-bench --bin chaos
+    local root=$PWD out
+    out=$(mktemp -d)
+    trap 'rm -rf "$out"' RETURN
+    (cd "$out" && timeout 300 "$root/target/release/chaos")
+    [[ -s "$out/BENCH_chaos.json" ]] || { echo "FAIL: BENCH_chaos.json missing"; exit 1; }
+}
+
 if [[ "${1:-}" == "check-smoke" ]]; then
     check_smoke
     echo "CI OK (check-smoke)"
@@ -150,6 +187,12 @@ if [[ "${1:-}" == "bakeoff-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "chaos-smoke" ]]; then
+    chaos_smoke
+    echo "CI OK (chaos-smoke)"
+    exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -174,5 +217,7 @@ obs_smoke
 scaling_smoke
 
 bakeoff_smoke
+
+chaos_smoke
 
 echo "CI OK"
