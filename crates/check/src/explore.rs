@@ -257,7 +257,7 @@ pub fn run_one(
     }
 }
 
-fn render_trace(eng: &cenju4_protocol::Engine, cfg: &CheckConfig) -> String {
+pub(crate) fn render_trace(eng: &cenju4_protocol::Engine, cfg: &CheckConfig) -> String {
     let mut out = String::new();
     for addr in cfg.block_addrs() {
         let dump = eng.trace().dump_block(addr);
@@ -298,7 +298,8 @@ pub fn exhaustive(cfg: &CheckConfig, limits: &ExploreLimits) -> Exploration {
         let out = replay(cfg, &prefix, limits.max_steps);
         schedules += 1;
         if let Some(v) = out.violation {
-            return falsify(cfg, out.choices, v, out.trace, schedules, limits);
+            let picked = out.choices.iter().map(|c| c.picked).collect();
+            return falsify(cfg, picked, v, out.trace, schedules, limits);
         }
         // Lexicographic increment: bump the deepest incrementable choice,
         // truncating everything after it (those positions restart at 0).
@@ -342,21 +343,21 @@ pub fn random_walks(
             limits.max_steps,
         );
         if let Some(v) = out.violation {
-            return falsify(cfg, out.choices, v, out.trace, w + 1, limits);
+            let picked = out.choices.iter().map(|c| c.picked).collect();
+            return falsify(cfg, picked, v, out.trace, w + 1, limits);
         }
     }
     Exploration::AllGreen { schedules: walks }
 }
 
-fn falsify(
+pub(crate) fn falsify(
     cfg: &CheckConfig,
-    choices: Vec<Choice>,
+    picked: Vec<usize>,
     violation: Violation,
     trace: String,
     schedules: u64,
     limits: &ExploreLimits,
 ) -> Exploration {
-    let picked: Vec<usize> = choices.iter().map(|c| c.picked).collect();
     let (schedule, out) = shrink(cfg, picked, limits.max_steps);
     // Shrinking preserves *some* violation but may change which oracle
     // fires first; prefer the shrunk run's report since that is what the

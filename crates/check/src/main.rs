@@ -5,7 +5,11 @@
 //!
 //! * `exhaustive` — bounded-exhaustive DFS over every schedule of a small
 //!   scenario; exits 1 if any oracle is falsified.
-//! * `random` — seeded random walks; exits 1 on a falsified oracle.
+//! * `reduced` — the same guarantee with dynamic partial-order reduction,
+//!   state deduplication, and deterministic parallel workers; scales the
+//!   exhaustive tier from 2 nodes to 4–5.
+//! * `random` — seeded random walks (fanned across threads when
+//!   `--threads` is not 1); exits 1 on a falsified oracle.
 //! * `replay` — replays one printed schedule deterministically.
 //! * `mutants` — arms each `FaultInjection` mutant and demands a
 //!   counterexample from each; exits 1 if a mutant *survives* (the
@@ -17,11 +21,19 @@
 //! format; run with an unknown value to list them), `--fault <name>`
 //! (run `cenju4-check` with an unknown fault to list them),
 //! `--recovery on|off --fault-seed S --drop-rate P` (permille)
-//! `--max-steps S --max-schedules M --max-seconds T`; `random` adds
-//! `--seed`/`--walks`, `replay` adds `--schedule 1,0,2` (`-` for the
-//! empty schedule).
+//! `--max-steps S --max-schedules M --max-seconds T`
+//! `--threads N` (0 = all cores, honoring `CENJU4_CHECK_THREADS`);
+//! `reduced` adds `--dpor on|off`, `random` adds `--seed`/`--walks`,
+//! `replay` adds `--schedule 1,0,2` (`-` for the empty schedule),
+//! `mutants` adds `--explorer full|reduced`.
+//!
+//! A config whose fault mutant cannot fire (e.g. `--fault node-down
+//! --nodes 2`) is a usage error, not a hollow green run.
 
-use cenju4_check::{exhaustive, random_walks, replay, CheckConfig, Exploration, ExploreLimits};
+use cenju4_check::{
+    default_check_threads, exhaustive, explore_reduced_with, random_walks, random_walks_parallel,
+    replay, CheckConfig, Exploration, ExploreLimits,
+};
 use cenju4_directory::DirectoryId;
 use cenju4_protocol::{FaultInjection, ProtocolId, ProtocolKind};
 use std::process::ExitCode;
@@ -32,6 +44,12 @@ struct Args {
     seed: u64,
     walks: u64,
     schedule: Vec<usize>,
+    /// Worker threads; 0 resolves to `default_check_threads()`.
+    threads: usize,
+    /// Whether `reduced` arms partial-order reduction + dedup.
+    dpor: bool,
+    /// Which explorer the `mutants` subcommand drives.
+    reduced_mutants: bool,
 }
 
 /// Every known fault name, straight from [`FaultInjection::ALL`] — the
@@ -66,13 +84,14 @@ fn directory_names() -> String {
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: cenju4-check <exhaustive|random|replay|mutants> \
+        "usage: cenju4-check <exhaustive|reduced|random|replay|mutants> \
          [--nodes N] [--blocks B] [--ops K] [--protocol {}] \
          [--directory {}] \
          [--fault {}] [--recovery on|off] [--fault-seed S] \
          [--drop-rate PERMILLE] [--max-steps S] \
          [--max-schedules M] [--max-seconds T] [--seed S] [--walks W] \
-         [--schedule 1,0,2|-]",
+         [--schedule 1,0,2|-] [--threads N] [--dpor on|off] \
+         [--explorer full|reduced]",
         protocol_names(),
         directory_names(),
         fault_names()
@@ -93,6 +112,9 @@ fn parse(mut argv: std::env::Args) -> Result<(String, Args), String> {
         seed: 1,
         walks: 100,
         schedule: Vec::new(),
+        threads: 0,
+        dpor: true,
+        reduced_mutants: false,
     };
     while let Some(flag) = argv.next() {
         let mut val = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -159,6 +181,21 @@ fn parse(mut argv: std::env::Args) -> Result<(String, Args), String> {
                 args.limits.max_seconds =
                     val()?.parse().map_err(|e| format!("--max-seconds: {e}"))?
             }
+            "--threads" => args.threads = val()?.parse().map_err(|e| format!("--threads: {e}"))?,
+            "--dpor" => {
+                args.dpor = match val()?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--dpor wants on|off, got {other:?}")),
+                }
+            }
+            "--explorer" => {
+                args.reduced_mutants = match val()?.as_str() {
+                    "reduced" => true,
+                    "full" => false,
+                    other => return Err(format!("--explorer wants full|reduced, got {other:?}")),
+                }
+            }
             "--seed" => args.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--walks" => args.walks = val()?.parse().map_err(|e| format!("--walks: {e}"))?,
             "--schedule" => {
@@ -202,13 +239,46 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(e) => return usage(&e),
     };
+    // A fault that cannot fire under this config would make every
+    // explorer report a hollow green; refuse up front. `mutants` builds
+    // its own per-fault configs and bumps node counts itself.
+    if cmd != "mutants" {
+        if let Err(e) = args.cfg.validate() {
+            return usage(&e);
+        }
+    }
+    let threads = if args.threads == 0 {
+        default_check_threads()
+    } else {
+        args.threads
+    };
     match cmd.as_str() {
         "exhaustive" => {
             let r = exhaustive(&args.cfg, &args.limits);
             report("exhaustive", &args.cfg, &r)
         }
+        "reduced" => {
+            let out = explore_reduced_with(&args.cfg, &args.limits, threads, args.dpor);
+            println!(
+                "reduced: {}: {} unique states, {} transitions, {} sleep-set \
+                 skips, {} dedup hits over {} jobs x {} threads (reduction {})",
+                args.cfg,
+                out.unique_states,
+                out.transitions,
+                out.sleep_skipped,
+                out.dedup_hits,
+                out.jobs,
+                threads,
+                if out.reduced { "on" } else { "off" }
+            );
+            report("reduced", &args.cfg, &out.exploration)
+        }
         "random" => {
-            let r = random_walks(&args.cfg, args.seed, args.walks, &args.limits);
+            let r = if threads > 1 {
+                random_walks_parallel(&args.cfg, args.seed, args.walks, &args.limits, threads)
+            } else {
+                random_walks(&args.cfg, args.seed, args.walks, &args.limits)
+            };
             report(&format!("random (seed {})", args.seed), &args.cfg, &r)
         }
         "replay" => {
@@ -244,33 +314,41 @@ fn main() -> ExitCode {
                 if fault == FaultInjection::None {
                     continue;
                 }
-                // delay-inval needs a sharer that is *remote* from the
-                // home — in a 2-node machine the only other sharer is the
-                // home itself and no invalidation ever crosses the fabric.
-                // The node-down plans kill node 1, so they need a third
-                // node to keep issuing traffic around the casualty.
-                let nodes = match fault {
-                    FaultInjection::DelayInval
-                    | FaultInjection::NodeDown
-                    | FaultInjection::QuarantineOff => args.cfg.nodes.max(3),
-                    _ => args.cfg.nodes,
-                };
+                // Some mutants cannot fire below a node count (delay-inval
+                // needs a sharer remote from the home; the node mutants
+                // kill node 1 and need a healthy remote pair left); bump
+                // to the mutant's floor rather than run a hollow config.
+                let nodes = args.cfg.nodes.max(fault.min_nodes() as u16);
                 // quarantine-off is a mutant *of the recovery layer*: it
                 // runs with recovery armed (the scenario builder clears
                 // its quarantine switch) and must blow a retry budget.
-                let recovery = fault == FaultInjection::QuarantineOff;
+                let recovery = fault.needs_recovery();
                 let cfg = CheckConfig {
                     fault,
                     recovery,
                     nodes,
                     ..args.cfg
                 };
+                debug_assert!(cfg.validate().is_ok());
                 // Exhaustive search is only tractable on the 2-node
                 // scenario; larger ones use seeded (deterministic) walks.
-                let result = if nodes <= 2 {
-                    exhaustive(&cfg, &args.limits)
-                } else {
-                    random_walks(&cfg, args.seed, args.walks.max(200), &args.limits)
+                // `--explorer reduced` drives the same split through the
+                // reduced/parallel engines instead.
+                let result = match (nodes <= 2, args.reduced_mutants) {
+                    (true, false) => exhaustive(&cfg, &args.limits),
+                    (true, true) => {
+                        explore_reduced_with(&cfg, &args.limits, threads, true).exploration
+                    }
+                    (false, false) => {
+                        random_walks(&cfg, args.seed, args.walks.max(200), &args.limits)
+                    }
+                    (false, true) => random_walks_parallel(
+                        &cfg,
+                        args.seed,
+                        args.walks.max(200),
+                        &args.limits,
+                        threads,
+                    ),
                 };
                 match result {
                     Exploration::Falsified(cx) => {

@@ -85,6 +85,31 @@ impl fmt::Display for CheckConfig {
 }
 
 impl CheckConfig {
+    /// Rejects configurations whose fault mutant can never fire, so a
+    /// checker run cannot report a hollow "all green". The delayed-
+    /// invalidation race needs a requester, a home, and a *third* node
+    /// holding the stale copy; the node mutants kill node 1 and need a
+    /// healthy remote pair left over; `quarantine-off` mutates the
+    /// recovery layer and is meaningless with recovery disarmed.
+    pub fn validate(&self) -> Result<(), String> {
+        let need = self.fault.min_nodes();
+        if u32::from(self.nodes) < need {
+            return Err(format!(
+                "fault {} cannot fire with {} node(s); it needs at least \
+                 {need} (valid: --nodes {need} or more)",
+                self.fault, self.nodes
+            ));
+        }
+        if self.fault.needs_recovery() && !self.recovery {
+            return Err(format!(
+                "fault {} mutates the recovery layer and never fires with \
+                 recovery off; add --recovery on",
+                self.fault
+            ));
+        }
+        Ok(())
+    }
+
     /// The blocks the workload touches, spread across home nodes.
     pub fn block_addrs(&self) -> Vec<Addr> {
         (0..self.blocks)

@@ -2,7 +2,10 @@
 //! protocol survives exhaustive exploration, and each seeded mutant is
 //! killed with a shrunk, deterministically replayable counterexample.
 
-use cenju4_check::{exhaustive, random_walks, replay, CheckConfig, Exploration, ExploreLimits};
+use cenju4_check::{
+    exhaustive, explore_reduced, explore_reduced_with, random_walks, replay, CheckConfig,
+    Exploration, ExploreLimits,
+};
 use cenju4_protocol::FaultInjection;
 
 fn limits() -> ExploreLimits {
@@ -319,4 +322,118 @@ fn exhaustive_schedule_space_is_pinned() {
     let reversed = cenju4_check::run_one(&cfg, |n| n.saturating_sub(1), 5_000);
     assert!(reversed.ok(), "last-ready schedule must stay green");
     assert_eq!((reversed.steps, reversed.choices.len()), (10, 10));
+}
+
+/// The reduced explorer's pins, next to the 9298 pin above. The
+/// unreduced DFS must visit exactly the schedule space the lexicographic
+/// enumeration visits (9298 leaves — a cross-validation of the frontier
+/// partition), and the reduced walk must collapse it to the pinned
+/// state/leaf counts. A changed reduced count means the independence
+/// relation, the fingerprint, or the sleep-set discipline moved — treat
+/// it like the 9298 pin, not like noise.
+#[test]
+fn reduced_schedule_space_is_pinned() {
+    let cfg = CheckConfig::default();
+    let full = explore_reduced_with(&cfg, &limits(), 2, false);
+    assert!(!full.reduced);
+    assert_eq!(full.leaves, 9298, "unreduced DFS diverged from exhaustive");
+    match full.exploration {
+        Exploration::AllGreen { schedules } => assert_eq!(schedules, 9298),
+        other => panic!("expected all-green unreduced run, got {other:?}"),
+    }
+    let red = explore_reduced(&cfg, &limits(), 2);
+    assert!(red.reduced);
+    match red.exploration {
+        Exploration::AllGreen { schedules } => assert_eq!(schedules, red.leaves),
+        other => panic!("expected all-green reduced run, got {other:?}"),
+    }
+    assert_eq!(
+        (red.unique_states, red.leaves),
+        (105, 4),
+        "the reduced state space moved"
+    );
+}
+
+/// The protocol mutants die under the reduced explorer too, and the
+/// counterexample still replays deterministically — reduction must not
+/// cost the checker its teeth or its reproducibility.
+#[test]
+fn mutants_killed_under_reduced_explorer() {
+    for fault in [
+        FaultInjection::DisableReservation,
+        FaultInjection::DropSpilledRequests,
+    ] {
+        let cfg = CheckConfig {
+            fault,
+            ..CheckConfig::default()
+        };
+        let out = explore_reduced(&cfg, &limits(), 2);
+        assert!(out.reduced, "protocol mutants should be reducible");
+        let cx = match out.exploration {
+            Exploration::Falsified(cx) => cx,
+            other => panic!("mutant {fault} survived reduction: {other:?}"),
+        };
+        let a = replay(&cfg, &cx.schedule, limits().max_steps);
+        assert_eq!(
+            a.violation.as_ref(),
+            Some(&cx.violation),
+            "mutant {fault}: reduced counterexample does not replay"
+        );
+    }
+}
+
+/// The fabric mutants are ineligible for reduction (their one-shot
+/// fault counters are order-dependent global state); the reduced entry
+/// point must still kill them through the unreduced parallel path.
+#[test]
+fn fabric_mutants_killed_under_parallel_unreduced_explorer() {
+    for fault in [FaultInjection::DropUnicast, FaultInjection::DupReply] {
+        let cfg = CheckConfig {
+            fault,
+            ..CheckConfig::default()
+        };
+        let out = explore_reduced(&cfg, &limits(), 4);
+        assert!(!out.reduced, "fabric mutants must not be reduced");
+        let cx = match out.exploration {
+            Exploration::Falsified(cx) => cx,
+            other => panic!("mutant {fault} survived: {other:?}"),
+        };
+        let a = replay(&cfg, &cx.schedule, limits().max_steps);
+        assert_eq!(
+            a.violation.as_ref(),
+            Some(&cx.violation),
+            "mutant {fault}: counterexample does not replay"
+        );
+    }
+}
+
+/// Satellite guard: a fault that cannot fire under the config is a hard
+/// validation error, not a hollow green run.
+#[test]
+fn unreachable_fault_configs_are_rejected() {
+    let starved = CheckConfig {
+        nodes: 2,
+        fault: FaultInjection::NodeDown,
+        ..CheckConfig::default()
+    };
+    let err = starved.validate().expect_err("node-down at 2 nodes passed");
+    assert!(err.contains("at least 3"), "no valid range in: {err}");
+    let unarmed = CheckConfig {
+        nodes: 3,
+        fault: FaultInjection::QuarantineOff,
+        recovery: false,
+        ..CheckConfig::default()
+    };
+    let err = unarmed
+        .validate()
+        .expect_err("quarantine-off sans recovery");
+    assert!(err.contains("recovery"), "no recovery hint in: {err}");
+    assert!(CheckConfig::default().validate().is_ok());
+    assert!(CheckConfig {
+        nodes: 3,
+        fault: FaultInjection::NodeDown,
+        ..CheckConfig::default()
+    }
+    .validate()
+    .is_ok());
 }

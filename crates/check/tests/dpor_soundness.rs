@@ -1,0 +1,143 @@
+//! DPOR soundness harness: partial-order reduction and state dedup must
+//! not change what the checker can *see*. For every (protocol,
+//! directory) pair the reduced and unreduced explorations of the same
+//! scenario must reach identical verdicts — the same set of falsified
+//! oracle names on terminating spaces, and the same kill on the
+//! reservation mutant.
+//!
+//! The comparison runs collect-all: every violating path is cut at its
+//! violation and the search continues, so the result is the full set of
+//! oracle names falsifiable anywhere in the schedule space, not just the
+//! DFS-first one (which reduction legitimately reorders).
+
+use cenju4_check::{
+    dpor_eligible, explore_reduced_with, violation_profile, CheckConfig, Exploration, ExploreLimits,
+};
+use cenju4_directory::DirectoryId;
+use cenju4_protocol::{FaultInjection, ProtocolId};
+
+fn limits() -> ExploreLimits {
+    ExploreLimits {
+        max_steps: 5_000,
+        max_schedules: 200_000,
+        max_seconds: 120,
+    }
+}
+
+/// Every (protocol, directory) pair as a scenario patch.
+fn pairs() -> Vec<(ProtocolId, DirectoryId)> {
+    let mut out = Vec::new();
+    for &coherence in &ProtocolId::ALL {
+        for &directory in &DirectoryId::ALL {
+            out.push((coherence, directory));
+        }
+    }
+    out
+}
+
+fn assert_profiles_match(fault: FaultInjection) {
+    for (coherence, directory) in pairs() {
+        let cfg = CheckConfig {
+            coherence,
+            directory,
+            fault,
+            ..CheckConfig::default()
+        };
+        assert!(
+            dpor_eligible(&cfg),
+            "({coherence}, {directory}, {fault}) should be reducible"
+        );
+        let reduced = violation_profile(&cfg, &limits(), 2, true);
+        let full = violation_profile(&cfg, &limits(), 2, false);
+        assert_eq!(
+            reduced, full,
+            "({coherence}, {directory}, {fault}): reduction changed the \
+             set of falsifiable oracles"
+        );
+    }
+}
+
+/// On the correct protocol both explorations see an empty violation set
+/// for every pair — reduction cannot invent a counterexample.
+#[test]
+fn reduction_is_sound_on_the_correct_protocol() {
+    assert_profiles_match(FaultInjection::None);
+}
+
+/// On the spill-dropping mutant both explorations see the same
+/// falsified-oracle set for every pair — reduction cannot *hide* a
+/// counterexample either.
+#[test]
+fn reduction_preserves_spill_mutant_violations() {
+    assert_profiles_match(FaultInjection::DropSpilledRequests);
+}
+
+/// The reservation mutant starves transactions; both explorers must kill
+/// it for every pair. (Profile equality is checked through the same
+/// collect-all path as above; this additionally pins the Falsified
+/// verdict and a nonempty shrunk schedule from each explorer.)
+#[test]
+fn both_explorers_kill_the_reservation_mutant() {
+    for (coherence, directory) in pairs() {
+        let cfg = CheckConfig {
+            coherence,
+            directory,
+            fault: FaultInjection::DisableReservation,
+            ..CheckConfig::default()
+        };
+        for reduce in [true, false] {
+            let out = explore_reduced_with(&cfg, &limits(), 2, reduce);
+            match out.exploration {
+                Exploration::Falsified(cx) => {
+                    assert!(
+                        !cx.schedule.is_empty(),
+                        "({coherence}, {directory}, reduce={reduce}): \
+                         empty counterexample schedule"
+                    );
+                }
+                other => panic!(
+                    "({coherence}, {directory}, reduce={reduce}): \
+                     reservation mutant survived: {other:?}"
+                ),
+            }
+        }
+        let reduced = violation_profile(&cfg, &limits(), 2, true);
+        let full = violation_profile(&cfg, &limits(), 2, false);
+        assert_eq!(
+            reduced, full,
+            "({coherence}, {directory}): reduction changed the reservation \
+             mutant's falsifiable-oracle set"
+        );
+    }
+}
+
+/// Ineligible configurations (nack retries, recovery timers, lossy
+/// fabric, fabric fault plans) must refuse to arm reduction even when
+/// asked — their transition systems are not captured by the fingerprint.
+#[test]
+fn ineligible_configs_never_reduce() {
+    let base = CheckConfig::default();
+    let ineligible = [
+        CheckConfig {
+            kind: cenju4_protocol::ProtocolKind::Nack,
+            ..base
+        },
+        CheckConfig {
+            recovery: true,
+            ..base
+        },
+        CheckConfig {
+            drop_permille: 100,
+            ..base
+        },
+        CheckConfig {
+            fault: FaultInjection::DropUnicast,
+            ..base
+        },
+    ];
+    for cfg in ineligible {
+        assert!(!dpor_eligible(&cfg), "{cfg} should not be reducible");
+        let out = explore_reduced_with(&cfg, &limits(), 2, true);
+        assert!(!out.reduced, "{cfg} armed reduction despite ineligibility");
+    }
+}

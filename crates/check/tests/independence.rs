@@ -1,0 +1,173 @@
+//! Property tests for the independence relation the DPOR layer is built
+//! on: `PendingEvent::footprint()` / `commutes_with()`.
+//!
+//! Two properties, checked over every state along a family of driven
+//! schedules (not hand-picked states):
+//!
+//! * **No false commutes.** A pair of ready events whose footprints
+//!   overlap — same firing node, same block address, same gather, or
+//!   either one outside the channel-ordering guarantee — is never
+//!   marked commuting.
+//! * **Commuting pairs really commute.** For every pair marked
+//!   commuting, firing the two events in either order leads to the same
+//!   state fingerprint (the second event is re-found by content after
+//!   the first fires, since pending indices shift).
+
+use cenju4_check::CheckConfig;
+use cenju4_protocol::{Engine, PendingEvent};
+
+/// Replays `picks` (ready-list positions, clamped like the explorer)
+/// from the initial state of `cfg`.
+fn replay_engine(cfg: &CheckConfig, picks: &[usize]) -> Engine {
+    let mut eng = cfg.engine();
+    for &p in picks {
+        let ready = ready_events(&eng);
+        assert!(!ready.is_empty(), "replay ran past quiescence");
+        let (idx, _) = &ready[p.min(ready.len() - 1)];
+        eng.run_pending(*idx).expect("ready event vanished");
+    }
+    eng
+}
+
+/// The ready events as (pending-index, event) pairs.
+fn ready_events(eng: &Engine) -> Vec<(usize, PendingEvent)> {
+    eng.pending_events()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, e)| e.ready)
+        .collect()
+}
+
+/// Fires the ready event with the given content digest; panics if it is
+/// not ready (the property under test says it must be).
+fn fire_by_content(eng: &mut Engine, content: u64) {
+    let ready = ready_events(eng);
+    let (idx, _) = ready
+        .iter()
+        .find(|(_, e)| e.content == content)
+        .expect("commuting partner no longer ready after its pair fired");
+    eng.run_pending(*idx).expect("ready event vanished");
+}
+
+/// Walks `cfg` with a fixed pick at every step, visiting each state
+/// along the way with `visit(prefix, engine)`.
+fn walk_states(cfg: &CheckConfig, pick: usize, mut visit: impl FnMut(&[usize], &Engine)) {
+    let mut picks: Vec<usize> = Vec::new();
+    let mut eng = cfg.engine();
+    loop {
+        visit(&picks, &eng);
+        let ready = ready_events(&eng);
+        if ready.is_empty() {
+            return;
+        }
+        let p = pick.min(ready.len() - 1);
+        let (idx, _) = &ready[p];
+        eng.run_pending(*idx).expect("ready event vanished");
+        picks.push(p);
+    }
+}
+
+fn configs() -> Vec<CheckConfig> {
+    vec![
+        CheckConfig::default(),
+        CheckConfig {
+            blocks: 2,
+            ..CheckConfig::default()
+        },
+        CheckConfig {
+            nodes: 3,
+            blocks: 2,
+            ..CheckConfig::default()
+        },
+        CheckConfig {
+            nodes: 4,
+            blocks: 3,
+            ops_per_node: 1,
+            ..CheckConfig::default()
+        },
+    ]
+}
+
+/// Overlapping footprints are never marked commuting, at any state along
+/// first-ready and last-ready schedules of several scenarios.
+#[test]
+fn overlapping_footprints_never_commute() {
+    for cfg in configs() {
+        for pick in [0, usize::MAX] {
+            let mut pairs_seen = 0u32;
+            walk_states(&cfg, pick, |_, eng| {
+                let ready = ready_events(eng);
+                let now = eng.now();
+                for (i, (_, a)) in ready.iter().enumerate() {
+                    for (_, b) in ready.iter().skip(i + 1) {
+                        let fa = a.footprint();
+                        let fb = b.footprint();
+                        let overlap = fa.node == fb.node
+                            || !fa.ordered
+                            || !fb.ordered
+                            || (fa.addr.is_some() && fa.addr == fb.addr)
+                            || (fa.gather.is_some() && fa.gather == fb.gather);
+                        if overlap {
+                            pairs_seen += 1;
+                            assert!(
+                                !a.commutes_with(b, now),
+                                "{cfg}: overlapping events marked commuting:\
+                                 \n  {a:?}\n  {b:?}"
+                            );
+                        }
+                    }
+                }
+            });
+            assert!(pairs_seen > 0, "{cfg}: walk never saw an overlapping pair");
+        }
+    }
+}
+
+/// Every pair marked commuting really commutes: firing in either order
+/// reaches the same state fingerprint. Symmetry is checked for free
+/// (each unordered pair is tested through both `a.commutes_with(b)` and
+/// the both-orders execution).
+#[test]
+fn commuting_pairs_reach_the_same_state() {
+    for cfg in configs() {
+        let blocks = cfg.block_addrs();
+        for pick in [0, usize::MAX] {
+            let mut pairs_seen = 0u32;
+            let mut checks: Vec<(Vec<usize>, u64, u64)> = Vec::new();
+            walk_states(&cfg, pick, |prefix, eng| {
+                let ready = ready_events(eng);
+                let now = eng.now();
+                for (i, (_, a)) in ready.iter().enumerate() {
+                    for (_, b) in ready.iter().skip(i + 1) {
+                        if a.commutes_with(b, now) {
+                            assert!(
+                                b.commutes_with(a, now),
+                                "{cfg}: commutes_with is asymmetric"
+                            );
+                            checks.push((prefix.to_vec(), a.content, b.content));
+                        }
+                    }
+                }
+            });
+            for (prefix, ca, cb) in checks {
+                pairs_seen += 1;
+                let mut ab = replay_engine(&cfg, &prefix);
+                fire_by_content(&mut ab, ca);
+                fire_by_content(&mut ab, cb);
+                let mut ba = replay_engine(&cfg, &prefix);
+                fire_by_content(&mut ba, cb);
+                fire_by_content(&mut ba, ca);
+                assert_eq!(
+                    ab.state_fingerprint(&blocks),
+                    ba.state_fingerprint(&blocks),
+                    "{cfg}: commuting pair diverged (prefix {prefix:?})"
+                );
+            }
+            // Single-block scenarios have no commuting pairs (every event
+            // touches the one block); multi-block ones must have some.
+            if cfg.blocks > 1 {
+                assert!(pairs_seen > 0, "{cfg}: walk never saw a commuting pair");
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Parallel-determinism acceptance: the same exploration run with 1, 2,
+//! 4, or 8 worker threads yields the same explored-state counts and the
+//! same violation (if any), and the reported counterexample replays.
+//! Thread fanning must never change what the checker *says* — only how
+//! fast it says it.
+
+use cenju4_check::{
+    explore_reduced_with, random_walks, random_walks_parallel, replay, CheckConfig, Exploration,
+    ExploreLimits,
+};
+use cenju4_protocol::FaultInjection;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn limits() -> ExploreLimits {
+    ExploreLimits {
+        max_steps: 5_000,
+        max_schedules: 200_000,
+        max_seconds: 120,
+    }
+}
+
+fn schedules_of(e: &Exploration) -> u64 {
+    match e {
+        Exploration::AllGreen { schedules } | Exploration::Budget { schedules } => *schedules,
+        Exploration::Falsified(cx) => cx.schedules_explored,
+    }
+}
+
+/// Green unreduced exploration: identical leaf/transition counts for
+/// every thread count (the frontier partition is thread-independent and
+/// every job runs to completion).
+#[test]
+fn unreduced_counts_are_thread_independent() {
+    let cfg = CheckConfig::default();
+    let baseline = explore_reduced_with(&cfg, &limits(), 1, false);
+    assert!(matches!(baseline.exploration, Exploration::AllGreen { .. }));
+    for threads in THREADS {
+        let out = explore_reduced_with(&cfg, &limits(), threads, false);
+        assert_eq!(
+            (out.leaves, out.transitions, out.jobs),
+            (baseline.leaves, baseline.transitions, baseline.jobs),
+            "{threads} threads changed the explored counts"
+        );
+        assert_eq!(
+            schedules_of(&out.exploration),
+            schedules_of(&baseline.exploration)
+        );
+    }
+}
+
+/// The reduced walk is sequential by design, so thread count must be a
+/// no-op there too — same states, transitions, and verdict.
+#[test]
+fn reduced_counts_are_thread_independent() {
+    let cfg = CheckConfig {
+        nodes: 3,
+        blocks: 2,
+        ops_per_node: 1,
+        ..CheckConfig::default()
+    };
+    let baseline = explore_reduced_with(&cfg, &limits(), 1, true);
+    assert!(baseline.reduced);
+    for threads in THREADS {
+        let out = explore_reduced_with(&cfg, &limits(), threads, true);
+        assert_eq!(
+            (out.unique_states, out.transitions, out.leaves),
+            (
+                baseline.unique_states,
+                baseline.transitions,
+                baseline.leaves
+            ),
+            "{threads} threads changed the reduced counts"
+        );
+    }
+}
+
+/// A violating unreduced exploration reports the *same* counterexample
+/// for every thread count (lowest job index, DFS-first within the job),
+/// and that counterexample replays to the reported violation.
+#[test]
+fn unreduced_violation_is_thread_independent() {
+    let cfg = CheckConfig {
+        fault: FaultInjection::DropSpilledRequests,
+        ..CheckConfig::default()
+    };
+    let mut first: Option<(Vec<usize>, &'static str)> = None;
+    for threads in THREADS {
+        let out = explore_reduced_with(&cfg, &limits(), threads, false);
+        let cx = match out.exploration {
+            Exploration::Falsified(cx) => cx,
+            other => panic!("{threads} threads: mutant survived: {other:?}"),
+        };
+        let a = replay(&cfg, &cx.schedule, limits().max_steps);
+        assert_eq!(
+            a.violation.as_ref(),
+            Some(&cx.violation),
+            "{threads} threads: replay does not reproduce the violation"
+        );
+        match &first {
+            None => first = Some((cx.schedule.clone(), cx.violation.oracle)),
+            Some((schedule, oracle)) => {
+                assert_eq!(
+                    (&cx.schedule, cx.violation.oracle),
+                    (schedule, *oracle),
+                    "{threads} threads reported a different counterexample"
+                );
+            }
+        }
+    }
+}
+
+/// Parallel random campaigns report exactly what the sequential walk
+/// reports: the lowest failing walk index wins regardless of which
+/// thread raced past it, so the counterexample (schedule, violation,
+/// walk count) matches the sequential result bit for bit.
+#[test]
+fn parallel_walks_match_sequential_walks() {
+    let cfg = CheckConfig {
+        nodes: 3,
+        fault: FaultInjection::DelayInval,
+        ..CheckConfig::default()
+    };
+    let sequential = match random_walks(&cfg, 0x1D1A, 200, &limits()) {
+        Exploration::Falsified(cx) => cx,
+        other => panic!("sequential walks missed the mutant: {other:?}"),
+    };
+    for threads in THREADS {
+        let cx = match random_walks_parallel(&cfg, 0x1D1A, 200, &limits(), threads) {
+            Exploration::Falsified(cx) => cx,
+            other => panic!("{threads} threads missed the mutant: {other:?}"),
+        };
+        assert_eq!(
+            (&cx.schedule, &cx.violation, cx.schedules_explored),
+            (
+                &sequential.schedule,
+                &sequential.violation,
+                sequential.schedules_explored
+            ),
+            "{threads} threads diverged from the sequential campaign"
+        );
+    }
+}
+
+/// Green parallel campaigns complete every walk and say so identically.
+#[test]
+fn parallel_walks_green_campaign_is_deterministic() {
+    let cfg = CheckConfig {
+        nodes: 3,
+        blocks: 2,
+        ..CheckConfig::default()
+    };
+    for threads in THREADS {
+        match random_walks_parallel(&cfg, 42, 64, &limits(), threads) {
+            Exploration::AllGreen { schedules } => assert_eq!(schedules, 64),
+            other => panic!("{threads} threads: expected green walks, got {other:?}"),
+        }
+    }
+}

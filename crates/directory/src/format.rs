@@ -361,6 +361,30 @@ impl SharerSet {
         }
     }
 
+    /// Folds the exact representation state into a hasher: the format,
+    /// its mode bits (pointer vs pattern, broadcast-overflow), its raw
+    /// contents, and the `set_only` owner hint. Two sets that *represent*
+    /// the same sharers can still behave differently later (a pattern
+    /// stays a pattern after removals where pointers stay precise; the
+    /// owner hint short-circuits `solo`), so state fingerprinting must
+    /// hash the representation, never the represented set.
+    pub fn fold_raw<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        self.only.hash(h);
+        match &self.inner {
+            SharerInner::Cenju4(m) => match m.as_pointers() {
+                Some(p) => (0u8, p.to_bits()).hash(h),
+                None => {
+                    let p = m.as_pattern().expect("repr says pattern");
+                    (1u8, p.to_bits()).hash(h)
+                }
+            },
+            SharerInner::FullMap(m) => (2u8, m.represented()).hash(h),
+            SharerInner::Limited(m) => (3u8, m.is_broadcast(), m.represented()).hash(h),
+            SharerInner::Coarse(m) => (4u8, m.represented()).hash(h),
+        }
+    }
+
     /// The precise single holder, when one is known: the `set_only` hint
     /// if it is still valid, else the represented set if it is a
     /// singleton. This is how a home finds a dirty block's true owner

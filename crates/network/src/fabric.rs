@@ -222,6 +222,47 @@ impl<P: Payload> Fabric<P> {
         self.gathers.contains_key(&id)
     }
 
+    /// Folds the open-gather state — wait patterns and partially merged
+    /// payloads per switch — into a hasher in canonical (gather id,
+    /// switch key) order. Part of a model checker's state fingerprint:
+    /// two interleavings that delivered different subsets of a gather's
+    /// replies are different states even when their pending event sets
+    /// agree. Payloads are folded through `payload` since [`Payload`]
+    /// itself requires no hashing. Timestamps are excluded.
+    pub fn fold_gathers<H: std::hash::Hasher>(
+        &self,
+        h: &mut H,
+        mut payload: impl FnMut(&P, &mut H),
+    ) {
+        use std::hash::Hash;
+        let mut ids: Vec<GatherId> = self.gathers.keys().copied().collect();
+        ids.sort_unstable();
+        ids.len().hash(h);
+        for id in ids {
+            let g = &self.gathers[&id];
+            (id, g.home, g.expected, g.received).hash(h);
+            let mut switches: Vec<(&(u32, u32), &SwitchGather<P>)> = g.switches.iter().collect();
+            switches.sort_by_key(|(k, _)| **k);
+            for (key, sw) in switches {
+                (key, sw.waiting).hash(h);
+                match &sw.merged {
+                    Some(p) => {
+                        true.hash(h);
+                        payload(p, h);
+                    }
+                    None => false.hash(h),
+                }
+            }
+            match &g.merged {
+                Some(p) => {
+                    true.hash(h);
+                    payload(p, h);
+                }
+                None => false.hash(h),
+            }
+        }
+    }
+
     /// The conservative-parallel lookahead: a lower bound on how long
     /// *any* cross-node traversal of the fabric takes, i.e. the minimum
     /// uncontended one-way header latency `inject + stages·hop + eject`.

@@ -638,6 +638,92 @@ impl Engine {
         self.lost_blocks.contains(&addr) || self.ever_down.contains(&addr.home())
     }
 
+    /// A 64-bit fingerprint of the protocol state of a controlled
+    /// engine, canonical over the given block universe: per-block
+    /// directory entries (the raw representation, so two entries with
+    /// the same represented set but different pointer/pattern or
+    /// broadcast modes stay distinct — see `SharerSet::fold_raw`),
+    /// memory words, cache lines and third-level copies per
+    /// node, home pending tables and request queues, master outstanding
+    /// tables and backlogs, plus the parked event set folded per ordering
+    /// channel and the fabric's in-flight gather combining state.
+    ///
+    /// Absolute timestamps (scheduled times, virtual clock, service-queue
+    /// reservations) and LRU recency are deliberately excluded: the
+    /// checker treats two states as equal when every future *protocol*
+    /// transition from them agrees, which per-channel delivery order
+    /// captures and absolute times do not. Two consequences the checker's
+    /// callers accept: depth high-water statistics may differ between
+    /// merged states, and cache evictions (impossible under checker-sized
+    /// workloads, which never fill a set) would make LRU recency matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine is not in controlled-schedule mode.
+    pub fn state_fingerprint(&self, blocks: &[Addr]) -> u64 {
+        use cenju4_des::FxHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = FxHasher::default();
+        for &addr in blocks {
+            addr.hash(&mut h);
+            let home = &self.shards[addr.home().as_usize()].home;
+            match home.directory.get(&addr) {
+                Some(e) => {
+                    (true, e.state(), e.reservation()).hash(&mut h);
+                    e.map().fold_raw(&mut h);
+                }
+                None => false.hash(&mut h),
+            }
+            home.mem.get(&addr).hash(&mut h);
+            match home.pending.get(&addr) {
+                Some(p) => {
+                    (true, p.master, p.txn, p.kind).hash(&mut h);
+                    match &p.expect {
+                        crate::modules::home::Expect::SlaveReply => 0u8.hash(&mut h),
+                        crate::modules::home::Expect::InvAcks { remaining } => {
+                            (1u8, remaining).hash(&mut h)
+                        }
+                    }
+                }
+                None => false.hash(&mut h),
+            }
+            for shard in &self.shards {
+                shard.master.cache.state(addr).hash(&mut h);
+                shard.master.cache.value(addr).hash(&mut h);
+                shard.master.l3.get(&addr).hash(&mut h);
+            }
+        }
+        for shard in &self.shards {
+            shard.home.req_queue.len().hash(&mut h);
+            for q in &shard.home.req_queue {
+                (q.kind, q.addr, q.master, q.txn, q.value).hash(&mut h);
+            }
+            let mut outstanding: Vec<(TxnId, &crate::modules::master::MasterTxn)> = shard
+                .master
+                .outstanding
+                .iter()
+                .map(|(t, x)| (*t, x))
+                .collect();
+            outstanding.sort_unstable_by_key(|(t, _)| *t);
+            outstanding.len().hash(&mut h);
+            for (txn, t) in outstanding {
+                (txn, t.op, t.addr, t.retries, t.backoffs, t.store_value).hash(&mut h);
+            }
+            shard.master.backlog.len().hash(&mut h);
+            for (op, addr, txn, _issued) in &shard.master.backlog {
+                (op, addr, txn).hash(&mut h);
+            }
+        }
+        let mut lost: Vec<Addr> = self.lost_blocks.iter().copied().collect();
+        lost.sort_unstable();
+        lost.hash(&mut h);
+        let mut down: Vec<NodeId> = self.ever_down.iter().copied().collect();
+        down.sort_unstable();
+        down.hash(&mut h);
+        self.bus.fold_held(&mut h);
+        h.finish()
+    }
+
     // ------------------------------------------------------------------
     // Driver interface
     // ------------------------------------------------------------------

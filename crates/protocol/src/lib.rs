@@ -77,7 +77,7 @@ pub use cenju4_des::ParallelConfig;
 pub use coherence::{AccessDecision, CoherenceProtocol, DragonProtocol, MesiProtocol, ProtocolId};
 pub use engine::{Engine, IssueError, MemOp, Notification};
 pub use messages::{ProtoMsg, ReqKind, TxnId};
-pub use modules::bus::{NodeHealth, PendingEvent};
+pub use modules::bus::{Channel, Footprint, NodeHealth, PendingEvent};
 pub use observer::{ModuleKind, Observer, PhaseKind};
 pub use params::{FaultInjection, ProtoParams, ProtocolKind, RecoveryError, RecoveryParams};
 pub use stats::EngineStats;

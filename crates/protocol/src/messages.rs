@@ -38,7 +38,7 @@ impl fmt::Display for ReqKind {
 
 /// A coherence message. The `data` flag of the network layer (whether a
 /// 128-byte line rides along) is decided by the sender from the variant.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ProtoMsg {
     /// Master → home: a coherence request.
     Request {

@@ -44,7 +44,7 @@ use crate::addr::Addr;
 use crate::engine::MemOp;
 use crate::messages::{ProtoMsg, TxnId};
 use crate::params::{RecoveryError, RecoveryParams};
-use cenju4_des::{Duration, EventQueue, FxHashMap, FxHashSet, SimTime, SplitMix64};
+use cenju4_des::{Duration, EventQueue, FxHashMap, FxHashSet, FxHasher, SimTime, SplitMix64};
 use cenju4_directory::nodemap::DestSpec;
 use cenju4_directory::{NodeId, SystemSize};
 use cenju4_network::fabric::GatherId;
@@ -54,6 +54,7 @@ use cenju4_network::{
     Delivery, Fabric, FaultEvent, FaultPlan, NetParams, NetStats, Shared, WireClass,
 };
 use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
 
 /// The wire class the fault plan matches a protocol message against.
 pub(crate) fn wire_class(msg: &ProtoMsg) -> WireClass {
@@ -197,6 +198,42 @@ impl BusMsg {
         }
     }
 
+    /// Folds the event's content — discriminant, channel and payload,
+    /// but *not* its scheduled time or insertion sequence — into a
+    /// hasher. See [`PendingEvent::content`].
+    fn fold_content(&self, h: &mut impl Hasher) {
+        std::mem::discriminant(self).hash(h);
+        match self {
+            BusMsg::Access {
+                node,
+                op,
+                addr,
+                txn,
+            } => (node, op, addr, txn).hash(h),
+            BusMsg::Recv {
+                dst,
+                src,
+                msg,
+                gather,
+                seq,
+            } => (dst, src, msg, gather, seq).hash(h),
+            BusMsg::Retry { node, txn } => (node, txn).hash(h),
+            // `sent` is a timestamp; the digest abstracts absolute times.
+            BusMsg::MpDeliver {
+                to,
+                from,
+                tag,
+                bytes,
+                ..
+            } => (to, from, tag, bytes).hash(h),
+            BusMsg::LinkTimer { src, dst } => (src, dst).hash(h),
+            BusMsg::GatherTimer { home, id } => (home, id).hash(h),
+            BusMsg::TxnTimer { node, txn } => (node, txn).hash(h),
+            BusMsg::ProbeTimer { node } | BusMsg::RejoinTimer { node } => node.hash(h),
+            BusMsg::Marker(m) => m.hash(h),
+        }
+    }
+
     /// Whether this is a recovery-layer timer. In controlled-schedule
     /// mode timers are only ready once *nothing but timers* is parked,
     /// and then only the earliest-deadline timer is. A real timeout is
@@ -236,13 +273,66 @@ pub enum NodeHealth {
 
 /// An ordering channel for controlled scheduling; see [`BusMsg::channel`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum Channel {
+pub enum Channel {
     /// Remote deliveries between one ordered (src, dst) pair.
     Wire(NodeId, NodeId),
     /// Node-local hand-offs (src == dst), ordered among themselves.
     Local(NodeId),
     /// Processor accesses of one node, in program order.
     Proc(NodeId),
+}
+
+impl Channel {
+    /// A canonical sort key, so state fingerprints enumerate channels in
+    /// a path-independent order.
+    pub fn sort_key(&self) -> (u8, u16, u16) {
+        match self {
+            Channel::Wire(s, d) => (0, s.as_usize() as u16, d.as_usize() as u16),
+            Channel::Local(n) => (1, n.as_usize() as u16, 0),
+            Channel::Proc(n) => (2, n.as_usize() as u16, 0),
+        }
+    }
+}
+
+/// The state a pending event can read or write when it fires: the seam
+/// the checker's partial-order reduction is built on. Two ready events
+/// *commute* (either firing order reaches the same protocol state) when
+/// their footprints are disjoint — they fire at different nodes, touch
+/// different blocks (and therefore different directory entries and cache
+/// lines), and contribute to different in-network gathers — and both are
+/// channel-ordered deliveries (timers and always-ready events never
+/// commute: their firing discipline is globally ordered).
+#[derive(Clone, Copy, Debug)]
+pub struct Footprint {
+    /// The node whose modules the event mutates when it fires.
+    pub node: NodeId,
+    /// The block (directory entry, cache line, memory word) it touches.
+    /// `None` means "unknown" and conflicts with everything.
+    pub addr: Option<Addr>,
+    /// The in-network gather whose combining state a delivery mutates.
+    pub gather: Option<GatherId>,
+    /// Whether the event rides an ordering channel (non-timer,
+    /// non-always-ready). Only ordered events participate in reduction.
+    pub ordered: bool,
+}
+
+impl Footprint {
+    /// Whether two footprints touch disjoint state. Conservative: any
+    /// missing address, shared gather, or unordered event conflicts.
+    pub fn disjoint(&self, other: &Footprint) -> bool {
+        if !self.ordered || !other.ordered || self.node == other.node {
+            return false;
+        }
+        let addrs_disjoint = match (self.addr, other.addr) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        };
+        let gathers_disjoint = match (self.gather, other.gather) {
+            (Some(a), Some(b)) => a != b,
+            _ => true,
+        };
+        addrs_disjoint && gathers_disjoint
+    }
 }
 
 /// A snapshot of one event waiting in the held queue of a controlled
@@ -264,6 +354,50 @@ pub struct PendingEvent {
     pub addr: Option<Addr>,
     /// The transaction concerned, when the event names one.
     pub txn: Option<TxnId>,
+    /// The ordering channel, if any (see [`BusMsg::channel`]).
+    pub chan: Option<Channel>,
+    /// Whether this is a recovery-layer timer.
+    pub timer: bool,
+    /// The in-network gather this delivery belongs to, if any.
+    pub gather: Option<GatherId>,
+    /// A digest of the event's full content (channel plus message
+    /// payload), *excluding* its scheduled time and insertion sequence.
+    /// Stable while the event is parked and across different paths that
+    /// park the same logical event, so the checker can use it both as a
+    /// transition identity for sleep sets and as the held-event
+    /// contribution to a state fingerprint. Among simultaneously *ready*
+    /// events digests are distinct: readiness admits one event per
+    /// channel, and the digest folds the channel in.
+    pub content: u64,
+}
+
+impl PendingEvent {
+    /// The state this event touches when it fires — the independence
+    /// seam for dynamic partial-order reduction.
+    pub fn footprint(&self) -> Footprint {
+        Footprint {
+            node: self.node,
+            addr: self.addr,
+            gather: self.gather,
+            ordered: self.chan.is_some(),
+        }
+    }
+
+    /// Whether firing this event and `other` in either order reaches the
+    /// same protocol state, given the controlled scheduler's virtual
+    /// clock `now`. Requires disjoint footprints *and* order-invariant
+    /// fire times: the scheduler clamps a chosen event's firing time up
+    /// to the clock (`at.max(now)`), so two events commute timewise only
+    /// when both are already due (`at <= now`, each fires at `now` in
+    /// either order) or share a scheduled time. Timestamps downstream of
+    /// the pair (fabric port contention among the messages they send) may
+    /// still differ — the checker's state fingerprint deliberately
+    /// abstracts absolute times, and the DPOR soundness harness checks
+    /// the abstraction empirically against full enumeration.
+    pub fn commutes_with(&self, other: &PendingEvent, now: SimTime) -> bool {
+        let times_ok = self.at == other.at || (self.at <= now && other.at <= now);
+        times_ok && self.footprint().disjoint(&other.footprint())
+    }
 }
 
 /// The held event set of a bus in controlled-schedule mode. Events are
@@ -510,6 +644,14 @@ impl MessageBus {
                     | BusMsg::RejoinTimer { .. }
                     | BusMsg::Marker(_) => (None, None),
                 };
+                let gather = match msg {
+                    BusMsg::Recv { gather, .. } => *gather,
+                    _ => None,
+                };
+                let chan = msg.channel();
+                let mut hasher = FxHasher::default();
+                chan.hash(&mut hasher);
+                msg.fold_content(&mut hasher);
                 PendingEvent {
                     at: *at,
                     ready,
@@ -518,6 +660,10 @@ impl MessageBus {
                     label: msg.label(),
                     addr,
                     txn,
+                    chan,
+                    timer: msg.is_timer(),
+                    gather,
+                    content: hasher.finish(),
                 }
             })
             .collect()
@@ -571,6 +717,78 @@ impl MessageBus {
         let mut order: Vec<usize> = (0..h.events.len()).collect();
         order.sort_by_key(|&i| (h.events[i].0, h.events[i].1));
         order
+    }
+
+    /// Folds the held event set into a hasher in a canonical,
+    /// path-independent order: channels sorted by their kind and
+    /// endpoints, events within a channel in their forced delivery
+    /// order, unordered events sorted by content digest. Scheduled times
+    /// and insertion sequences are deliberately excluded — two schedules
+    /// that park the same messages in the same per-channel orders have
+    /// the same digest even when they got there at different virtual
+    /// times. Controlled mode only.
+    pub(crate) fn fold_held(&self, h: &mut impl Hasher) {
+        let held = self
+            .held
+            .as_ref()
+            .expect("fold_held() requires controlled mode");
+        // (channel sort key, at, seq, index): groups events by channel
+        // and keeps the in-channel delivery order.
+        type ChannelRank = ((u8, u16, u16), SimTime, u64, usize);
+        let mut order: Vec<ChannelRank> = held
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, (at, seq, msg))| {
+                let key = msg.channel().map_or((3, 0, 0), |c| c.sort_key());
+                (key, *at, *seq, i)
+            })
+            .collect();
+        order.sort();
+        held.events.len().hash(h);
+        let mut timers = Vec::new();
+        let mut unordered = Vec::new();
+        for (key, _, _, i) in order {
+            let msg = &held.events[i].2;
+            if key.0 == 3 {
+                let mut hh = FxHasher::default();
+                msg.fold_content(&mut hh);
+                if msg.is_timer() {
+                    // Timers fire in deadline order: their (at, seq) rank
+                    // is behavior, keep it.
+                    timers.push(hh.finish());
+                } else {
+                    // Always-ready events (retries, markers) have no
+                    // forced mutual order; canonicalize by content.
+                    unordered.push(hh.finish());
+                }
+            } else {
+                key.hash(h);
+                msg.fold_content(h);
+            }
+        }
+        unordered.sort_unstable();
+        for d in unordered {
+            d.hash(h);
+        }
+        for (rank, d) in timers.iter().enumerate() {
+            (rank, d).hash(h);
+        }
+        // In-flight gather combining progress lives in the fabric, not
+        // the held set: replies already absorbed by a switch are state.
+        self.fabric.fold_gathers(h, |p, h| (**p).hash(h));
+        // Armed-mode recovery bookkeeping (empty on a lossless fabric).
+        let mut replied: Vec<(GatherId, Vec<NodeId>)> = self
+            .gather_replied
+            .iter()
+            .map(|(id, set)| {
+                let mut nodes: Vec<NodeId> = set.iter().copied().collect();
+                nodes.sort_unstable();
+                (*id, nodes)
+            })
+            .collect();
+        replied.sort_unstable_by_key(|(id, _)| *id);
+        replied.hash(h);
     }
 
     /// Current simulation time.

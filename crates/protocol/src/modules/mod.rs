@@ -26,8 +26,8 @@
 //! commit-time replay (shard mode).
 
 pub mod bus;
-mod home;
-mod master;
+pub(crate) mod home;
+pub(crate) mod master;
 mod slave;
 
 pub use home::HomeModule;

@@ -111,6 +111,29 @@ impl FaultInjection {
         FaultInjection::ALL.into_iter().find(|f| f.name() == s)
     }
 
+    /// The smallest node count at which this mutant can actually fire.
+    /// The delayed-invalidation race needs a requester, a home, and a
+    /// *third* node holding the stale copy; the node mutants kill node 1,
+    /// which with fewer than 3 nodes leaves no healthy remote pair to
+    /// exercise the protocol against the casualty. A checker run below
+    /// this bound would trivially report green without ever arming the
+    /// fault — callers must reject such configs, not report them.
+    pub fn min_nodes(self) -> u32 {
+        match self {
+            FaultInjection::DelayInval
+            | FaultInjection::NodeDown
+            | FaultInjection::QuarantineOff => 3,
+            _ => 2,
+        }
+    }
+
+    /// Whether this mutant is only meaningful with the recovery layer
+    /// armed: `QuarantineOff` disables the quarantine step *of* recovery,
+    /// so without recovery there is nothing to disable.
+    pub fn needs_recovery(self) -> bool {
+        matches!(self, FaultInjection::QuarantineOff)
+    }
+
     /// The fabric fault plan this mutant arms, if it is a fabric mutant
     /// (`None` for the protocol mutants, which mutate module behaviour
     /// instead).

@@ -26,6 +26,28 @@ check_smoke() {
         --max-seconds 30
     # Every fault-injection mutant must be killed (counterexample found).
     "$check" mutants --nodes 2 --blocks 1 --ops 2 --max-seconds 120
+    # Reduced-exhaustive at 4 nodes: DPOR + state dedup make the 4-node
+    # space tractable. The unique-state count is pinned like the 9298
+    # schedule pin in crates/check/tests/checker.rs — a drift means the
+    # independence relation or the fingerprint moved.
+    local reduced_out
+    reduced_out="$("$check" reduced --nodes 4 --blocks 2 --ops 1 \
+        --max-seconds 120)"
+    echo "$reduced_out"
+    echo "$reduced_out" | grep -q "480 unique states" || {
+        echo "FAIL: 4-node reduced state count drifted from pin (480)"
+        exit 1
+    }
+    echo "$reduced_out" | grep -q "all oracles green over 8 schedules" || {
+        echo "FAIL: 4-node reduced exploration not green over 8 schedules"
+        exit 1
+    }
+    # The mutant gauntlet again, through the reduced/parallel explorers.
+    "$check" mutants --nodes 2 --blocks 1 --ops 2 --explorer reduced \
+        --max-seconds 120
+    # DPOR soundness: reduction preserves the falsifiable-oracle set for
+    # every (protocol, directory) pair, green and mutated.
+    cargo test --release --offline -q -p cenju4-check --test dpor_soundness
 }
 
 fault_smoke() {
