@@ -17,7 +17,7 @@ use core::ops::Range;
 /// `workers == 1` selects the plain sequential event loop. More workers
 /// split the simulated nodes into contiguous shards, one owner per
 /// worker; results are bit-identical at any worker count.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ParallelConfig {
     /// Number of worker threads (including the coordinating thread).
     /// Clamped to the node count at run time; `1` means sequential.

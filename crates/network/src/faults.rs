@@ -21,7 +21,7 @@ use cenju4_directory::NodeId;
 /// Coarse classification of a wire message, used to target faults at a
 /// protocol-meaningful slice of the traffic ("drop a reply", "duplicate an
 /// invalidation") without the network crate knowing protocol types.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WireClass {
     /// Master → home coherence requests (and home → slave forwards).
     Request,
@@ -38,7 +38,7 @@ pub enum WireClass {
 }
 
 /// What an injected fault does to the affected message.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// The message never arrives.
     Drop,
@@ -57,7 +57,7 @@ pub enum FaultKind {
 
 /// A targeted fault that fires exactly once: the `nth` message matching
 /// the link and class filters suffers `kind`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct OneShotFault {
     /// Restrict to one (src, dst) link, or `None` for any link.
     pub link: Option<(NodeId, NodeId)>,
@@ -71,7 +71,7 @@ pub struct OneShotFault {
 
 /// A link outage: every message on (src, dst) injected in
 /// `[from_ns, until_ns)` is dropped.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct LinkDown {
     /// Sending side of the dead link.
     pub src: NodeId,
@@ -86,7 +86,7 @@ pub struct LinkDown {
 /// A node outage: every message into *or* out of `node` injected in
 /// `[from_ns, until_ns)` is dropped — the node has gone silent. Use
 /// `until_ns == u64::MAX` for a permanent kill.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct NodeDown {
     /// The silenced node.
     pub node: NodeId,
@@ -112,7 +112,7 @@ pub struct NodeDown {
 /// assert!(FaultPlan::none().is_none());
 /// assert!(!FaultPlan::random(42, 10).is_none());
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct FaultPlan {
     /// Seed for the probabilistic decisions.
     pub seed: u64,

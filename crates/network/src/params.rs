@@ -6,7 +6,7 @@ use cenju4_des::Duration;
 ///
 /// The paper evaluates the machine both with the hardware functions and —
 /// using a logic-level simulator — without them (Figure 10's upper curves).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum MulticastMode {
     /// In-switch replication and in-switch reply gathering.
     #[default]
@@ -24,7 +24,7 @@ pub enum MulticastMode {
 /// eject_latency` when uncontended, which with the defaults is
 /// `280 + 130·stages` ns — exactly the increment Table 2 shows between the
 /// 2-, 4- and 6-stage columns for shared-remote-clean loads.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct NetParams {
     /// Source-side NIC latency added to every message (ns).
     pub inject_latency: Duration,

@@ -55,5 +55,5 @@ pub mod span;
 pub use cenju4_des::{Histogram, HistogramSummary};
 pub use cenju4_protocol::{Observer, PhaseKind, TxnId};
 pub use export::chrome_trace_json;
-pub use metrics::MetricsRegistry;
+pub use metrics::{summary_to_json, MetricsRegistry};
 pub use span::{Span, SpanClass, SpanCollector, SpanEvent};

@@ -113,11 +113,7 @@ impl MetricsRegistry {
             if i > 0 {
                 out.push(',');
             }
-            let s = h.summary();
-            out.push_str(&format!(
-                "\"{class}\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
-                s.count, s.p50, s.p90, s.p99, s.max
-            ));
+            out.push_str(&format!("\"{class}\":{}", summary_to_json(&h.summary())));
         }
         out.push_str("},\"counters\":{");
         for (i, (key, v)) in self.counters.iter().enumerate() {
@@ -178,6 +174,17 @@ impl MetricsRegistry {
             .map(|(k, h)| (k.clone(), h.buckets().to_vec()))
             .collect()
     }
+}
+
+/// Serializes one [`HistogramSummary`] as the canonical JSON object every
+/// exporter embeds — [`MetricsRegistry::to_json`] here, and the
+/// `cenju4-serve` simulate responses. Field order is fixed so equal
+/// summaries serialize byte-identically.
+pub fn summary_to_json(s: &HistogramSummary) -> String {
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        s.count, s.p50, s.p90, s.p99, s.max
+    )
 }
 
 #[cfg(test)]

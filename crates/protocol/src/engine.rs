@@ -26,6 +26,9 @@ use cenju4_network::{FaultPlan, NetParams};
 use core::fmt;
 
 pub(crate) mod parallel;
+mod snapshot;
+
+pub use snapshot::{EngineSnapshot, ExternalInput, InputRecord, RestoreError, SnapshotError};
 
 /// Why [`Engine::try_issue`] rejected an access. The legacy
 /// [`Engine::issue`] panics on these instead of returning them.
@@ -216,6 +219,14 @@ pub struct Engine {
     /// a quarantined owner — the home's memory is stale and the fresh
     /// value is unrecoverable. Value/convergence oracles skip these.
     lost_blocks: FxHashSet<Addr>,
+    /// Every external input applied so far, pinned to its dispatch-step
+    /// position — the whole truth a snapshot needs (see [`snapshot`]).
+    journal: Vec<InputRecord>,
+    /// Dispatch steps executed (one per event routed by [`Engine::run_next`]).
+    steps: u64,
+    /// Whether a conservative-parallel window has run; its batch commit
+    /// bypasses per-event dispatch, so snapshots are refused afterwards.
+    ran_parallel: bool,
 }
 
 impl Engine {
@@ -241,6 +252,9 @@ impl Engine {
             stalled: false,
             ever_down: FxHashSet::default(),
             lost_blocks: FxHashSet::default(),
+            journal: Vec::new(),
+            steps: 0,
+            ran_parallel: false,
         }
     }
 
@@ -768,6 +782,10 @@ impl Engine {
         }
         let txn = self.next_txn;
         self.next_txn += 1;
+        self.journal.push(InputRecord {
+            step: self.steps,
+            input: ExternalInput::Access { at, node, op, addr },
+        });
         self.bus.schedule(
             at,
             BusMsg::Access {
@@ -791,6 +809,16 @@ impl Engine {
     /// Panics if `src == dst`.
     pub fn mp_send(&mut self, at: SimTime, src: NodeId, dst: NodeId, bytes: u64, tag: u64) {
         assert_ne!(src, dst, "node-local messages need no network");
+        self.journal.push(InputRecord {
+            step: self.steps,
+            input: ExternalInput::MpSend {
+                at,
+                src,
+                dst,
+                bytes,
+                tag,
+            },
+        });
         let sw = self.params.mp_software;
         let msg = ProtoMsg::UserMessage {
             addr: Addr::new(dst, 0),
@@ -817,6 +845,10 @@ impl Engine {
     /// interleaving its own timed work (think time, synchronization) with
     /// protocol events.
     pub fn schedule_marker(&mut self, at: SimTime, token: u64) {
+        self.journal.push(InputRecord {
+            step: self.steps,
+            input: ExternalInput::Marker { at, token },
+        });
         self.bus.schedule(at, BusMsg::Marker(token));
     }
 
@@ -834,6 +866,7 @@ impl Engine {
     /// executes across worker threads with bit-identical results.
     pub fn run(&mut self) -> Vec<Notification> {
         let out = if self.parallel_eligible() {
+            self.ran_parallel = true;
             self.run_parallel()
         } else {
             let mut out = Vec::new();
@@ -862,6 +895,7 @@ impl Engine {
     /// and gaps never reach observers or modules. Afterwards the fabric's
     /// fault log is drained and the stall watchdog checked.
     fn dispatch(&mut self, at: SimTime, ev: BusMsg) {
+        self.steps += 1;
         self.dispatch_inner(at, ev);
         for e in self.bus.take_fault_events() {
             self.observers.on_fault_injected(&e);

@@ -75,7 +75,10 @@ pub use addr::{Addr, BLOCK_BYTES};
 pub use cache::{Cache, CacheState, Victim};
 pub use cenju4_des::ParallelConfig;
 pub use coherence::{AccessDecision, CoherenceProtocol, DragonProtocol, MesiProtocol, ProtocolId};
-pub use engine::{Engine, IssueError, MemOp, Notification};
+pub use engine::{
+    Engine, EngineSnapshot, ExternalInput, InputRecord, IssueError, MemOp, Notification,
+    RestoreError, SnapshotError,
+};
 pub use messages::{ProtoMsg, ReqKind, TxnId};
 pub use modules::bus::{Channel, Footprint, NodeHealth, PendingEvent};
 pub use observer::{ModuleKind, Observer, PhaseKind};

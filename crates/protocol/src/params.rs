@@ -9,7 +9,7 @@ use crate::addr::Addr;
 use crate::messages::TxnId;
 
 /// Which coherence protocol the homes run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// The Cenju-4 protocol: requests that cannot be processed are queued
     /// in main memory and serviced in FIFO order — no nacks, no
@@ -188,7 +188,7 @@ impl core::fmt::Display for FaultInjection {
 /// link layer is provably quiescent — no message is ever lost, so no
 /// timer can ever fire usefully — and all of its timers and envelopes are
 /// elided, which is what keeps golden traces bit-identical.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RecoveryParams {
     /// Master switch. Disabled means a faulty fabric is fatal (checker
     /// mutant-kill runs).
@@ -342,7 +342,7 @@ impl core::fmt::Display for RecoveryError {
 /// * row b = `issue + home_clean + retire` = 50 + 510 + 50 = 610 ns;
 /// * rows c/d/e emerge from the protocol's actual message sequences plus
 ///   the network's `280 + 130·stages` per message.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ProtoParams {
     /// Master: detect a miss and build the request.
     pub issue: Duration,

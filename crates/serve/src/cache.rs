@@ -1,0 +1,119 @@
+//! Result cache with in-flight coalescing.
+//!
+//! Every simulate query is keyed by its [`SimKey`] (canonical config
+//! fingerprint + workload knobs). The first request for a key claims an
+//! `InFlight` slot and runs the simulation; concurrent requests for the
+//! same key park on a condvar and receive the very same result string;
+//! later requests hit the `Done` slot. The claim is an atomic
+//! check-and-insert under one mutex, so **exactly one** simulation runs
+//! per distinct key at any concurrency — the `sims` counter equals the
+//! number of distinct keys served, which the stress test pins exactly.
+
+use crate::proto::SimKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Deterministic service counters. `hits` and `coalesced` individually
+/// depend on timing (a duplicate arriving after completion is a hit,
+/// before is a coalesce), but their sum — and `sims` — are exact at any
+/// thread count.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests handled (every command).
+    pub requests: AtomicU64,
+    /// Simulations actually run (== distinct keys served).
+    pub sims: AtomicU64,
+    /// Queries served from a completed cache entry.
+    pub hits: AtomicU64,
+    /// Queries that coalesced onto an in-flight simulation.
+    pub coalesced: AtomicU64,
+    /// Checkpoints taken.
+    pub snapshots: AtomicU64,
+    /// Live runs started (including resumes).
+    pub runs: AtomicU64,
+}
+
+impl Counters {
+    /// Queries that did not cost a simulation: cache hits + coalesced.
+    /// Exact at any thread count.
+    pub fn deduped(&self) -> u64 {
+        self.hits.load(Ordering::SeqCst) + self.coalesced.load(Ordering::SeqCst)
+    }
+}
+
+enum Slot {
+    /// Claimed: a worker is simulating this key right now.
+    InFlight,
+    /// The finished result line body, shared by every response.
+    Done(Arc<String>),
+}
+
+/// The dedup/result cache.
+#[derive(Default)]
+pub struct ResultCache {
+    slots: Mutex<HashMap<SimKey, Slot>>,
+    ready: Condvar,
+}
+
+/// What [`ResultCache::claim`] decided.
+pub enum Claim {
+    /// The caller owns the key: run the simulation, then
+    /// [`ResultCache::fill`].
+    Run,
+    /// Someone else already computed (or is computing) it.
+    Served(Arc<String>),
+}
+
+impl ResultCache {
+    /// Atomically claims `key`, or waits for / returns the existing
+    /// result. Increments the matching counter on `counters`.
+    pub fn claim(&self, key: SimKey, counters: &Counters) -> Claim {
+        let mut slots = self.slots.lock().unwrap();
+        match slots.get(&key) {
+            None => {
+                slots.insert(key, Slot::InFlight);
+                counters.sims.fetch_add(1, Ordering::SeqCst);
+                Claim::Run
+            }
+            Some(Slot::Done(r)) => {
+                counters.hits.fetch_add(1, Ordering::SeqCst);
+                Claim::Served(Arc::clone(r))
+            }
+            Some(Slot::InFlight) => {
+                counters.coalesced.fetch_add(1, Ordering::SeqCst);
+                loop {
+                    slots = self.ready.wait(slots).unwrap();
+                    if let Some(Slot::Done(r)) = slots.get(&key) {
+                        return Claim::Served(Arc::clone(r));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Publishes the result for a claimed key and wakes the coalesced
+    /// waiters.
+    pub fn fill(&self, key: SimKey, result: String) -> Arc<String> {
+        let result = Arc::new(result);
+        let mut slots = self.slots.lock().unwrap();
+        slots.insert(key, Slot::Done(Arc::clone(&result)));
+        self.ready.notify_all();
+        result
+    }
+
+    /// Number of completed entries (test observability).
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| matches!(s, Slot::Done(_)))
+            .count()
+    }
+
+    /// Whether the cache holds no completed entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,40 @@
+//! `cenju4-serve`: the simulator as a long-running capacity-planning
+//! service.
+//!
+//! Every what-if question about a Cenju-4 configuration used to cost a
+//! full process launch. This crate serves the simulator instead: a
+//! hermetic request loop (in-repo thread pools + std channels — the
+//! workspace has no crates.io dependencies) accepting concurrent
+//! queries over a line-delimited JSON protocol on stdin/stdout or a TCP
+//! listener. A query is a [`SystemConfig`](cenju4_sim::SystemConfig)
+//! plus a workload spec; the response is the predicted performance —
+//! total time, speedup over the sequential baseline, per-class latency
+//! quantiles in the `crates/obs` summary shape.
+//!
+//! Three properties make the service fast and testable:
+//!
+//! * **Dedup + caching** ([`cache`]): queries are keyed by the canonical
+//!   [`SystemConfig::fingerprint`](cenju4_sim::SystemConfig::fingerprint)
+//!   plus workload knobs. Identical in-flight queries coalesce onto one
+//!   simulation; completed results are cached. Exactly one simulation
+//!   runs per distinct key at any concurrency, and a cached response is
+//!   byte-identical to a fresh one (responses carry no cache metadata).
+//! * **Steerable runs** ([`server`]): `run_start`/`run_step` advance a
+//!   live simulation event by event; `run_checkpoint`/`run_resume` use
+//!   the engine's replay-based
+//!   [`Engine::snapshot`](cenju4_protocol::Engine::snapshot) seam, so a
+//!   client can checkpoint, ask a side question, and continue — resumed
+//!   runs are bit-identical to uninterrupted ones.
+//! * **Determinism end to end**: every response is a pure function of
+//!   the request stream, which is what lets the declarative scenario
+//!   harness (`tests/serve_scenarios.rs`) pin whole response lines.
+
+pub mod cache;
+pub mod pool;
+pub mod proto;
+pub mod server;
+
+pub use cache::{Claim, Counters, ResultCache};
+pub use pool::ThreadPool;
+pub use proto::{Cmd, Query, Request, SimKey, WorkloadSpec};
+pub use server::{Reply, Server};

@@ -1,0 +1,128 @@
+//! A minimal fixed-size thread pool over std channels — the workspace
+//! is hermetic (no crates.io), so this is the in-repo executor the
+//! service runs on. Jobs are boxed closures; `scoped` fan-out joins a
+//! batch of jobs and collects results in submission order.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads consuming jobs from one shared channel.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while popping, so
+                        // workers drain the queue concurrently.
+                        let job = {
+                            let rx = rx.lock().unwrap();
+                            rx.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => return, // pool dropped
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Submits a fire-and-forget job.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(job))
+            .expect("pool workers alive");
+    }
+
+    /// Runs every job on the pool and returns their results in
+    /// submission order, blocking until all complete.
+    pub fn map<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = jobs.len();
+        let (tx, rx) = channel::<(usize, T)>();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.submit(move || {
+                let out = job();
+                // The receiver outlives every job (we drain below), so a
+                // send failure means the collector panicked; nothing
+                // useful to do but drop the result.
+                let _ = tx.send((i, out));
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, v) = rx.recv().expect("pool job completed");
+            out[i] = Some(v);
+        }
+        out.into_iter()
+            .map(|v| v.expect("every slot filled"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers see Err and exit, then join.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_preserves_submission_order() {
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..32u64)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> u64 + Send>)
+            .collect();
+        let out = pool.map(jobs);
+        assert_eq!(out, (0..32u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn submit_runs_concurrently_and_drop_joins() {
+        let hits = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(3);
+            for _ in 0..24 {
+                let hits = Arc::clone(&hits);
+                pool.submit(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop joins the workers
+        assert_eq!(hits.load(Ordering::SeqCst), 24);
+    }
+}

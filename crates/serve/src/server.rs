@@ -1,0 +1,537 @@
+//! The request-handling core: one [`Server`] owns the result cache, the
+//! live-run actor, and two thread pools (one for client sessions, one
+//! for batch query fan-out). `handle` maps one request line to one
+//! response line; the stdio and TCP front ends in `main.rs`, the
+//! scenario harness, and the stress test all drive this same entry
+//! point.
+//!
+//! # Threading model
+//!
+//! The [`Engine`](cenju4_protocol::Engine) is deliberately not `Send`
+//! (its hot path uses `Rc` payloads). Stateless queries build, run, and
+//! drop an engine inside one worker, so nothing crosses threads. Live
+//! (steerable) runs persist between requests, so they live on a
+//! dedicated **run-actor thread** that owns every driver and snapshot
+//! and is driven over a channel — engines are thread-confined by
+//! construction, and the actor serializes run commands, which keeps
+//! checkpoint/resume ids deterministic.
+
+use crate::cache::{Claim, Counters, ResultCache};
+use crate::pool::ThreadPool;
+use crate::proto::{self, Cmd, Query};
+use cenju4_obs::summary_to_json;
+use cenju4_sim::{AccessClass, Driver, RunReport};
+use cenju4_workloads::{runner, AppKind, KernelProgram};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// Shared (Sync) server state; everything the stateless commands touch.
+pub struct State {
+    cache: ResultCache,
+    /// Service counters (see [`Counters`] for which are exact).
+    pub counters: Counters,
+    /// Sequential-baseline memo: (app, scale bits) → simulated ns.
+    seq_ns: Mutex<HashMap<(AppKind, u64), u64>>,
+}
+
+/// The capacity-planning service.
+pub struct Server {
+    state: Arc<State>,
+    /// Channel into the run-actor thread (see module docs).
+    runs: Mutex<Sender<RunMsg>>,
+    run_actor: Option<std::thread::JoinHandle<()>>,
+    /// Fan-out pool for `batch` queries.
+    queries: ThreadPool,
+    /// Session pool for TCP connections (separate from `queries` so a
+    /// batch issued from a session can never deadlock the pool).
+    sessions: ThreadPool,
+}
+
+/// One handled request: the response line, and whether the client asked
+/// to shut the session down.
+pub struct Reply {
+    /// The response line (no trailing newline).
+    pub line: String,
+    /// `true` for the `shutdown` command.
+    pub shutdown: bool,
+}
+
+/// A live-run command forwarded to the actor, with the request id and a
+/// reply channel for the response line.
+struct RunMsg {
+    id: u64,
+    cmd: RunCmd,
+    reply: Sender<String>,
+}
+
+enum RunCmd {
+    Start(Box<Query>),
+    Step { run: u64, steps: u64 },
+    Checkpoint { run: u64 },
+    Resume { snapshot: u64 },
+    Result { run: u64 },
+    Drop { run: u64 },
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Server::new(4)
+    }
+}
+
+impl Server {
+    /// A server whose pools run `workers` threads each.
+    pub fn new(workers: usize) -> Server {
+        let state = Arc::new(State {
+            cache: ResultCache::default(),
+            counters: Counters::default(),
+            seq_ns: Mutex::new(HashMap::new()),
+        });
+        let (tx, rx) = channel::<RunMsg>();
+        let actor_state = Arc::clone(&state);
+        let run_actor = std::thread::Builder::new()
+            .name("serve-run-actor".into())
+            .spawn(move || run_actor(actor_state, rx))
+            .expect("spawn run actor");
+        Server {
+            state,
+            runs: Mutex::new(tx),
+            run_actor: Some(run_actor),
+            queries: ThreadPool::new(workers),
+            sessions: ThreadPool::new(workers),
+        }
+    }
+
+    /// The shared state (counter observability for tests).
+    pub fn state(&self) -> &Arc<State> {
+        &self.state
+    }
+
+    /// Handles one request line, returning one response line.
+    pub fn handle(&self, line: &str) -> String {
+        self.handle_full(line).line
+    }
+
+    /// Handles one request line, also reporting a shutdown request.
+    pub fn handle_full(&self, line: &str) -> Reply {
+        self.state.counters.requests.fetch_add(1, Ordering::SeqCst);
+        let req = match proto::parse_request(line) {
+            Ok(req) => req,
+            Err((id, msg)) => {
+                return Reply {
+                    line: proto::err_line(id, &msg),
+                    shutdown: false,
+                }
+            }
+        };
+        let id = req.id;
+        let mut shutdown = false;
+        let line = match req.cmd {
+            Cmd::Ping => proto::ok_line(id, "{\"pong\":true}"),
+            Cmd::Fingerprint(cfg) => proto::ok_line(
+                id,
+                &format!("{{\"fingerprint\":\"{}\"}}", cfg.fingerprint_hex()),
+            ),
+            Cmd::Simulate(q) => match simulate(&self.state, &q) {
+                Ok(result) => proto::ok_line(id, &result),
+                Err(e) => proto::err_line(id, &e),
+            },
+            Cmd::Batch(queries) => {
+                type QueryJob = Box<dyn FnOnce() -> Result<Arc<String>, String> + Send>;
+                let jobs: Vec<QueryJob> = queries
+                    .into_iter()
+                    .map(|q| {
+                        let state = Arc::clone(&self.state);
+                        Box::new(move || simulate(&state, &q)) as QueryJob
+                    })
+                    .collect();
+                let results = self.queries.map(jobs);
+                let mut body = String::from("{\"results\":[");
+                for (i, r) in results.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    match r {
+                        Ok(s) => body.push_str(s),
+                        Err(e) => body.push_str(&format!("{{\"error\":\"{}\"}}", proto::esc(e))),
+                    }
+                }
+                body.push_str("]}");
+                proto::ok_line(id, &body)
+            }
+            Cmd::Stats => {
+                let c = &self.state.counters;
+                proto::ok_line(
+                    id,
+                    &format!(
+                        "{{\"requests\":{},\"sims\":{},\"deduped\":{},\"snapshots\":{},\"runs\":{}}}",
+                        c.requests.load(Ordering::SeqCst),
+                        c.sims.load(Ordering::SeqCst),
+                        c.deduped(),
+                        c.snapshots.load(Ordering::SeqCst),
+                        c.runs.load(Ordering::SeqCst),
+                    ),
+                )
+            }
+            Cmd::RunStart(q) => self.run_call(id, RunCmd::Start(Box::new(q))),
+            Cmd::RunStep { run, steps } => self.run_call(id, RunCmd::Step { run, steps }),
+            Cmd::RunCheckpoint { run } => self.run_call(id, RunCmd::Checkpoint { run }),
+            Cmd::RunResume { snapshot } => self.run_call(id, RunCmd::Resume { snapshot }),
+            Cmd::RunResult { run } => self.run_call(id, RunCmd::Result { run }),
+            Cmd::RunDrop { run } => self.run_call(id, RunCmd::Drop { run }),
+            Cmd::Shutdown => {
+                shutdown = true;
+                proto::ok_line(id, "{\"bye\":true}")
+            }
+        };
+        Reply { line, shutdown }
+    }
+
+    /// Round-trips one live-run command through the actor.
+    fn run_call(&self, id: u64, cmd: RunCmd) -> String {
+        let (reply, rx) = channel();
+        let sent = self
+            .runs
+            .lock()
+            .unwrap()
+            .send(RunMsg { id, cmd, reply })
+            .is_ok();
+        if !sent {
+            return proto::err_line(id, "run actor is gone");
+        }
+        rx.recv()
+            .unwrap_or_else(|_| proto::err_line(id, "run actor dropped the request"))
+    }
+
+    /// Serves TCP clients until the listener errors. Each connection
+    /// runs a line-per-request session on the session pool; `shutdown`
+    /// ends that session only.
+    pub fn serve_tcp(self: &Arc<Self>, listener: std::net::TcpListener) -> std::io::Result<()> {
+        use std::io::{BufRead, BufReader, Write};
+        loop {
+            let (stream, _) = listener.accept()?;
+            let server = Arc::clone(self);
+            self.sessions.submit(move || {
+                let reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                });
+                let mut writer = stream;
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let reply = server.handle_full(&line);
+                    if writeln!(writer, "{}", reply.line).is_err() || reply.shutdown {
+                        break;
+                    }
+                }
+            });
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Replace the sender with a dead channel so the actor's recv
+        // errors out and the thread exits, then join it.
+        let (dead, _) = channel();
+        *self.runs.lock().unwrap() = dead;
+        if let Some(h) = self.run_actor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl State {
+    /// The sequential baseline for the query's app/scale, memoized.
+    fn seq_time(&self, q: &Query) -> Result<u64, String> {
+        let key = (q.workload.app, q.workload.scale.to_bits());
+        if let Some(&ns) = self.seq_ns.lock().unwrap().get(&key) {
+            return Ok(ns);
+        }
+        let ns = runner::sequential_time(q.workload.app, q.workload.scale)
+            .map_err(|e| format!("sequential baseline failed: {e}"))?;
+        self.seq_ns.lock().unwrap().insert(key, ns);
+        Ok(ns)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The run actor: owns every live driver and stored snapshot.
+// ---------------------------------------------------------------------
+
+/// A live run: a driver mid-flight, or its finished report.
+enum RunState {
+    Live(Box<Driver<KernelProgram>>),
+    Done { steps: u64, result: String },
+}
+
+struct LiveRun {
+    query: Query,
+    state: RunState,
+}
+
+/// A stored checkpoint: the query that produced the run plus the
+/// engine's replay snapshot.
+struct StoredSnapshot {
+    query: Query,
+    snap: cenju4_protocol::EngineSnapshot,
+}
+
+fn build_program(q: &Query) -> KernelProgram {
+    KernelProgram::build(
+        q.workload.app,
+        q.workload.variant,
+        q.workload.mapping,
+        &q.cfg,
+        q.workload.scale,
+    )
+}
+
+fn run_actor(state: Arc<State>, rx: Receiver<RunMsg>) {
+    let mut runs: HashMap<u64, LiveRun> = HashMap::new();
+    let mut snaps: HashMap<u64, StoredSnapshot> = HashMap::new();
+    let next_run = AtomicU64::new(1);
+    let next_snap = AtomicU64::new(1);
+    while let Ok(RunMsg { id, cmd, reply }) = rx.recv() {
+        let line = match cmd {
+            RunCmd::Start(query) => {
+                let query = *query;
+                let mut driver = Driver::new(&query.cfg, build_program(&query));
+                driver.start();
+                state.counters.runs.fetch_add(1, Ordering::SeqCst);
+                let run = next_run.fetch_add(1, Ordering::SeqCst);
+                runs.insert(
+                    run,
+                    LiveRun {
+                        query,
+                        state: RunState::Live(Box::new(driver)),
+                    },
+                );
+                proto::ok_line(id, &format!("{{\"run\":{run},\"steps\":0,\"done\":false}}"))
+            }
+            RunCmd::Step { run, steps } => match runs.get_mut(&run) {
+                None => proto::err_line(id, &format!("unknown run {run}")),
+                Some(live) => step_run(&state, run, live, id, steps),
+            },
+            RunCmd::Checkpoint { run } => match runs.get(&run) {
+                None => proto::err_line(id, &format!("unknown run {run}")),
+                Some(LiveRun {
+                    state: RunState::Done { .. },
+                    ..
+                }) => proto::err_line(id, &format!("run {run} already finished")),
+                Some(LiveRun {
+                    state: RunState::Live(driver),
+                    query,
+                }) => match driver.snapshot() {
+                    Ok(snap) => {
+                        let steps = snap.steps;
+                        let sid = next_snap.fetch_add(1, Ordering::SeqCst);
+                        state.counters.snapshots.fetch_add(1, Ordering::SeqCst);
+                        snaps.insert(
+                            sid,
+                            StoredSnapshot {
+                                query: query.clone(),
+                                snap,
+                            },
+                        );
+                        proto::ok_line(
+                            id,
+                            &format!("{{\"snapshot\":{sid},\"run\":{run},\"steps\":{steps}}}"),
+                        )
+                    }
+                    Err(e) => proto::err_line(id, &format!("cannot checkpoint: {e}")),
+                },
+            },
+            RunCmd::Resume { snapshot } => match snaps.get(&snapshot) {
+                None => proto::err_line(id, &format!("unknown snapshot {snapshot}")),
+                Some(stored) => {
+                    let q = stored.query.clone();
+                    match Driver::resume(&q.cfg, build_program(&q), &stored.snap) {
+                        Ok(driver) => {
+                            state.counters.runs.fetch_add(1, Ordering::SeqCst);
+                            let run = next_run.fetch_add(1, Ordering::SeqCst);
+                            let steps = driver.engine().steps();
+                            runs.insert(
+                                run,
+                                LiveRun {
+                                    query: q,
+                                    state: RunState::Live(Box::new(driver)),
+                                },
+                            );
+                            proto::ok_line(
+                                id,
+                                &format!("{{\"run\":{run},\"steps\":{steps},\"done\":false}}"),
+                            )
+                        }
+                        Err(e) => proto::err_line(id, &format!("cannot resume: {e}")),
+                    }
+                }
+            },
+            RunCmd::Result { run } => match runs.get(&run) {
+                None => proto::err_line(id, &format!("unknown run {run}")),
+                Some(LiveRun {
+                    state: RunState::Live(_),
+                    ..
+                }) => proto::err_line(id, &format!("run {run} not finished (keep stepping)")),
+                Some(LiveRun {
+                    state: RunState::Done { result, .. },
+                    ..
+                }) => proto::ok_line(id, result),
+            },
+            RunCmd::Drop { run } => {
+                if runs.remove(&run).is_some() {
+                    proto::ok_line(id, &format!("{{\"dropped\":{run}}}"))
+                } else {
+                    proto::err_line(id, &format!("unknown run {run}"))
+                }
+            }
+        };
+        // A dropped reply receiver just means the client went away.
+        let _ = reply.send(line);
+    }
+}
+
+/// Pumps a live run by up to `steps` events, finalizing the report at
+/// quiescence so every later `run_result` returns the identical line.
+fn step_run(state: &Arc<State>, run: u64, live: &mut LiveRun, id: u64, steps: u64) -> String {
+    let RunState::Live(driver) = &mut live.state else {
+        let RunState::Done { steps, .. } = &live.state else {
+            unreachable!()
+        };
+        return proto::ok_line(
+            id,
+            &format!("{{\"run\":{run},\"steps\":{steps},\"done\":true}}"),
+        );
+    };
+    let mut drained = false;
+    for _ in 0..steps {
+        if !driver.pump() {
+            drained = true;
+            break;
+        }
+    }
+    let at = driver.engine().steps();
+    if !drained {
+        return proto::ok_line(
+            id,
+            &format!("{{\"run\":{run},\"steps\":{at},\"done\":false}}"),
+        );
+    }
+    let placeholder = RunState::Done {
+        steps: at,
+        result: String::new(),
+    };
+    let RunState::Live(driver) = std::mem::replace(&mut live.state, placeholder) else {
+        unreachable!()
+    };
+    let report = driver.finish();
+    match state.seq_time(&live.query) {
+        Ok(t) => {
+            live.state = RunState::Done {
+                steps: at,
+                result: result_json(&live.query, &report, t),
+            };
+            proto::ok_line(
+                id,
+                &format!("{{\"run\":{run},\"steps\":{at},\"done\":true}}"),
+            )
+        }
+        Err(e) => proto::err_line(id, &e),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stateless query execution
+// ---------------------------------------------------------------------
+
+/// Runs (or coalesces / serves from cache) one what-if query. Exactly
+/// one simulation runs per distinct [`SimKey`](crate::proto::SimKey) at
+/// any concurrency; every caller receives the same `Arc`'d result
+/// string, so cached responses are byte-identical to fresh ones.
+fn simulate(state: &Arc<State>, q: &Query) -> Result<Arc<String>, String> {
+    match state.cache.claim(q.key(), &state.counters) {
+        Claim::Served(r) => Ok(r),
+        Claim::Run => {
+            let report = runner::run_workload_on(
+                &q.cfg,
+                q.workload.app,
+                q.workload.variant,
+                q.workload.mapping,
+                q.workload.scale,
+            )
+            .map_err(|e| format!("simulation failed: {e}"))?;
+            let t_seq = state.seq_time(q)?;
+            Ok(state.cache.fill(q.key(), result_json(q, &report, t_seq)))
+        }
+    }
+}
+
+fn class_name(c: AccessClass) -> &'static str {
+    match c {
+        AccessClass::Private => "private",
+        AccessClass::SharedLocal => "shared-local",
+        AccessClass::SharedRemote => "shared-remote",
+    }
+}
+
+/// The predicted-performance result object: identity (fingerprint +
+/// workload), end-to-end time and speedup over the sequential baseline,
+/// and per-class access counts and latency summaries (the
+/// [`MetricsRegistry`](cenju4_obs::MetricsRegistry)-style quantile shape
+/// via [`summary_to_json`]). Field order is fixed; equal reports
+/// serialize byte-identically — and the object deliberately carries no
+/// cache metadata, so cached and fresh responses cannot differ.
+fn result_json(q: &Query, report: &RunReport, seq_ns: u64) -> String {
+    let total = report.total_time().as_ns();
+    let speedup = seq_ns as f64 / (total.max(1)) as f64;
+    let mut out = format!(
+        "{{\"fingerprint\":\"{}\",\"app\":\"{}\",\"variant\":\"{}\",\"mapping\":{},\"scale\":{},\
+         \"nodes\":{},\"total_ns\":{},\"seq_ns\":{},\"speedup\":{:.4},\"miss_ratio\":{:.6},\
+         \"sync_fraction\":{:.6}",
+        q.cfg.fingerprint_hex(),
+        q.workload.app.name(),
+        q.workload.variant.name(),
+        q.workload.mapping,
+        q.workload.scale,
+        q.cfg.sys.nodes(),
+        total,
+        seq_ns,
+        speedup,
+        report.miss_ratio(),
+        report.sync_fraction(),
+    );
+    out.push_str(",\"accesses\":{");
+    for (i, c) in AccessClass::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"total\":{},\"misses\":{}}}",
+            class_name(c),
+            report.accesses(c),
+            report.misses(c)
+        ));
+    }
+    out.push_str("},\"latency\":{");
+    for (i, (c, h)) in AccessClass::ALL
+        .into_iter()
+        .zip(report.latency_hist.iter())
+        .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{}",
+            class_name(c),
+            summary_to_json(&h.summary())
+        ));
+    }
+    out.push_str("}}");
+    out
+}

@@ -127,7 +127,7 @@ impl From<(ProtocolId, ProtocolKind)> for ProtocolSpec {
 /// assert_eq!(cfg.sys.nodes(), 128);
 /// # Ok::<(), cenju4_directory::SystemSizeError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SystemConfig {
     /// Machine size.
     pub sys: SystemSize,
@@ -230,6 +230,32 @@ impl SystemConfig {
         eng.set_fault_plan(self.fault.clone());
         eng.set_parallel(self.parallel);
         eng
+    }
+
+    /// A canonical 64-bit fingerprint of the configuration, built on the
+    /// engine's digest machinery (the deterministic in-repo
+    /// [`FxHasher`](cenju4_des::FxHasher) — no random state, so
+    /// fingerprints are stable across processes and hosts). Two configs
+    /// fingerprint equal iff they are semantically equal: the builder
+    /// normalizes as it goes, so call order never matters, and every
+    /// knob — sizes, timings, protocol/directory selection, fault plan,
+    /// recovery, parallelism — feeds the digest. `cenju4-serve` keys its
+    /// result cache and request-coalescing map on this value.
+    pub fn fingerprint(&self) -> u64 {
+        use cenju4_des::FxHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = FxHasher::default();
+        // Domain tag + format version: bump when the digested surface
+        // changes shape, so stale external caches cannot alias.
+        (0xC4A6_u64, 1u32).hash(&mut h);
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    /// [`SystemConfig::fingerprint`] as a fixed-width lowercase hex
+    /// string — the external cache-key form `cenju4-serve` reports.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
     }
 
     /// The modeled time to ship `bytes` over MPI: latency + size/bandwidth.

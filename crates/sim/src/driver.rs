@@ -9,7 +9,9 @@ use crate::config::SystemConfig;
 use crate::report::{AccessClass, NodeReport, RunReport};
 use cenju4_des::{Duration, SimTime};
 use cenju4_directory::NodeId;
-use cenju4_protocol::{Addr, Engine, MemOp, Notification};
+use cenju4_protocol::{
+    Addr, Engine, EngineSnapshot, MemOp, Notification, RestoreError, SnapshotError,
+};
 
 /// What a memory access targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,6 +114,12 @@ impl<F: FnMut(NodeId) -> Option<Step>> Program for F {
     }
 }
 
+impl Program for Box<dyn Program + Send> {
+    fn next_step(&mut self, node: NodeId) -> Option<Step> {
+        (**self).next_step(node)
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum NodeRun {
     Ready,
@@ -192,59 +200,83 @@ impl<P: Program> Driver<P> {
     /// finished its program no longer participates, so programs with
     /// uneven step counts terminate rather than deadlock.
     pub fn run(mut self) -> RunReport {
+        self.start();
+        while self.pump() {}
+        self.finish()
+    }
+
+    /// Primes every node's program (the time-zero advance). Call once on
+    /// a fresh driver before pumping; [`Driver::run`] does this itself.
+    pub fn start(&mut self) {
         let nodes = self.cfg.sys.nodes();
         for i in 0..nodes {
             self.advance(NodeId::new(i), SimTime::ZERO);
         }
-        while let Some(notes) = self.eng.run_next() {
-            for note in notes {
-                match note {
-                    Notification::Completed {
-                        node,
-                        addr,
-                        issued,
-                        finished,
-                        hit,
-                        l3,
-                        ..
-                    } => {
-                        // An L2 miss refilled from the node's own
-                        // third-level cache (update-protocol extension)
-                        // is a *local* access regardless of the home.
-                        let class = if l3 || addr.home() == node {
-                            AccessClass::SharedLocal
-                        } else {
-                            AccessClass::SharedRemote
-                        };
-                        self.hist[class.idx()].record(finished.since(issued).as_ns());
-                        let r = &mut self.reports[node.as_usize()];
-                        r.record(class, !hit, finished.since(issued));
-                        // The remaining accesses of the visit hit in cache.
-                        let extra = self.pending_reuse[node.as_usize()] - 1;
-                        let hit_cost = self.cfg.proto.hit;
-                        let mut t = finished;
-                        for _ in 0..extra {
-                            r.record(class, false, hit_cost);
-                            t += hit_cost;
-                        }
-                        self.advance(node, t);
+    }
+
+    /// Processes one engine event — the unit a checkpoint sits between.
+    /// Returns `false` once the simulation is quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Notification::RecoveryFailed`]: some access will
+    /// never complete and the timing report would be meaningless.
+    pub fn pump(&mut self) -> bool {
+        let Some(notes) = self.eng.run_next() else {
+            return false;
+        };
+        for note in notes {
+            match note {
+                Notification::Completed {
+                    node,
+                    addr,
+                    issued,
+                    finished,
+                    hit,
+                    l3,
+                    ..
+                } => {
+                    // An L2 miss refilled from the node's own
+                    // third-level cache (update-protocol extension)
+                    // is a *local* access regardless of the home.
+                    let class = if l3 || addr.home() == node {
+                        AccessClass::SharedLocal
+                    } else {
+                        AccessClass::SharedRemote
+                    };
+                    self.hist[class.idx()].record(finished.since(issued).as_ns());
+                    let r = &mut self.reports[node.as_usize()];
+                    r.record(class, !hit, finished.since(issued));
+                    // The remaining accesses of the visit hit in cache.
+                    let extra = self.pending_reuse[node.as_usize()] - 1;
+                    let hit_cost = self.cfg.proto.hit;
+                    let mut t = finished;
+                    for _ in 0..extra {
+                        r.record(class, false, hit_cost);
+                        t += hit_cost;
                     }
-                    Notification::Marker { token, at } => {
-                        let node = NodeId::new(token as u16);
-                        self.advance(node, at);
-                    }
-                    // Kernel programs do not use the message-passing API;
-                    // deliveries would come from driver extensions.
-                    Notification::MessageDelivered { .. } => {}
-                    // The recovery layer exhausted its retry budget: some
-                    // access will never complete and the timing report
-                    // would be meaningless. Fail loudly.
-                    Notification::RecoveryFailed { at, error } => {
-                        panic!("recovery failed at {at:?}: {error}")
-                    }
+                    self.advance(node, t);
+                }
+                Notification::Marker { token, at } => {
+                    let node = NodeId::new(token as u16);
+                    self.advance(node, at);
+                }
+                // Kernel programs do not use the message-passing API;
+                // deliveries would come from driver extensions.
+                Notification::MessageDelivered { .. } => {}
+                // The recovery layer exhausted its retry budget: some
+                // access will never complete and the timing report
+                // would be meaningless. Fail loudly.
+                Notification::RecoveryFailed { at, error } => {
+                    panic!("recovery failed at {at:?}: {error}")
                 }
             }
         }
+        true
+    }
+
+    /// Finalizes a drained driver into its report.
+    pub fn finish(self) -> RunReport {
         debug_assert!(
             self.state.iter().all(|s| matches!(s, NodeRun::Finished)),
             "driver drained its events with unfinished nodes"
@@ -253,6 +285,58 @@ impl<P: Program> Driver<P> {
             nodes: self.reports,
             latency_hist: self.hist,
         }
+    }
+
+    /// Whether every node's program has finished (the engine may still
+    /// owe a final pump to drain to quiescence).
+    pub fn finished(&self) -> bool {
+        self.state.iter().all(|s| matches!(s, NodeRun::Finished))
+    }
+
+    /// Checkpoints the run between pumps — see
+    /// [`Engine::snapshot`](cenju4_protocol::Engine::snapshot). Resume
+    /// with [`Driver::resume`] using a *fresh* copy of the same program.
+    pub fn snapshot(&self) -> Result<EngineSnapshot, SnapshotError> {
+        self.eng.snapshot()
+    }
+
+    /// Rebuilds a driver at a checkpoint by deterministic replay: a
+    /// fresh driver over `cfg` runs `program` forward until the engine
+    /// reaches the snapshot's dispatch-step position. Because the driver
+    /// loop is deterministic, the rebuilt driver — engine, reports,
+    /// histograms, program position — is bit-identical to the one that
+    /// took the snapshot, and running it to completion produces exactly
+    /// the uninterrupted run's report. `program` must be a fresh copy of
+    /// the program the snapshotted driver started with, and `cfg` the
+    /// same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::SystemMismatch`] when `cfg` disagrees with the
+    /// snapshot's machine size; [`RestoreError::QuiescentBeforeCheckpoint`]
+    /// when the replay drains early (a different program or config).
+    pub fn resume(
+        cfg: &SystemConfig,
+        program: P,
+        snap: &EngineSnapshot,
+    ) -> Result<Self, RestoreError> {
+        if cfg.sys.nodes() != snap.nodes {
+            return Err(RestoreError::SystemMismatch {
+                snapshot: snap.nodes,
+                engine: cfg.sys.nodes(),
+            });
+        }
+        let mut d = Driver::new(cfg, program);
+        d.start();
+        while d.eng.steps() < snap.steps {
+            if !d.pump() {
+                return Err(RestoreError::QuiescentBeforeCheckpoint {
+                    reached: d.eng.steps(),
+                    wanted: snap.steps,
+                });
+            }
+        }
+        Ok(d)
     }
 
     /// Executes steps for `node` starting at time `t` until the node

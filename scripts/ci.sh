@@ -3,7 +3,7 @@
 # schedule-exploring protocol checker's smoke tier.
 # Everything runs offline — the workspace has no external dependencies.
 #
-# Usage: scripts/ci.sh [check-smoke|fault-smoke|perf-smoke|obs-smoke|scaling-smoke|bakeoff-smoke|chaos-smoke]
+# Usage: scripts/ci.sh [check-smoke|fault-smoke|perf-smoke|obs-smoke|scaling-smoke|bakeoff-smoke|chaos-smoke|serve-smoke]
 #   (no arg)       run the full gate
 #   check-smoke    run only the time-capped protocol-checker tier
 #   fault-smoke    run only the time-capped unreliable-fabric recovery tier
@@ -12,6 +12,7 @@
 #   scaling-smoke  run only the parallel-executor bit-identity + speedup tier
 #   bakeoff-smoke  run only the cross-protocol (MESI/Dragon x directory) tier
 #   chaos-smoke    run only the node-failure containment tier
+#   serve-smoke    run only the capacity-planning service tier
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -173,6 +174,34 @@ chaos_smoke() {
     [[ -s "$out/BENCH_chaos.json" ]] || { echo "FAIL: BENCH_chaos.json missing"; exit 1; }
 }
 
+serve_smoke() {
+    echo "==> capacity-planning service smoke tier (time-capped)"
+    # Declarative scenarios: every tests/testdata/*.scn request/response
+    # stanza replays byte-identically against a fresh server. Then the
+    # concurrency stress (exact dedup counters, responses bit-identical
+    # to sequential ground truth), the snapshot/resume property test,
+    # and the config-fingerprint stability/sensitivity suite.
+    timeout 600 cargo test -q --release --offline \
+        --test serve_scenarios --test serve_stress \
+        --test snapshot_resume --test config_fingerprint
+    # The binary end to end over stdin: a ping, a cached pair of what-if
+    # queries, and the dedup counter pinned through the real front end.
+    cargo build --release --offline -p cenju4-serve
+    local out
+    out=$(printf '%s\n' \
+        '{"id":1,"cmd":"ping"}' \
+        '{"id":2,"cmd":"simulate","config":{"nodes":8},"workload":{"app":"ft","scale":0.25}}' \
+        '{"id":3,"cmd":"simulate","config":{"nodes":8},"workload":{"app":"ft","scale":0.25}}' \
+        '{"id":4,"cmd":"stats"}' \
+        '{"id":5,"cmd":"shutdown"}' \
+        | timeout 120 target/release/cenju4-serve)
+    echo "$out" | grep -q '"pong":true' || { echo "FAIL: no pong"; exit 1; }
+    [[ "$(echo "$out" | sed -n 2p)" == "$(echo "$out" | sed -n 3p | sed 's/"id":3/"id":2/')" ]] \
+        || { echo "FAIL: cached response not byte-identical to fresh"; exit 1; }
+    echo "$out" | grep -q '"sims":1,"deduped":1' \
+        || { echo "FAIL: dedup counters wrong through the binary"; exit 1; }
+}
+
 if [[ "${1:-}" == "check-smoke" ]]; then
     check_smoke
     echo "CI OK (check-smoke)"
@@ -215,6 +244,12 @@ if [[ "${1:-}" == "chaos-smoke" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "serve-smoke" ]]; then
+    serve_smoke
+    echo "CI OK (serve-smoke)"
+    exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -241,5 +276,7 @@ scaling_smoke
 bakeoff_smoke
 
 chaos_smoke
+
+serve_smoke
 
 echo "CI OK"

@@ -1,0 +1,220 @@
+//! Declarative scenario tests for the capacity-planning service.
+//!
+//! Every `tests/testdata/*.scn` file is a conversation with a fresh
+//! [`Server`]: `send` lines carry one request each, and the `expect`
+//! line after each send pins the service's exact response byte for
+//! byte. Because every response is a pure function of the request
+//! stream (the service is deterministic end to end), whole JSON lines
+//! can be pinned — including simulated timings and speedups.
+//!
+//! File format:
+//!
+//! ```text
+//! # comment (kept verbatim by record mode)
+//! send {"id":1,"cmd":"ping"}
+//! expect {"id":1,"ok":true,"result":{"pong":true}}
+//! ```
+//!
+//! To record (or re-record after an intentional protocol change):
+//!
+//! ```text
+//! CENJU4_BLESS=1 cargo test --test serve_scenarios
+//! ```
+//!
+//! Record mode replays each file's `send` lines against a fresh server
+//! and rewrites the `expect` lines in place, preserving comments and
+//! blank lines. Verify mode reports the first divergence with the file,
+//! line number, and both lines.
+
+use cenju4_serve::Server;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One parsed scenario line.
+enum Line {
+    /// Comment or blank — preserved verbatim by record mode.
+    Passthrough(String),
+    /// `send <request json>`.
+    Send(String),
+    /// `expect <response line>` (pins the reply to the previous send).
+    Expect(String),
+}
+
+fn parse(path: &Path) -> Vec<Line> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read scenario {}: {e}", path.display()));
+    text.lines()
+        .map(|l| {
+            if let Some(req) = l.strip_prefix("send ") {
+                Line::Send(req.to_string())
+            } else if let Some(want) = l.strip_prefix("expect ") {
+                Line::Expect(want.to_string())
+            } else if l.trim().is_empty() || l.trim_start().starts_with('#') {
+                Line::Passthrough(l.to_string())
+            } else {
+                panic!(
+                    "{}: unrecognized scenario line (want `send`, `expect`, `#`, or blank): {l:?}",
+                    path.display()
+                )
+            }
+        })
+        .collect()
+}
+
+/// Replays the file's sends against a fresh server and rewrites every
+/// `expect` with the actual response.
+fn bless(path: &Path) {
+    let server = Server::new(2);
+    let mut out = String::new();
+    for line in parse(path) {
+        match line {
+            Line::Passthrough(l) => {
+                out.push_str(&l);
+                out.push('\n');
+            }
+            Line::Send(req) => {
+                let reply = server.handle(&req);
+                let _ = writeln!(out, "send {req}\nexpect {reply}");
+            }
+            // Old expectations are superseded by the fresh replies.
+            Line::Expect(_) => {}
+        }
+    }
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// Replays the file against a fresh server; returns a readable report of
+/// the first divergence, or `Ok` if every pinned line matches.
+fn verify(path: &Path) -> Result<(), String> {
+    let lines = parse(path);
+    let server = Server::new(2);
+    let mut pending: Option<(usize, String, String)> = None; // (line no, request, reply)
+    for (no, line) in lines.iter().enumerate() {
+        let no = no + 1;
+        match line {
+            Line::Passthrough(_) => {}
+            Line::Send(req) => {
+                if let Some((sent_no, req, _)) = pending.take() {
+                    return Err(format!(
+                        "{}:{sent_no}: send has no `expect` line pinning its response\n\
+                         request:  {req}\n\
+                         re-record with CENJU4_BLESS=1 cargo test --test serve_scenarios",
+                        path.display()
+                    ));
+                }
+                pending = Some((no, req.clone(), server.handle(req)));
+            }
+            Line::Expect(want) => {
+                let Some((_, req, got)) = pending.take() else {
+                    return Err(format!(
+                        "{}:{no}: `expect` with no preceding `send`",
+                        path.display()
+                    ));
+                };
+                if &got != want {
+                    return Err(format!(
+                        "{}:{no}: response diverged from the pinned expectation\n\
+                         request:  {req}\n\
+                         expected: {want}\n\
+                         actual:   {got}\n\
+                         re-record with CENJU4_BLESS=1 cargo test --test serve_scenarios",
+                        path.display()
+                    ));
+                }
+            }
+        }
+    }
+    if let Some((sent_no, req, _)) = pending {
+        return Err(format!(
+            "{}:{sent_no}: trailing send has no `expect` line\nrequest:  {req}",
+            path.display()
+        ));
+    }
+    Ok(())
+}
+
+fn testdata_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("testdata")
+}
+
+fn scenario_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(testdata_dir())
+        .expect("tests/testdata exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Walks every `tests/testdata/*.scn` file. With `CENJU4_BLESS=1` set,
+/// records instead of verifying.
+#[test]
+fn scenario_files_replay_byte_identically() {
+    let files = scenario_files();
+    assert!(
+        files.len() >= 6,
+        "expected at least 6 scenario files in tests/testdata, found {}",
+        files.len()
+    );
+    let blessing = std::env::var_os("CENJU4_BLESS").is_some();
+    let mut failures = Vec::new();
+    for f in &files {
+        if blessing {
+            bless(f);
+        } else if let Err(report) = verify(f) {
+            failures.push(report);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} scenario file(s) diverged:\n\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}
+
+/// The harness itself must fail *readably* when an expectation is wrong:
+/// corrupt one pinned line and check the report names the file, the line,
+/// and both the expected and actual responses.
+#[test]
+fn corrupted_expectation_fails_with_readable_diff() {
+    let dir = std::env::temp_dir().join(format!("cenju4-scn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corrupt.scn");
+    std::fs::write(
+        &path,
+        "# deliberately wrong expectation\n\
+         send {\"id\":7,\"cmd\":\"ping\"}\n\
+         expect {\"id\":7,\"ok\":true,\"result\":{\"pong\":false}}\n",
+    )
+    .unwrap();
+    let err = verify(&path).expect_err("corrupted expectation must fail");
+    std::fs::remove_dir_all(&dir).ok();
+    for needle in [
+        "corrupt.scn:3",
+        "expected: {\"id\":7,\"ok\":true,\"result\":{\"pong\":false}}",
+        "actual:   {\"id\":7,\"ok\":true,\"result\":{\"pong\":true}}",
+        "CENJU4_BLESS=1",
+    ] {
+        assert!(
+            err.contains(needle),
+            "diff report missing {needle:?}:\n{err}"
+        );
+    }
+}
+
+/// A send without a pinned expectation is an error, not a silent skip.
+#[test]
+fn unpinned_send_is_an_error() {
+    let dir = std::env::temp_dir().join(format!("cenju4-scn-unpinned-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("unpinned.scn");
+    std::fs::write(&path, "send {\"id\":1,\"cmd\":\"ping\"}\n").unwrap();
+    let err = verify(&path).expect_err("unpinned send must fail");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(err.contains("no `expect`"), "unexpected report:\n{err}");
+}

@@ -1,0 +1,156 @@
+//! Concurrency stress for the capacity-planning service: many client
+//! threads firing overlapping what-if queries must (a) each receive a
+//! response byte-identical to the sequential ground truth, and (b)
+//! leave the dedup/cache counters *exactly* right — `sims` equals the
+//! number of distinct sweep points no matter how many threads raced,
+//! and every other request was either a cache hit or coalesced onto an
+//! in-flight simulation.
+
+use cenju4_serve::Server;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Six distinct sweep points, each fast enough for a debug-build test.
+/// Requests reuse the same id for the same point so duplicate requests
+/// are byte-for-byte identical, responses included.
+fn sweep_points() -> Vec<String> {
+    let mut lines = Vec::new();
+    for (id, (nodes, app)) in [
+        (8, "cg"),
+        (16, "cg"),
+        (8, "ft"),
+        (16, "ft"),
+        (32, "ft"),
+        (16, "sp"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        lines.push(format!(
+            "{{\"id\":{id},\"cmd\":\"simulate\",\"config\":{{\"nodes\":{nodes}}},\
+             \"workload\":{{\"app\":\"{app}\",\"scale\":0.25}}}}"
+        ));
+    }
+    lines
+}
+
+/// Sequential ground truth: one fresh server answers each distinct
+/// request once.
+fn ground_truth(points: &[String]) -> HashMap<String, String> {
+    let server = Server::new(1);
+    points
+        .iter()
+        .map(|req| (req.clone(), server.handle(req)))
+        .collect()
+}
+
+fn run_stress(threads: usize, rounds: usize, workers: usize) {
+    let points = sweep_points();
+    let truth = ground_truth(&points);
+    let server = Arc::new(Server::new(workers));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let points = points.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for r in 0..rounds {
+                    // Each thread walks the points in a different
+                    // rotation so distinct keys race against each other
+                    // as well as against their own duplicates.
+                    for i in 0..points.len() {
+                        let req = &points[(i + t + r) % points.len()];
+                        got.push((req.clone(), server.handle(req)));
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+
+    let mut total = 0usize;
+    for h in handles {
+        for (req, resp) in h.join().expect("client thread") {
+            assert_eq!(
+                &resp, &truth[&req],
+                "concurrent response diverged from sequential ground truth for {req}"
+            );
+            total += 1;
+        }
+    }
+    assert_eq!(total, threads * rounds * points.len());
+
+    // The counters are exact at any thread count: every distinct sweep
+    // point simulated exactly once; every other request deduplicated.
+    let c = &server.state().counters;
+    assert_eq!(
+        c.sims.load(Ordering::SeqCst) as usize,
+        points.len(),
+        "exactly one simulation per distinct sweep point"
+    );
+    assert_eq!(
+        c.deduped() as usize,
+        total - points.len(),
+        "every non-first request was a cache hit or coalesced"
+    );
+    assert_eq!(c.requests.load(Ordering::SeqCst) as usize, total);
+}
+
+#[test]
+fn concurrent_queries_are_bit_identical_and_dedup_exactly() {
+    run_stress(8, 2, 4);
+}
+
+#[test]
+fn single_worker_pool_gives_identical_counters() {
+    run_stress(4, 2, 1);
+}
+
+/// The same property over real sockets: several TCP clients hammer one
+/// listener; every response line must match the sequential ground truth.
+#[test]
+fn tcp_clients_get_ground_truth_responses() {
+    let points = sweep_points();
+    let truth = ground_truth(&points);
+    let server = Arc::new(Server::new(4));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("bound");
+    {
+        let server = Arc::clone(&server);
+        // The acceptor blocks forever; it dies with the test process.
+        std::thread::spawn(move || {
+            let _ = server.serve_tcp(listener);
+        });
+    }
+
+    let clients: Vec<_> = (0..3)
+        .map(|t| {
+            let points = points.clone();
+            std::thread::spawn(move || {
+                let stream = std::net::TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                let mut got = Vec::new();
+                for i in 0..points.len() {
+                    let req = &points[(i + t) % points.len()];
+                    writeln!(writer, "{req}").expect("send");
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("reply");
+                    got.push((req.clone(), line.trim_end().to_string()));
+                }
+                got
+            })
+        })
+        .collect();
+
+    for c in clients {
+        for (req, resp) in c.join().expect("tcp client") {
+            assert_eq!(&resp, &truth[&req], "tcp response diverged for {req}");
+        }
+    }
+    let c = &server.state().counters;
+    assert_eq!(c.sims.load(Ordering::SeqCst) as usize, points.len());
+    assert_eq!(c.deduped() as usize, 3 * points.len() - points.len());
+}
