@@ -8,6 +8,14 @@
 //! check-and-insert under one mutex, so **exactly one** simulation runs
 //! per distinct key at any concurrency — the `sims` counter equals the
 //! number of distinct keys served, which the stress test pins exactly.
+//!
+//! A claimed key must always resolve: the owner publishes either
+//! [`ResultCache::fill`] (success) or [`ResultCache::fail`] (error —
+//! including a panicking simulation, via the claim guard in
+//! `server::simulate`). The simulator is deterministic, so a failure is
+//! cached like a success and every later request for that key receives
+//! the same error without re-running; an `InFlight` slot can therefore
+//! never outlive its owner, and waiters can never wedge.
 
 use crate::proto::SimKey;
 use std::collections::HashMap;
@@ -47,6 +55,8 @@ enum Slot {
     InFlight,
     /// The finished result line body, shared by every response.
     Done(Arc<String>),
+    /// The simulation failed; the error message, shared likewise.
+    Failed(Arc<String>),
 }
 
 /// The dedup/result cache.
@@ -58,11 +68,13 @@ pub struct ResultCache {
 
 /// What [`ResultCache::claim`] decided.
 pub enum Claim {
-    /// The caller owns the key: run the simulation, then
-    /// [`ResultCache::fill`].
+    /// The caller owns the key: run the simulation, then publish with
+    /// [`ResultCache::fill`] or [`ResultCache::fail`].
     Run,
     /// Someone else already computed (or is computing) it.
     Served(Arc<String>),
+    /// Someone else already tried it and it failed; the cached error.
+    Failed(Arc<String>),
 }
 
 impl ResultCache {
@@ -80,12 +92,18 @@ impl ResultCache {
                 counters.hits.fetch_add(1, Ordering::SeqCst);
                 Claim::Served(Arc::clone(r))
             }
+            Some(Slot::Failed(e)) => {
+                counters.hits.fetch_add(1, Ordering::SeqCst);
+                Claim::Failed(Arc::clone(e))
+            }
             Some(Slot::InFlight) => {
                 counters.coalesced.fetch_add(1, Ordering::SeqCst);
                 loop {
                     slots = self.ready.wait(slots).unwrap();
-                    if let Some(Slot::Done(r)) = slots.get(&key) {
-                        return Claim::Served(Arc::clone(r));
+                    match slots.get(&key) {
+                        Some(Slot::Done(r)) => return Claim::Served(Arc::clone(r)),
+                        Some(Slot::Failed(e)) => return Claim::Failed(Arc::clone(e)),
+                        Some(Slot::InFlight) | None => {}
                     }
                 }
             }
@@ -102,6 +120,17 @@ impl ResultCache {
         result
     }
 
+    /// Publishes a failure for a claimed key and wakes the coalesced
+    /// waiters. The error is cached: the simulator is deterministic, so
+    /// retrying the same key would fail the same way.
+    pub fn fail(&self, key: SimKey, error: String) -> Arc<String> {
+        let error = Arc::new(error);
+        let mut slots = self.slots.lock().unwrap();
+        slots.insert(key, Slot::Failed(Arc::clone(&error)));
+        self.ready.notify_all();
+        error
+    }
+
     /// Number of completed entries (test observability).
     pub fn len(&self) -> usize {
         self.slots
@@ -115,5 +144,55 @@ impl ResultCache {
     /// Whether the cache holds no completed entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cenju4_workloads::{AppKind, Variant};
+    use std::sync::atomic::Ordering;
+
+    fn key() -> SimKey {
+        SimKey {
+            cfg: 0xC0FFEE,
+            app: AppKind::Cg,
+            variant: Variant::Dsm2,
+            mapping: false,
+            scale_bits: 1.0f64.to_bits(),
+        }
+    }
+
+    /// A failed claim must resolve parked waiters and be served to
+    /// later claimants — an `InFlight` slot never outlives its owner.
+    #[test]
+    fn failure_wakes_waiters_and_is_cached() {
+        let cache = Arc::new(ResultCache::default());
+        let counters = Arc::new(Counters::default());
+        assert!(matches!(cache.claim(key(), &counters), Claim::Run));
+
+        // Park a waiter on the in-flight slot, then fail the claim.
+        let waiter = {
+            let (cache, counters) = (Arc::clone(&cache), Arc::clone(&counters));
+            std::thread::spawn(move || cache.claim(key(), &counters))
+        };
+        while counters.coalesced.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        cache.fail(key(), "boom".into());
+
+        match waiter.join().expect("waiter thread") {
+            Claim::Failed(e) => assert_eq!(*e, "boom"),
+            _ => panic!("waiter must see the failure"),
+        }
+        // A later claimant is served the cached error without a re-run.
+        match cache.claim(key(), &counters) {
+            Claim::Failed(e) => assert_eq!(*e, "boom"),
+            _ => panic!("failure must be cached"),
+        }
+        assert_eq!(counters.sims.load(Ordering::SeqCst), 1);
+        assert_eq!(counters.deduped(), 2);
+        // Failed slots are not "completed results".
+        assert!(cache.is_empty());
     }
 }

@@ -34,7 +34,14 @@ impl ThreadPool {
                             rx.recv()
                         };
                         match job {
-                            Ok(job) => job(),
+                            // A panicking job must not kill the worker:
+                            // the pool would silently shrink until
+                            // `submit` itself panics in the caller. The
+                            // job owns any cleanup (e.g. the cache claim
+                            // guard); here we just survive the unwind.
+                            Ok(job) => {
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            }
                             Err(_) => return, // pool dropped
                         }
                     })
@@ -58,6 +65,10 @@ impl ThreadPool {
 
     /// Runs every job on the pool and returns their results in
     /// submission order, blocking until all complete.
+    ///
+    /// Jobs must not panic: a panicked job produces no `T`, so the
+    /// collector would fail. Callers that run fallible work wrap it in
+    /// `catch_unwind` and return the error as a value (as `batch` does).
     pub fn map<T: Send + 'static>(
         &self,
         jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
@@ -109,6 +120,24 @@ mod tests {
             .collect();
         let out = pool.map(jobs);
         assert_eq!(out, (0..32u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_survive_panicking_jobs() {
+        let hits = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..4 {
+                pool.submit(|| panic!("job panic must not kill the worker"));
+            }
+            for _ in 0..8 {
+                let hits = Arc::clone(&hits);
+                pool.submit(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop joins; every post-panic job must still have run
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
     }
 
     #[test]

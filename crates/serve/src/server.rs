@@ -1,9 +1,10 @@
 //! The request-handling core: one [`Server`] owns the result cache, the
-//! live-run actor, and two thread pools (one for client sessions, one
-//! for batch query fan-out). `handle` maps one request line to one
-//! response line; the stdio and TCP front ends in `main.rs`, the
-//! scenario harness, and the stress test all drive this same entry
-//! point.
+//! live-run actor, and a thread pool for batch query fan-out; each TCP
+//! session gets its own thread (sessions are rare, long-lived, and
+//! mostly blocked on the socket, so a fixed pool would starve the
+//! (N+1)-th client). `handle` maps one request line to one response
+//! line; the stdio and TCP front ends in `main.rs`, the scenario
+//! harness, and the stress test all drive this same entry point.
 //!
 //! # Threading model
 //!
@@ -42,11 +43,10 @@ pub struct Server {
     /// Channel into the run-actor thread (see module docs).
     runs: Mutex<Sender<RunMsg>>,
     run_actor: Option<std::thread::JoinHandle<()>>,
-    /// Fan-out pool for `batch` queries.
+    /// Fan-out pool for `batch` queries. TCP sessions deliberately do
+    /// NOT run here: each gets its own thread (see [`Server::serve_tcp`])
+    /// so sessions never starve each other or the batch fan-out.
     queries: ThreadPool,
-    /// Session pool for TCP connections (separate from `queries` so a
-    /// batch issued from a session can never deadlock the pool).
-    sessions: ThreadPool,
 }
 
 /// One handled request: the response line, and whether the client asked
@@ -100,7 +100,6 @@ impl Server {
             runs: Mutex::new(tx),
             run_actor: Some(run_actor),
             queries: ThreadPool::new(workers),
-            sessions: ThreadPool::new(workers),
         }
     }
 
@@ -144,7 +143,15 @@ impl Server {
                     .into_iter()
                     .map(|q| {
                         let state = Arc::clone(&self.state);
-                        Box::new(move || simulate(&state, &q)) as QueryJob
+                        // Contain panics inside the job: `map` counts on
+                        // one result per job, and the claim guard has
+                        // already published the failure to the cache.
+                        Box::new(move || {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                simulate(&state, &q)
+                            }))
+                            .unwrap_or_else(|_| Err("simulation panicked".into()))
+                        }) as QueryJob
                     })
                     .collect();
                 let results = self.queries.map(jobs);
@@ -206,14 +213,16 @@ impl Server {
     }
 
     /// Serves TCP clients until the listener errors. Each connection
-    /// runs a line-per-request session on the session pool; `shutdown`
-    /// ends that session only.
+    /// gets a dedicated session thread — sessions block on the socket
+    /// for most of their life, so pooling them would leave the
+    /// (pool+1)-th client accepted but never serviced. The thread exits
+    /// with its connection; `shutdown` ends that session only.
     pub fn serve_tcp(self: &Arc<Self>, listener: std::net::TcpListener) -> std::io::Result<()> {
         use std::io::{BufRead, BufReader, Write};
         loop {
             let (stream, _) = listener.accept()?;
             let server = Arc::clone(self);
-            self.sessions.submit(move || {
+            let session = move || {
                 let reader = BufReader::new(match stream.try_clone() {
                     Ok(s) => s,
                     Err(_) => return,
@@ -229,7 +238,16 @@ impl Server {
                         break;
                     }
                 }
-            });
+            };
+            if std::thread::Builder::new()
+                .name("serve-session".into())
+                .spawn(session)
+                .is_err()
+            {
+                // Out of threads: drop the connection rather than hang
+                // the accept loop; the client sees EOF and can retry.
+                continue;
+            }
         }
     }
 }
@@ -422,6 +440,14 @@ fn step_run(state: &Arc<State>, run: u64, live: &mut LiveRun, id: u64, steps: u6
             &format!("{{\"run\":{run},\"steps\":{at},\"done\":false}}"),
         );
     }
+    // Resolve the sequential baseline *before* consuming the driver: if
+    // it fails, the run stays `Live` (the drained driver is untouched)
+    // and the client can simply step again to retry. Consuming first
+    // would strand the run on an unrecoverable empty report.
+    let t_seq = match state.seq_time(&live.query) {
+        Ok(t) => t,
+        Err(e) => return proto::err_line(id, &e),
+    };
     let placeholder = RunState::Done {
         steps: at,
         result: String::new(),
@@ -430,43 +456,82 @@ fn step_run(state: &Arc<State>, run: u64, live: &mut LiveRun, id: u64, steps: u6
         unreachable!()
     };
     let report = driver.finish();
-    match state.seq_time(&live.query) {
-        Ok(t) => {
-            live.state = RunState::Done {
-                steps: at,
-                result: result_json(&live.query, &report, t),
-            };
-            proto::ok_line(
-                id,
-                &format!("{{\"run\":{run},\"steps\":{at},\"done\":true}}"),
-            )
-        }
-        Err(e) => proto::err_line(id, &e),
-    }
+    live.state = RunState::Done {
+        steps: at,
+        result: result_json(&live.query, &report, t_seq),
+    };
+    proto::ok_line(
+        id,
+        &format!("{{\"run\":{run},\"steps\":{at},\"done\":true}}"),
+    )
 }
 
 // ---------------------------------------------------------------------
 // Stateless query execution
 // ---------------------------------------------------------------------
 
+/// Clears a claimed `InFlight` slot if the owner never publishes — the
+/// unwind path. Without this, a panicking simulation would leave every
+/// coalesced waiter (and all future requests for the key) parked on the
+/// cache condvar forever.
+struct ClaimGuard<'a> {
+    cache: &'a ResultCache,
+    key: Option<crate::proto::SimKey>,
+}
+
+impl<'a> ClaimGuard<'a> {
+    fn new(cache: &'a ResultCache, key: crate::proto::SimKey) -> Self {
+        ClaimGuard {
+            cache,
+            key: Some(key),
+        }
+    }
+
+    /// The owner published (`fill` or `fail`); nothing left to clean up.
+    fn disarm(&mut self) {
+        self.key = None;
+    }
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            self.cache.fail(key, "simulation panicked".into());
+        }
+    }
+}
+
 /// Runs (or coalesces / serves from cache) one what-if query. Exactly
 /// one simulation runs per distinct [`SimKey`](crate::proto::SimKey) at
 /// any concurrency; every caller receives the same `Arc`'d result
 /// string, so cached responses are byte-identical to fresh ones.
+/// Failures publish to the cache too — every claimed slot resolves, so
+/// coalesced waiters can never wedge.
 fn simulate(state: &Arc<State>, q: &Query) -> Result<Arc<String>, String> {
     match state.cache.claim(q.key(), &state.counters) {
         Claim::Served(r) => Ok(r),
+        Claim::Failed(e) => Err(e.as_ref().clone()),
         Claim::Run => {
-            let report = runner::run_workload_on(
+            let mut guard = ClaimGuard::new(&state.cache, q.key());
+            let outcome = runner::run_workload_on(
                 &q.cfg,
                 q.workload.app,
                 q.workload.variant,
                 q.workload.mapping,
                 q.workload.scale,
             )
-            .map_err(|e| format!("simulation failed: {e}"))?;
-            let t_seq = state.seq_time(q)?;
-            Ok(state.cache.fill(q.key(), result_json(q, &report, t_seq)))
+            .map_err(|e| format!("simulation failed: {e}"))
+            .and_then(|report| Ok((report, state.seq_time(q)?)));
+            guard.disarm();
+            match outcome {
+                Ok((report, t_seq)) => {
+                    Ok(state.cache.fill(q.key(), result_json(q, &report, t_seq)))
+                }
+                Err(e) => {
+                    state.cache.fail(q.key(), e.clone());
+                    Err(e)
+                }
+            }
         }
     }
 }
